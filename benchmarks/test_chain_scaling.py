@@ -1,0 +1,98 @@
+"""Ablation A3: sharing-chain size scaling — O(n²) vs O(n·m).
+
+The structural heart of the paper: the naive chain carries one sub-slot
+per (node, node) pair while S4 carries one per (source, collector) pair
+with m = ⌊n/3⌋ + 1 + redundancy.  This bench materializes the chains the
+engines actually build across network sizes and verifies the asymptotics
+(and their airtime consequences) directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.analysis.experiments import (
+    build_engines,
+    degree_for,
+    round_secrets,
+    subnetwork_spec,
+)
+from repro.analysis.reporting import format_table
+from repro.core.config import CryptoMode
+from repro.phy.radio import NRF52840_154
+from repro.ct.packet import sharing_psdu_bytes
+from repro.topology.testbeds import dcube
+
+SIZES = (5, 12, 25, 35, 45)
+
+
+@pytest.fixture(scope="module")
+def chain_rows():
+    rows = []
+    for size in SIZES:
+        spec = subnetwork_spec(dcube(), size)
+        s3, s4 = build_engines(spec, crypto_mode=CryptoMode.STUB)
+        secrets = round_secrets(spec.topology.node_ids, 0)
+        m3 = s3.run(secrets, seed=88)
+        m4 = s4.run(secrets, seed=88)
+        chain_time = NRF52840_154.packet_slot_us(sharing_psdu_bytes())
+        rows.append(
+            {
+                "n": size,
+                "degree": degree_for(size),
+                "s3_chain": m3.chain_length_sharing,
+                "s4_chain": m4.chain_length_sharing,
+                "s3_chain_ms": m3.chain_length_sharing * chain_time / 1000,
+                "s4_chain_ms": m4.chain_length_sharing * chain_time / 1000,
+            }
+        )
+    register_report(
+        "ablation_a3_chain_scaling",
+        format_table(
+            ["n", "degree", "S3 chain", "S4 chain", "S3 chain ms", "S4 chain ms"],
+            [
+                [
+                    r["n"],
+                    r["degree"],
+                    r["s3_chain"],
+                    r["s4_chain"],
+                    r["s3_chain_ms"],
+                    r["s4_chain_ms"],
+                ]
+                for r in rows
+            ],
+            title="Ablation A3 — sharing-chain size scaling, DCube subnetworks "
+            "(chain ms = one chain transmission's airtime)",
+        ),
+    )
+    return rows
+
+
+def test_s3_chain_is_n_squared(benchmark, chain_rows):
+    """The naive chain is exactly n² sub-slots at every size."""
+    benchmark.pedantic(lambda: chain_rows, rounds=1, iterations=1)
+    for row in chain_rows:
+        assert row["s3_chain"] == row["n"] ** 2
+
+
+def test_s4_chain_is_n_times_m(benchmark, chain_rows):
+    """S4's chain is n × m with m ≈ n/3 + redundancy."""
+    benchmark.pedantic(lambda: chain_rows, rounds=1, iterations=1)
+    for row in chain_rows:
+        m = row["s4_chain"] / row["n"]
+        assert m == int(m), "chain must be a whole number of columns"
+        assert row["degree"] + 1 <= m <= row["degree"] + 4
+
+    # Asymptotics: the S3/S4 chain ratio approaches n/m ≈ 3 at scale.
+    last = chain_rows[-1]
+    ratio = last["s3_chain"] / last["s4_chain"]
+    assert 2.2 < ratio < 3.5
+
+
+def test_chain_gap_widens_with_n(benchmark, chain_rows):
+    """The absolute airtime gap explodes quadratically with n."""
+    benchmark.pedantic(lambda: chain_rows, rounds=1, iterations=1)
+    gaps = [r["s3_chain_ms"] - r["s4_chain_ms"] for r in chain_rows]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > 20 * gaps[0]

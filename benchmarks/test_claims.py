@@ -1,0 +1,94 @@
+"""Headline claims C1 + C2: complete-network speedups.
+
+Paper: "S4 achieves private aggregation at least 6× faster and consuming
+7× lesser radio-on time in FlockLab and 9× faster and consuming 10×
+lesser radio-on time in DCube compared to S3."
+
+Our simulated substrate reproduces the *direction and ordering* of those
+factors at somewhat smaller magnitudes (see EXPERIMENTS.md for the
+measured numbers and the deviation analysis); the assertions below pin
+the reproduced shape:
+
+* S4 wins both metrics on both testbeds by a wide margin (≥ 2.5×);
+* D-Cube's latency gain exceeds FlockLab's (bigger, denser network);
+* on each testbed the radio-on factor is at least on par with the
+  latency factor (early radio-off compounds with the shorter schedule).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import register_report
+from repro.analysis.reporting import format_table
+
+
+def test_claim_flocklab_speedup(benchmark, fig1_flocklab):
+    """C1: complete-network factors on FlockLab."""
+    full = fig1_flocklab.full_network_point
+
+    benchmark.pedantic(lambda: full.latency_ratio, rounds=1, iterations=1)
+
+    register_report(
+        "claim_c1_flocklab",
+        format_table(
+            ["metric", "S3", "S4", "measured factor", "paper factor"],
+            [
+                [
+                    "latency (ms)",
+                    full.s3_latency_ms.mean,
+                    full.s4_latency_ms.mean,
+                    f"{full.latency_ratio:.1f}x",
+                    ">= 6x",
+                ],
+                [
+                    "radio-on (ms)",
+                    full.s3_radio_ms.mean,
+                    full.s4_radio_ms.mean,
+                    f"{full.radio_ratio:.1f}x",
+                    ">= 7x",
+                ],
+            ],
+            title=f"Claim C1 — FlockLab complete network (n={full.num_nodes})",
+        ),
+    )
+
+    assert full.latency_ratio > 2.5
+    assert full.radio_ratio > 3.0
+    assert full.radio_ratio > full.latency_ratio * 0.95
+
+
+def test_claim_dcube_speedup(benchmark, fig1_dcube, fig1_flocklab):
+    """C2: complete-network factors on D-Cube exceed FlockLab's."""
+    full = fig1_dcube.full_network_point
+    flocklab_full = fig1_flocklab.full_network_point
+
+    benchmark.pedantic(lambda: full.latency_ratio, rounds=1, iterations=1)
+
+    register_report(
+        "claim_c2_dcube",
+        format_table(
+            ["metric", "S3", "S4", "measured factor", "paper factor"],
+            [
+                [
+                    "latency (ms)",
+                    full.s3_latency_ms.mean,
+                    full.s4_latency_ms.mean,
+                    f"{full.latency_ratio:.1f}x",
+                    ">= 9x",
+                ],
+                [
+                    "radio-on (ms)",
+                    full.s3_radio_ms.mean,
+                    full.s4_radio_ms.mean,
+                    f"{full.radio_ratio:.1f}x",
+                    ">= 10x",
+                ],
+            ],
+            title=f"Claim C2 — DCube complete network (n={full.num_nodes})",
+        ),
+    )
+
+    assert full.latency_ratio > 3.0
+    assert full.radio_ratio > 3.5
+    # The paper's ordering: the bigger, denser testbed shows the bigger
+    # latency gain (9x vs 6x there; proportionally here).
+    assert full.latency_ratio > flocklab_full.latency_ratio

@@ -1,0 +1,70 @@
+"""Claim C4: "further improvement ... for an even lesser degree".
+
+The paper's closing remark: S4's costs shrink further when the
+application can accept a lower collusion threshold.  We sweep the
+polynomial degree at full network size on both testbeds and check both
+metrics fall as the degree (and with it the collector count and chain
+length) falls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_iterations, register_report
+from repro.analysis.experiments import run_degree_sweep
+from repro.analysis.reporting import format_table
+from repro.topology.testbeds import dcube, flocklab
+
+
+@pytest.fixture(scope="module", params=["flocklab", "dcube"])
+def sweep_case(request):
+    spec = flocklab() if request.param == "flocklab" else dcube()
+    rows = run_degree_sweep(
+        spec, iterations=max(6, bench_iterations() // 2), seed=55
+    )
+    register_report(
+        f"claim_c4_degree_sweep_{spec.name.lower()}",
+        format_table(
+            ["degree", "chain", "latency ms", "radio ms", "success"],
+            [
+                [
+                    int(r["degree"]),
+                    int(r["chain_length"]),
+                    r["latency_ms"],
+                    r["radio_ms"],
+                    f"{r['success']:.2f}",
+                ]
+                for r in rows
+            ],
+            title=f"Claim C4 — S4 cost vs polynomial degree, {spec.name} "
+            "(full network)",
+        ),
+    )
+    return spec, rows
+
+
+def test_lower_degree_is_cheaper(benchmark, sweep_case):
+    """Latency and radio-on fall monotonically with the degree."""
+    spec, rows = sweep_case
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+
+    degrees = [r["degree"] for r in rows]
+    assert degrees == sorted(degrees)
+    latencies = [r["latency_ms"] for r in rows]
+    radios = [r["radio_ms"] for r in rows]
+    chains = [r["chain_length"] for r in rows]
+    assert chains == sorted(chains), "chain shrinks with degree"
+    assert latencies == sorted(latencies), "latency shrinks with degree"
+    assert radios == sorted(radios), "radio-on shrinks with degree"
+    # The paper's "further improvement" is substantial: quartering the
+    # degree should cut latency by a visible margin.
+    assert latencies[0] < 0.75 * latencies[-1]
+
+
+def test_low_degree_remains_reliable(benchmark, sweep_case):
+    """Cheapness must not come from dropped rounds."""
+    _, rows = sweep_case
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    for row in rows:
+        assert row["success"] > 0.8, f"degree {row['degree']} unreliable"

@@ -1,0 +1,74 @@
+"""Fig. 1(c) + 1(d): S3 vs S4 on D-Cube (45-node testbed).
+
+Paper: same two metrics vs number of nodes (5, 7, 12, 45); D-Cube is
+denser and larger, which gives S4 its biggest advantage.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    build_engines,
+    round_secrets,
+    subnetwork_spec,
+)
+from repro.core.config import CryptoMode
+from repro.topology.testbeds import dcube
+
+
+def test_fig1c_latency(benchmark, fig1_dcube):
+    """Latency curve on D-Cube."""
+    result = fig1_dcube
+
+    spec = subnetwork_spec(dcube(), 12)
+    s3, s4 = build_engines(spec, crypto_mode=CryptoMode.STUB)
+    secrets = round_secrets(spec.topology.node_ids, 0)
+    s4.bootstrap_for(sorted(secrets))
+
+    def one_round_each():
+        s3.run(secrets, seed=21)
+        s4.run(secrets, seed=21)
+
+    benchmark.pedantic(one_round_each, rounds=3, iterations=1)
+
+    for point in result.points:
+        assert point.s4_latency_ms.mean < point.s3_latency_ms.mean
+    s3_means = [p.s3_latency_ms.mean for p in result.points]
+    s4_means = [p.s4_latency_ms.mean for p in result.points]
+    assert s3_means == sorted(s3_means)
+    assert s4_means == sorted(s4_means)
+    # The S3 cost at full size is dominated by the 45² = 2025-packet chain:
+    # it must sit far above every smaller configuration (the log-scale
+    # spread of the paper's plot).
+    assert s3_means[-1] > 10 * s3_means[0]
+
+
+def test_fig1d_radio_on(benchmark, fig1_dcube):
+    """Radio-on curve on D-Cube."""
+    result = fig1_dcube
+
+    spec = subnetwork_spec(dcube(), 7)
+    s3, s4 = build_engines(spec, crypto_mode=CryptoMode.STUB)
+    secrets = round_secrets(spec.topology.node_ids, 0)
+    s4.bootstrap_for(sorted(secrets))
+
+    def one_round_each():
+        s3.run(secrets, seed=22)
+        s4.run(secrets, seed=22)
+
+    benchmark.pedantic(one_round_each, rounds=3, iterations=1)
+
+    for point in result.points:
+        assert point.s4_radio_ms.mean < point.s3_radio_ms.mean
+    # Radio-on ratio at full network exceeds the latency ratio (early
+    # radio-off buys extra energy on top of the shorter schedule) — the
+    # same ordering the paper reports (10x energy vs 9x latency).
+    full = result.full_network_point
+    assert full.radio_ratio >= full.latency_ratio * 0.95
+
+
+def test_fig1_dcube_reliability(benchmark, fig1_dcube):
+    """Both variants must actually aggregate."""
+    benchmark.pedantic(lambda: fig1_dcube, rounds=1, iterations=1)
+    for point in fig1_dcube.points:
+        assert point.s3_success > 0.9
+        assert point.s4_success > 0.8

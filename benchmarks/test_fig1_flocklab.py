@@ -1,0 +1,78 @@
+"""Fig. 1(a) + 1(b): S3 vs S4 on FlockLab (26-node testbed).
+
+Paper: latency and radio-on time vs number of nodes (3, 6, 10, 24), both
+in ms on a log scale, S4 below S3 everywhere with the gap widening as
+the network grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_iterations
+from repro.analysis.experiments import run_figure1, subnetwork_spec, build_engines, round_secrets
+from repro.core.config import CryptoMode
+from repro.topology.testbeds import flocklab
+
+
+def test_fig1a_latency(benchmark, fig1_flocklab):
+    """Latency curve: S4 faster at every size, gap grows with n."""
+    result = fig1_flocklab
+
+    # Wall-clock benchmark: one full S3+S4 round at the largest size.
+    spec = subnetwork_spec(flocklab(), 24)
+    s3, s4 = build_engines(spec, crypto_mode=CryptoMode.STUB)
+    secrets = round_secrets(spec.topology.node_ids, 0)
+    s4.bootstrap_for(sorted(secrets))  # bootstrap outside the timed region
+
+    def one_round_each():
+        s3.run(secrets, seed=9)
+        s4.run(secrets, seed=9)
+
+    benchmark.pedantic(one_round_each, rounds=3, iterations=1)
+
+    # Shape assertions against the paper.
+    for point in result.points:
+        assert point.s4_latency_ms.mean < point.s3_latency_ms.mean, (
+            f"S4 must be faster at n={point.num_nodes}"
+        )
+    # Latency grows with network size for both variants (log-scale rise).
+    s3_means = [p.s3_latency_ms.mean for p in result.points]
+    s4_means = [p.s4_latency_ms.mean for p in result.points]
+    assert s3_means == sorted(s3_means)
+    assert s4_means == sorted(s4_means)
+    # The gap widens toward the full network.
+    assert result.points[-1].latency_ratio > result.points[0].latency_ratio
+
+
+def test_fig1b_radio_on(benchmark, fig1_flocklab):
+    """Radio-on curve: S4 leaner at every size."""
+    result = fig1_flocklab
+
+    spec = subnetwork_spec(flocklab(), 10)
+    s3, s4 = build_engines(spec, crypto_mode=CryptoMode.STUB)
+    secrets = round_secrets(spec.topology.node_ids, 0)
+    s4.bootstrap_for(sorted(secrets))
+
+    def one_round_each():
+        s3.run(secrets, seed=11)
+        s4.run(secrets, seed=11)
+
+    benchmark.pedantic(one_round_each, rounds=3, iterations=1)
+
+    for point in result.points:
+        assert point.s4_radio_ms.mean < point.s3_radio_ms.mean, (
+            f"S4 must use less radio-on time at n={point.num_nodes}"
+        )
+    # Radio-on grows with network size for both variants.
+    s3_means = [p.s3_radio_ms.mean for p in result.points]
+    assert s3_means == sorted(s3_means)
+    # S3's radio-on time ≈ its full schedule (naive always-on listening).
+    full = result.full_network_point
+    assert full.s3_radio_ms.mean >= full.s3_latency_ms.mean * 0.95
+
+
+def test_fig1_flocklab_reliability(benchmark, fig1_flocklab):
+    """Both variants must actually aggregate (the paper's implicit bar)."""
+    benchmark.pedantic(lambda: fig1_flocklab, rounds=1, iterations=1)
+    for point in fig1_flocklab.points:
+        assert point.s3_success > 0.9, f"S3 unreliable at n={point.num_nodes}"
+        assert point.s4_success > 0.8, f"S4 unreliable at n={point.num_nodes}"

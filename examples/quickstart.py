@@ -1,0 +1,63 @@
+"""Quickstart: private aggregation on a small simulated IoT network.
+
+Eight battery-powered nodes each hold a private sensor reading.  We run
+the paper's scalable protocol (S4) once and show that every node obtains
+the *sum* of all readings without any node (or eavesdropper) seeing an
+individual value.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CryptoMode, ProtocolConfig, S4Config, S4Engine
+from repro.phy.channel import ChannelParameters
+from repro.topology.generators import grid
+
+
+def main() -> None:
+    # A 4x2 office-grid deployment, ~7 m between motes.
+    topology = grid(4, 2, spacing_m=7.0, jitter_m=0.5, seed=1)
+
+    # Indoor 2.4 GHz channel (log-distance path loss + mild shadowing).
+    channel = ChannelParameters(
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=1.0,
+    )
+
+    # Degree-2 polynomials: any 2 colluding nodes learn nothing; any 3
+    # per-point sums reconstruct the aggregate.
+    config = S4Config(
+        base=ProtocolConfig(degree=2, crypto_mode=CryptoMode.REAL),
+        sharing_ntx=5,
+        reconstruction_ntx=6,
+        collector_redundancy=1,
+        bootstrap_iterations=8,
+    )
+    engine = S4Engine(topology, channel, config)
+
+    # Each node's private reading (e.g. room occupancy).
+    readings = {node: 3 + (node * 7) % 11 for node in topology.node_ids}
+    print("private readings:", readings)
+    print("true sum        :", sum(readings.values()))
+
+    metrics = engine.run(readings, seed=2024)
+
+    print("\nper-node outcome:")
+    for node, m in sorted(metrics.per_node.items()):
+        latency = f"{m.latency_us / 1000:.0f} ms" if m.latency_us else "never"
+        print(
+            f"  node {node}: aggregate={m.aggregate}  "
+            f"latency={latency}  radio-on={m.radio_on_us / 1000:.0f} ms"
+        )
+
+    assert metrics.all_correct, "every node should hold the exact sum"
+    print(
+        f"\nall {len(metrics.per_node)} nodes agree on the sum "
+        f"{metrics.expected_aggregate} — and none ever saw a raw reading."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so that fully
+offline environments without the ``wheel`` package can still install the
+project (``python setup.py develop`` / legacy pip paths); modern
+environments ignore it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,514 @@
+"""The paper's evaluation campaigns, as runnable experiment functions.
+
+The central one is :func:`run_figure1`: the node-count sweep of Fig. 1.
+The paper's x-axis is "Number of Nodes" (3/6/10/24 on FlockLab, 5/7/12/45
+on D-Cube) — sub-deployments of the testbed in which every node sources a
+secret, with polynomial degree ⌊n/3⌋ per point.  For each point we run
+S3 and S4 for a configurable number of iterations and record the paper's
+two metrics.
+
+Also here: the NTX-coverage curve (§III's non-linearity / claim C3+C5),
+the degree sweep (the paper's closing remark, claim C4), fault-tolerance
+(§III's resilience argument, ablation A1) and the optimization split
+(ablation A2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.core.config import CryptoMode, ProtocolConfig, S3Config, S4Config
+from repro.core.metrics import RoundMetrics
+from repro.core.s3 import S3Engine
+from repro.core.s4 import S4Engine
+from repro.ct.coverage import profile_coverage
+from repro.ct.packet import sharing_psdu_bytes
+from repro.errors import ConfigurationError, ProtocolError, ReconstructionError
+from repro.phy.channel import ChannelModel
+from repro.phy.link import LinkTable
+from repro.sim.seeds import stable_seed
+from repro.topology.graph import Topology, connected_subset
+from repro.topology.testbeds import TestbedSpec
+
+
+def subnetwork_spec(spec: TestbedSpec, size: int) -> TestbedSpec:
+    """Carve a connected ``size``-node sub-deployment out of a testbed.
+
+    The subset is grown breadth-first over the good-link graph at the
+    sharing-phase frame size, which mirrors how a testbed operator picks
+    a contiguous cluster of observers for a small experiment.
+    """
+    if size == len(spec.topology):
+        return spec
+    channel = ChannelModel(spec.channel)
+    frame = 6 + sharing_psdu_bytes()
+    links = LinkTable(spec.topology.positions, channel, frame)
+    chosen = connected_subset(links.adjacency(), size)
+    positions = {node: spec.topology.position(node) for node in chosen}
+    topology = Topology(positions, name=f"{spec.topology.name}-sub{size}")
+    return dataclasses.replace(spec, topology=topology)
+
+
+def degree_for(num_nodes: int) -> int:
+    """The paper's degree rule ⌊n/3⌋, floored at 1 (degree 0 = no privacy)."""
+    return max(1, num_nodes // 3)
+
+
+def build_engines(
+    spec: TestbedSpec,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+    degree: int | None = None,
+) -> tuple[S3Engine, S4Engine]:
+    """S3 and S4 engines for one (sub-)deployment with paper parameters."""
+    if degree is None:
+        degree = degree_for(len(spec.topology))
+    base = ProtocolConfig(degree=degree, crypto_mode=crypto_mode)
+    s3_config = S3Config(base=base, ntx=spec.full_coverage_ntx)
+    s4_config = S4Config(
+        base=base,
+        sharing_ntx=spec.extras.get("s4_sharing_ntx", spec.sharing_ntx),
+        reconstruction_ntx=spec.full_coverage_ntx,
+        collector_redundancy=spec.extras.get("s4_redundancy", 1),
+    )
+    return (
+        S3Engine(spec.topology, spec.channel, s3_config),
+        S4Engine(spec.topology, spec.channel, s4_config),
+    )
+
+
+def round_secrets(node_ids: Sequence[int], iteration: int) -> dict[int, int]:
+    """Deterministic per-round sensor readings (small positive ints)."""
+    return {
+        node: (node * 131 + iteration * 17 + 7) % 1_000
+        for node in node_ids
+    }
+
+
+def run_rounds(engine, node_ids: Sequence[int], iterations: int, seed: int) -> list[RoundMetrics]:
+    """Run ``iterations`` aggregation rounds with fresh secrets each."""
+    results = []
+    for iteration in range(iterations):
+        secrets = round_secrets(node_ids, iteration)
+        results.append(
+            engine.run(secrets, seed=stable_seed(seed, engine.variant_name, iteration))
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One x-axis point of Fig. 1 (both metrics, both variants)."""
+
+    num_nodes: int
+    degree: int
+    s3_latency_ms: SummaryStats
+    s4_latency_ms: SummaryStats
+    s3_radio_ms: SummaryStats
+    s4_radio_ms: SummaryStats
+    s3_success: float
+    s4_success: float
+
+    @property
+    def latency_ratio(self) -> float:
+        """S3/S4 mean latency ratio (the paper's "X× faster")."""
+        return self.s3_latency_ms.mean / self.s4_latency_ms.mean
+
+    @property
+    def radio_ratio(self) -> float:
+        """S3/S4 mean radio-on ratio (the paper's "X× lesser")."""
+        return self.s3_radio_ms.mean / self.s4_radio_ms.mean
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The full sweep for one testbed (Fig. 1 a+b or c+d)."""
+
+    testbed: str
+    points: tuple[Figure1Point, ...]
+    iterations: int
+
+    def point(self, num_nodes: int) -> Figure1Point:
+        """The sweep point at a given network size."""
+        for point in self.points:
+            if point.num_nodes == num_nodes:
+                return point
+        raise ConfigurationError(f"no sweep point at n={num_nodes}")
+
+    @property
+    def full_network_point(self) -> Figure1Point:
+        """The right-most (complete network) point — the headline claims."""
+        return max(self.points, key=lambda p: p.num_nodes)
+
+
+def _collect_point(
+    spec: TestbedSpec,
+    size: int,
+    iterations: int,
+    seed: int,
+    crypto_mode: CryptoMode,
+) -> Figure1Point:
+    sub = subnetwork_spec(spec, size)
+    degree = degree_for(size)
+    s3, s4 = build_engines(sub, crypto_mode=crypto_mode, degree=degree)
+    nodes = sub.topology.node_ids
+
+    def metrics_of(engine) -> tuple[list[float], list[float], float]:
+        rounds = run_rounds(engine, nodes, iterations, seed)
+        latencies = [
+            r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()
+        ]
+        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
+        success = sum(r.success_fraction for r in rounds) / len(rounds)
+        if not latencies:
+            raise ProtocolError(
+                f"{engine.variant_name} never completed at n={size}; "
+                "configuration is broken"
+            )
+        return latencies, radio, success
+
+    s3_lat, s3_radio, s3_success = metrics_of(s3)
+    s4_lat, s4_radio, s4_success = metrics_of(s4)
+    return Figure1Point(
+        num_nodes=size,
+        degree=degree,
+        s3_latency_ms=summarize(s3_lat),
+        s4_latency_ms=summarize(s4_lat),
+        s3_radio_ms=summarize(s3_radio),
+        s4_radio_ms=summarize(s4_radio),
+        s3_success=s3_success,
+        s4_success=s4_success,
+    )
+
+
+def run_figure1(
+    spec: TestbedSpec,
+    iterations: int = 30,
+    seed: int = 1,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+    sizes: Sequence[int] | None = None,
+) -> Figure1Result:
+    """Reproduce Fig. 1 for one testbed.
+
+    The paper repeats each point 2000 times on hardware; the default 30
+    seeded simulation iterations give the same central tendency (the
+    distributions are tightly concentrated — see the p5/p95 columns).
+    """
+    if sizes is None:
+        sizes = spec.source_sweep
+    points = tuple(
+        _collect_point(spec, size, iterations, seed, crypto_mode)
+        for size in sizes
+    )
+    return Figure1Result(
+        testbed=spec.name, points=points, iterations=iterations
+    )
+
+
+# -- NTX coverage curve (claims C3 + C5) --------------------------------------
+
+
+def run_ntx_coverage_curve(
+    spec: TestbedSpec,
+    ntx_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10, 12),
+    iterations: int = 20,
+    seed: int = 3,
+) -> list[dict[str, float]]:
+    """Mean reachability / full-coverage fraction as NTX grows (§III)."""
+    channel = ChannelModel(spec.channel)
+    frame = 6 + sharing_psdu_bytes()
+    links = LinkTable(spec.topology.positions, channel, frame)
+    from repro.core.bootstrap import network_depth
+
+    profile = profile_coverage(
+        links,
+        spec_timings(spec),
+        ntx_values=list(ntx_values),
+        depth_hint=network_depth(links),
+        iterations=iterations,
+        seed=seed,
+    )
+    rows = []
+    for ntx in sorted(profile.stats):
+        stats = profile.stats[ntx]
+        rows.append(
+            {
+                "ntx": float(ntx),
+                "mean_reachable": stats.mean_reachable,
+                "mean_delivery": stats.mean_delivery,
+                "full_coverage_fraction": stats.full_coverage_fraction,
+            }
+        )
+    return rows
+
+
+def spec_timings(spec: TestbedSpec):
+    """Radio timings for a testbed (the library default nRF model)."""
+    from repro.phy.radio import NRF52840_154
+
+    return NRF52840_154
+
+
+# -- degree sweep (claim C4) ----------------------------------------------------
+
+
+def run_degree_sweep(
+    spec: TestbedSpec,
+    degrees: Sequence[int] | None = None,
+    iterations: int = 15,
+    seed: int = 5,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """S4 latency/radio-on vs polynomial degree at full network size.
+
+    The paper's closing observation: "further improvement in the latency
+    and radio-on time would be visible in S4 ... for an even lesser
+    degree of the polynomial used."
+    """
+    n = len(spec.topology)
+    if degrees is None:
+        top = degree_for(n)
+        degrees = sorted({max(1, top // 4), max(1, top // 2), top})
+    nodes = spec.topology.node_ids
+    rows = []
+    for degree in degrees:
+        _, s4 = build_engines(spec, crypto_mode=crypto_mode, degree=degree)
+        rounds = run_rounds(s4, nodes, iterations, stable_seed(seed, degree))
+        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
+        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
+        rows.append(
+            {
+                "degree": float(degree),
+                "latency_ms": summarize(latencies).mean if latencies else float("nan"),
+                "radio_ms": summarize(radio).mean,
+                "success": sum(r.success_fraction for r in rounds) / len(rounds),
+                "chain_length": float(rounds[0].chain_length_sharing),
+            }
+        )
+    return rows
+
+
+# -- fault tolerance (ablation A1) ---------------------------------------------
+
+
+def run_fault_tolerance(
+    spec: TestbedSpec,
+    failure_counts: Sequence[int] = (0, 1, 2, 3),
+    iterations: int = 15,
+    seed: int = 7,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """Kill collectors mid-sharing; measure S4 reconstruction survival.
+
+    §III: with degree ``p < n`` "even the final polynomial can be formed
+    by combining any k+1 sum values", so up to ``m − (p+1)`` collector
+    losses are survivable by construction.
+    """
+    _, s4 = build_engines(spec, crypto_mode=crypto_mode)
+    nodes = spec.topology.node_ids
+    bootstrap = s4.bootstrap_for(nodes)
+    collectors = list(bootstrap.collectors)
+    rows = []
+    for count in failure_counts:
+        if count > len(collectors):
+            raise ConfigurationError(
+                f"cannot fail {count} of {len(collectors)} collectors"
+            )
+        successes = []
+        for iteration in range(iterations):
+            secrets = round_secrets(nodes, iteration)
+            victims = collectors[:count]
+            # Victims die halfway through the sharing round.
+            fail_slot = max(1, bootstrap.sharing_slots // 2)
+            failures = {victim: fail_slot for victim in victims}
+            try:
+                metrics = s4.run(
+                    secrets,
+                    seed=stable_seed(seed, count, iteration),
+                    sharing_failures=failures,
+                )
+                successes.append(metrics.success_fraction)
+            except (ProtocolError, ReconstructionError):
+                successes.append(0.0)
+        rows.append(
+            {
+                "failed_collectors": float(count),
+                "redundancy": float(len(collectors) - (s4.config.degree + 1)),
+                "success_fraction": sum(successes) / len(successes),
+            }
+        )
+    return rows
+
+
+# -- optimization split (ablation A2) -------------------------------------------
+
+
+def run_optimization_ablation(
+    spec: TestbedSpec,
+    iterations: int = 10,
+    seed: int = 11,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """Which S4 optimization buys what: chain trim vs early radio-off.
+
+    Three configurations at full network size:
+
+    * ``s3`` — the naive baseline;
+    * ``s4_no_early_off`` — trimmed chain + low NTX but radios stay on
+      (isolates the schedule/chain gains);
+    * ``s4`` — the full variant.
+    """
+    nodes = spec.topology.node_ids
+    s3, s4 = build_engines(spec, crypto_mode=crypto_mode)
+    s4_always_on = _engine_without_early_off(spec, crypto_mode)
+    rows = []
+    for label, engine in (
+        ("s3", s3),
+        ("s4_no_early_off", s4_always_on),
+        ("s4", s4),
+    ):
+        rounds = run_rounds(engine, nodes, iterations, stable_seed(seed, label))
+        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
+        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
+        rows.append(
+            {
+                "variant": label,
+                "latency_ms": summarize(latencies).mean if latencies else float("nan"),
+                "radio_ms": summarize(radio).mean,
+            }
+        )
+    return rows
+
+
+def _engine_without_early_off(spec: TestbedSpec, crypto_mode: CryptoMode):
+    """An S4 engine whose phases keep radios on (ablation helper)."""
+    from repro.core.protocol import PhasePlan
+    from repro.ct.minicast import RadioOffPolicy
+
+    class S4AlwaysOn(S4Engine):
+        """S4 with the early radio-off optimization disabled."""
+
+        @property
+        def variant_name(self) -> str:
+            return "S4-always-on"
+
+        def sharing_plan(self, layout):
+            plan = super().sharing_plan(layout)
+            return PhasePlan(
+                schedule=plan.schedule, policy=RadioOffPolicy.ALWAYS_ON
+            )
+
+        def reconstruction_plan(self, layout):
+            plan = super().reconstruction_plan(layout)
+            return PhasePlan(
+                schedule=plan.schedule, policy=RadioOffPolicy.ALWAYS_ON
+            )
+
+    degree = degree_for(len(spec.topology))
+    base = ProtocolConfig(degree=degree, crypto_mode=crypto_mode)
+    config = S4Config(
+        base=base,
+        sharing_ntx=spec.extras.get("s4_sharing_ntx", spec.sharing_ntx),
+        reconstruction_ntx=spec.full_coverage_ntx,
+        collector_redundancy=spec.extras.get("s4_redundancy", 1),
+    )
+    return S4AlwaysOn(spec.topology, spec.channel, config)
+
+
+# -- interference robustness (extension E1) --------------------------------------
+
+
+def run_interference_sweep(
+    spec: TestbedSpec,
+    levels: Sequence[int] = (0, 1, 2, 3),
+    iterations: int = 10,
+    seed: int = 13,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """S3/S4 under D-Cube-style jamming levels (extension experiment).
+
+    The paper evaluates at jamming level 0; the D-Cube testbed exists to
+    ask what happens at levels 1-3.  Jammers degrade link PRRs (averaged
+    duty-cycle model, :mod:`repro.phy.interference`), which stretches
+    delivery and erodes reliability — more for S4, whose NTX margin is
+    deliberately thin.
+    """
+    from repro.core.s3 import S3Engine
+    from repro.core.s4 import S4Engine
+    from repro.phy.interference import dcube_jamming
+
+    nodes = spec.topology.node_ids
+    degree = degree_for(len(nodes))
+    base = ProtocolConfig(degree=degree, crypto_mode=crypto_mode)
+    rows = []
+    for level in levels:
+        field = dcube_jamming(level, spec.topology.bounding_box())
+        s3 = S3Engine(
+            spec.topology,
+            spec.channel,
+            S3Config(base=base, ntx=spec.full_coverage_ntx),
+            interference=field,
+        )
+        s4 = S4Engine(
+            spec.topology,
+            spec.channel,
+            S4Config(
+                base=base,
+                sharing_ntx=spec.extras.get("s4_sharing_ntx", spec.sharing_ntx),
+                reconstruction_ntx=spec.full_coverage_ntx,
+                collector_redundancy=spec.extras.get("s4_redundancy", 1),
+            ),
+            interference=field,
+        )
+        row: dict[str, float] = {"level": float(level)}
+        for label, engine in (("s3", s3), ("s4", s4)):
+            try:
+                results = run_rounds(
+                    engine, nodes, iterations, stable_seed(seed, level, label)
+                )
+            except (ProtocolError, ConfigurationError):
+                row[f"{label}_success"] = 0.0
+                row[f"{label}_latency_ms"] = float("nan")
+                continue
+            latencies = [
+                r.max_latency_us / 1000.0 for r in results if r.latencies_us()
+            ]
+            row[f"{label}_success"] = sum(
+                r.success_fraction for r in results
+            ) / len(results)
+            row[f"{label}_latency_ms"] = (
+                summarize(latencies).mean if latencies else float("nan")
+            )
+        rows.append(row)
+    return rows
+
+
+# -- lifetime projection (extension E2) -------------------------------------------
+
+
+def run_lifetime_projection(
+    spec: TestbedSpec,
+    rounds: int = 10,
+    seed: int = 17,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> dict[str, float]:
+    """Battery-lifetime comparison: the paper's motivation, quantified.
+
+    Runs a small campaign per variant and projects first-node-death
+    lifetime under a standard duty cycle (96 rounds/day, AA-class cell).
+    """
+    from repro.core.campaign import run_campaign
+
+    s3, s4 = build_engines(spec, crypto_mode=crypto_mode)
+    campaign_s3 = run_campaign(s3, rounds=rounds, seed=seed)
+    campaign_s4 = run_campaign(s4, rounds=rounds, seed=seed)
+    return {
+        "s3_lifetime_days": campaign_s3.lifetime_days(),
+        "s4_lifetime_days": campaign_s4.lifetime_days(),
+        "s3_reliability": campaign_s3.reliability,
+        "s4_reliability": campaign_s4.reliability,
+        "lifetime_gain": campaign_s4.lifetime_days()
+        / campaign_s3.lifetime_days(),
+    }

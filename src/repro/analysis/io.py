@@ -1,0 +1,140 @@
+"""Persistence for experiment results.
+
+Campaigns are expensive; their results should outlive the process.  This
+module serializes :class:`Figure1Result` (and generic row-lists) to a
+stable JSON schema with enough metadata to tell two campaigns apart, and
+loads them back into the same dataclasses for comparison tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.experiments import Figure1Point, Figure1Result
+from repro.analysis.stats import SummaryStats
+from repro.errors import ReproError
+
+SCHEMA_VERSION = 1
+
+
+def _summary_to_dict(summary: SummaryStats) -> dict[str, float]:
+    return {
+        "count": summary.count,
+        "mean": summary.mean,
+        "median": summary.median,
+        "p5": summary.p5,
+        "p95": summary.p95,
+        "stdev": summary.stdev,
+    }
+
+
+def _summary_from_dict(data: Mapping[str, Any]) -> SummaryStats:
+    try:
+        return SummaryStats(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            median=float(data["median"]),
+            p5=float(data["p5"]),
+            p95=float(data["p95"]),
+            stdev=float(data["stdev"]),
+        )
+    except KeyError as missing:
+        raise ReproError(f"summary record missing field {missing}") from None
+
+
+def figure1_to_dict(result: Figure1Result) -> dict[str, Any]:
+    """Serializable form of a Fig. 1 campaign."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "figure1",
+        "testbed": result.testbed,
+        "iterations": result.iterations,
+        "points": [
+            {
+                "num_nodes": p.num_nodes,
+                "degree": p.degree,
+                "s3_latency_ms": _summary_to_dict(p.s3_latency_ms),
+                "s4_latency_ms": _summary_to_dict(p.s4_latency_ms),
+                "s3_radio_ms": _summary_to_dict(p.s3_radio_ms),
+                "s4_radio_ms": _summary_to_dict(p.s4_radio_ms),
+                "s3_success": p.s3_success,
+                "s4_success": p.s4_success,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def figure1_from_dict(data: Mapping[str, Any]) -> Figure1Result:
+    """Inverse of :func:`figure1_to_dict` (validates schema)."""
+    if data.get("kind") != "figure1":
+        raise ReproError(f"not a figure1 record: kind={data.get('kind')!r}")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"schema {data.get('schema')} not supported (want {SCHEMA_VERSION})"
+        )
+    points = tuple(
+        Figure1Point(
+            num_nodes=int(p["num_nodes"]),
+            degree=int(p["degree"]),
+            s3_latency_ms=_summary_from_dict(p["s3_latency_ms"]),
+            s4_latency_ms=_summary_from_dict(p["s4_latency_ms"]),
+            s3_radio_ms=_summary_from_dict(p["s3_radio_ms"]),
+            s4_radio_ms=_summary_from_dict(p["s4_radio_ms"]),
+            s3_success=float(p["s3_success"]),
+            s4_success=float(p["s4_success"]),
+        )
+        for p in data["points"]
+    )
+    return Figure1Result(
+        testbed=str(data["testbed"]),
+        points=points,
+        iterations=int(data["iterations"]),
+    )
+
+
+def save_figure1(result: Figure1Result, path: str | pathlib.Path) -> None:
+    """Write a campaign to a JSON file."""
+    payload = json.dumps(figure1_to_dict(result), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n")
+
+
+def load_figure1(path: str | pathlib.Path) -> Figure1Result:
+    """Read a campaign back from disk."""
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise ReproError(f"no result file at {file_path}")
+    try:
+        data = json.loads(file_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(f"corrupt result file {file_path}: {error}") from None
+    return figure1_from_dict(data)
+
+
+def save_rows(
+    rows: Sequence[Mapping[str, Any]],
+    path: str | pathlib.Path,
+    kind: str,
+) -> None:
+    """Persist generic experiment rows (coverage, sweeps, ablations)."""
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "kind": kind, "rows": list(map(dict, rows))},
+        indent=2,
+        sort_keys=True,
+    )
+    pathlib.Path(path).write_text(payload + "\n")
+
+
+def load_rows(path: str | pathlib.Path, kind: str) -> list[dict[str, Any]]:
+    """Load generic experiment rows, checking the declared kind."""
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise ReproError(f"no result file at {file_path}")
+    data = json.loads(file_path.read_text())
+    if data.get("kind") != kind:
+        raise ReproError(
+            f"expected kind {kind!r}, file holds {data.get('kind')!r}"
+        )
+    return list(data["rows"])

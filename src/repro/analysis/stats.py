@@ -1,0 +1,101 @@
+"""Summary statistics for experiment results.
+
+Small, dependency-free implementations — enough for the tables the paper
+reports (means over iterations of concentrated distributions) plus the
+percentiles and normal-approximation confidence intervals a careful
+reader wants next to them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+class StatsError(ReproError):
+    """Raised for statistics over empty or malformed samples."""
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise StatsError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average-of-two for even lengths)."""
+    if not values:
+        raise StatsError("median of empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise StatsError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise StatsError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0:
+        return float(ordered[0])
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n−1 denominator; 0 for single values)."""
+    if not values:
+        raise StatsError("stdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStats:
+    """Five-number-plus summary of one metric across iterations."""
+
+    count: int
+    mean: float
+    median: float
+    p5: float
+    p95: float
+    stdev: float
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Normal-approximation 95% CI half-width of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(self.count)
+
+    def format(self, unit: str = "") -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.mean:.1f}{unit} ±{self.ci95_half_width:.1f} "
+            f"(median {self.median:.1f}, p5 {self.p5:.1f}, p95 {self.p95:.1f}, "
+            f"n={self.count})"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Build a :class:`SummaryStats` from raw samples."""
+    if not values:
+        raise StatsError("summarize of empty sequence")
+    return SummaryStats(
+        count=len(values),
+        mean=mean(values),
+        median=median(values),
+        p5=percentile(values, 5),
+        p95=percentile(values, 95),
+        stdev=stdev(values),
+    )

@@ -1,0 +1,339 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the experiment index in DESIGN.md:
+
+* ``figure1``   — the Fig. 1 node-count sweep on one testbed.
+* ``coverage``  — the NTX → coverage curve (§III non-linearity).
+* ``degrees``   — S4 cost vs polynomial degree (claim C4).
+* ``faults``    — collector-failure tolerance (ablation A1).
+* ``ablation``  — which S4 optimization buys what (ablation A2).
+* ``interference`` — robustness under D-Cube jamming levels (extension E1).
+* ``lifetime``  — battery lifetime projection (extension E2).
+* ``privacy``   — coalition experiment on a real-crypto round.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    run_degree_sweep,
+    run_fault_tolerance,
+    run_figure1,
+    run_interference_sweep,
+    run_lifetime_projection,
+    run_ntx_coverage_curve,
+    run_optimization_ablation,
+)
+from repro.analysis.reporting import format_figure1_table, format_table, to_csv
+from repro.core.config import CryptoMode
+from repro.topology.testbeds import testbed_by_name
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--testbed",
+        default="flocklab",
+        choices=["flocklab", "dcube"],
+        help="which testbed model to run on",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, help="rounds per data point"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="campaign seed"
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    parser.add_argument(
+        "--real-crypto",
+        action="store_true",
+        help="run the full AES data path instead of the stub codec",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the result as JSON (figure1 only)",
+    )
+
+
+def _crypto(args) -> CryptoMode:
+    return CryptoMode.REAL if args.real_crypto else CryptoMode.STUB
+
+
+def cmd_figure1(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    result = run_figure1(
+        spec,
+        iterations=args.iterations or 30,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    if args.save:
+        from repro.analysis.io import save_figure1
+
+        save_figure1(result, args.save)
+    if args.csv:
+        rows = [
+            {
+                "n": p.num_nodes,
+                "degree": p.degree,
+                "s3_latency_ms": p.s3_latency_ms.mean,
+                "s4_latency_ms": p.s4_latency_ms.mean,
+                "latency_ratio": p.latency_ratio,
+                "s3_radio_ms": p.s3_radio_ms.mean,
+                "s4_radio_ms": p.s4_radio_ms.mean,
+                "radio_ratio": p.radio_ratio,
+                "s3_success": p.s3_success,
+                "s4_success": p.s4_success,
+            }
+            for p in result.points
+        ]
+        print(to_csv(rows), end="")
+    else:
+        print(format_figure1_table(result))
+        head = result.full_network_point
+        print(
+            f"\nComplete network (n={head.num_nodes}): S4 is "
+            f"{head.latency_ratio:.1f}x faster and uses "
+            f"{head.radio_ratio:.1f}x less radio-on time than S3."
+        )
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    rows = run_ntx_coverage_curve(
+        spec, iterations=args.iterations or 20, seed=args.seed
+    )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                ["NTX", "mean reachable", "mean delivery", "full coverage"],
+                [
+                    [
+                        int(r["ntx"]),
+                        r["mean_reachable"],
+                        r["mean_delivery"],
+                        r["full_coverage_fraction"],
+                    ]
+                    for r in rows
+                ],
+                title=f"NTX coverage profile — {spec.name}",
+            )
+        )
+    return 0
+
+
+def cmd_degrees(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    rows = run_degree_sweep(
+        spec,
+        iterations=args.iterations or 15,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                ["degree", "chain", "latency ms", "radio ms", "success"],
+                [
+                    [
+                        int(r["degree"]),
+                        int(r["chain_length"]),
+                        r["latency_ms"],
+                        r["radio_ms"],
+                        r["success"],
+                    ]
+                    for r in rows
+                ],
+                title=f"S4 cost vs polynomial degree — {spec.name}",
+            )
+        )
+    return 0
+
+
+def cmd_faults(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    rows = run_fault_tolerance(
+        spec,
+        iterations=args.iterations or 15,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                ["failed collectors", "redundancy", "success fraction"],
+                [
+                    [
+                        int(r["failed_collectors"]),
+                        int(r["redundancy"]),
+                        r["success_fraction"],
+                    ]
+                    for r in rows
+                ],
+                title=f"S4 collector-failure tolerance — {spec.name}",
+            )
+        )
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    rows = run_optimization_ablation(
+        spec,
+        iterations=args.iterations or 10,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                ["variant", "latency ms", "radio ms"],
+                [[r["variant"], r["latency_ms"], r["radio_ms"]] for r in rows],
+                title=f"Optimization ablation — {spec.name}",
+            )
+        )
+    return 0
+
+
+def cmd_interference(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    rows = run_interference_sweep(
+        spec,
+        iterations=args.iterations or 8,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                [
+                    "jamming level",
+                    "S3 success",
+                    "S3 latency ms",
+                    "S4 success",
+                    "S4 latency ms",
+                ],
+                [
+                    [
+                        int(r["level"]),
+                        r["s3_success"],
+                        r["s3_latency_ms"],
+                        r["s4_success"],
+                        r["s4_latency_ms"],
+                    ]
+                    for r in rows
+                ],
+                title=f"Interference robustness — {spec.name} "
+                "(extension: D-Cube jamming levels)",
+            )
+        )
+    return 0
+
+
+def cmd_lifetime(args) -> int:
+    spec = testbed_by_name(args.testbed)
+    out = run_lifetime_projection(
+        spec,
+        rounds=args.iterations or 10,
+        seed=args.seed,
+        crypto_mode=_crypto(args),
+    )
+    print(
+        format_table(
+            ["variant", "projected lifetime (days)", "campaign reliability"],
+            [
+                ["S3", out["s3_lifetime_days"], f"{out['s3_reliability']:.2f}"],
+                ["S4", out["s4_lifetime_days"], f"{out['s4_reliability']:.2f}"],
+            ],
+            title=f"Battery lifetime projection — {spec.name} "
+            "(96 rounds/day, AA-class cell, first-node-death)",
+        )
+    )
+    print(f"\nS4 extends network lifetime {out['lifetime_gain']:.1f}x.")
+    return 0
+
+
+def cmd_privacy(args) -> int:
+    from repro.analysis.experiments import build_engines, round_secrets
+    from repro.privacy.analysis import run_protocol_coalition_experiment
+
+    spec = testbed_by_name(args.testbed)
+    _, s4 = build_engines(spec, crypto_mode=CryptoMode.REAL)
+    nodes = spec.topology.node_ids
+    secrets = round_secrets(nodes, 0)
+    degree = s4.config.degree
+    collectors = list(s4.bootstrap_for(nodes).collectors)
+
+    below = run_protocol_coalition_experiment(
+        s4, secrets, collectors[:degree], seed=args.seed
+    )
+    above = run_protocol_coalition_experiment(
+        s4, secrets, collectors[: degree + 1], seed=args.seed
+    )
+    print(
+        format_table(
+            ["coalition", "size", "breaches threshold", "secrets recovered"],
+            [
+                [
+                    "below threshold",
+                    below["coalition_size"],
+                    below["breaches_threshold"],
+                    len(below["recovered_secrets"]),
+                ],
+                [
+                    "above threshold",
+                    above["coalition_size"],
+                    above["breaches_threshold"],
+                    len(above["recovered_secrets"]),
+                ],
+            ],
+            title=f"Semi-honest coalition experiment — {spec.name} "
+            f"(degree {degree})",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Party Computation in IoT for "
+        "Privacy-Preservation' (Goyal & Saha, ICDCS 2022)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler, doc in (
+        ("figure1", cmd_figure1, "Fig. 1 node-count sweep (S3 vs S4)"),
+        ("coverage", cmd_coverage, "NTX coverage curve (§III)"),
+        ("degrees", cmd_degrees, "S4 cost vs polynomial degree"),
+        ("faults", cmd_faults, "collector-failure tolerance"),
+        ("ablation", cmd_ablation, "optimization split ablation"),
+        ("interference", cmd_interference, "jamming-level robustness (extension)"),
+        ("lifetime", cmd_lifetime, "battery lifetime projection (extension)"),
+        ("privacy", cmd_privacy, "coalition privacy experiment"),
+    ):
+        sub = subparsers.add_parser(name, help=doc)
+        _add_common(sub)
+        sub.set_defaults(handler=handler)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's contribution: SSS-over-MiniCast aggregation protocols.
+
+* :mod:`repro.core.config` — protocol configuration (field, degree,
+  crypto mode, radio parameters) and per-variant settings.
+* :mod:`repro.core.payload` — the packet data path: share encryption
+  (AES-128-CTR + CBC-MAC under pairwise keys) and sum-packet
+  serialization with contributor bitmaps.
+* :mod:`repro.core.bootstrap` — the bootstrapping phase: key
+  provisioning, NTX-coverage profiling, collector election, and
+  completion-time profiling for S4's truncated sharing schedule.
+* :mod:`repro.core.protocol` — the two-phase round engine shared by both
+  variants.
+* :mod:`repro.core.s3` — **S3**, the naive SSS mapping (n² sharing chain,
+  conservative full-coverage NTX, radios on all round).
+* :mod:`repro.core.s4` — **S4**, the scalable variant (collector-trimmed
+  chain, low profiled NTX, truncated schedule, early radio-off).
+* :mod:`repro.core.metrics` — per-node and per-round metric containers.
+"""
+
+from repro.core.config import CryptoMode, ProtocolConfig, S3Config, S4Config
+from repro.core.metrics import NodeMetrics, RoundMetrics
+from repro.core.s3 import S3Engine
+from repro.core.s4 import S4Engine
+
+__all__ = [
+    "CryptoMode",
+    "ProtocolConfig",
+    "S3Config",
+    "S4Config",
+    "NodeMetrics",
+    "RoundMetrics",
+    "S3Engine",
+    "S4Engine",
+]

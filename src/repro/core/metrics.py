@@ -1,0 +1,165 @@
+"""Metric containers for protocol rounds.
+
+The paper's two metrics:
+
+* **Latency** — "time required to obtain the final aggregation in each
+  node": sharing-phase schedule duration plus the node's
+  reconstruction-phase completion time.
+* **Radio-on time** — "time necessary to complete the communication
+  process in a round": the node's total TX + RX time across both phases.
+
+:class:`RoundMetrics` carries both per node, plus correctness
+book-keeping (did the node reconstruct, did it get the right value, whose
+secrets are inside), and offers the summary statistics the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True, slots=True)
+class NodeMetrics:
+    """One node's outcome for one aggregation round.
+
+    Attributes:
+        node: node id.
+        latency_us: time to the final aggregate at this node (None if the
+            node never reconstructed).
+        radio_on_us: TX + RX time over both phases.
+        tx_us / rx_us: the TX/RX split of ``radio_on_us``.
+        aggregate: the reconstructed sum (None on failure).
+        contributors: whose secrets the aggregate provably contains.
+        correct: aggregate equals the true sum over ``contributors``.
+    """
+
+    node: int
+    latency_us: int | None
+    radio_on_us: int
+    tx_us: int
+    rx_us: int
+    aggregate: int | None
+    contributors: frozenset[int]
+    correct: bool
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Network-wide outcome of one aggregation round."""
+
+    per_node: dict[int, NodeMetrics]
+    expected_aggregate: int
+    sources: frozenset[int]
+    sharing_duration_us: int
+    reconstruction_duration_us: int
+    sharing_slots: int
+    reconstruction_slots: int
+    chain_length_sharing: int
+    chain_length_reconstruction: int
+    failures: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.per_node:
+            raise ProtocolError("round produced no per-node metrics")
+
+    # -- success ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[int]:
+        """Sorted participating node ids."""
+        return sorted(self.per_node)
+
+    @property
+    def completed_nodes(self) -> list[int]:
+        """Nodes that obtained an aggregate."""
+        return [n for n, m in sorted(self.per_node.items()) if m.latency_us is not None]
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of nodes that reconstructed a correct aggregate."""
+        correct = sum(1 for m in self.per_node.values() if m.correct)
+        return correct / len(self.per_node)
+
+    @property
+    def all_correct(self) -> bool:
+        """Every node reconstructed the true aggregate of all sources."""
+        return all(
+            m.correct and m.contributors == self.sources
+            for m in self.per_node.values()
+        )
+
+    # -- the paper's metrics -----------------------------------------------------
+
+    def latencies_us(self) -> list[int]:
+        """Per-node latencies of nodes that completed."""
+        return [
+            m.latency_us
+            for m in self.per_node.values()
+            if m.latency_us is not None
+        ]
+
+    @property
+    def max_latency_us(self) -> int:
+        """Network latency: when the *last* node obtained the aggregate."""
+        latencies = self.latencies_us()
+        if not latencies:
+            raise ProtocolError("no node completed; latency undefined")
+        return max(latencies)
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean per-node latency over completing nodes."""
+        latencies = self.latencies_us()
+        if not latencies:
+            raise ProtocolError("no node completed; latency undefined")
+        return sum(latencies) / len(latencies)
+
+    @property
+    def mean_radio_on_us(self) -> float:
+        """Mean per-node radio-on time — the paper's energy proxy."""
+        values = [m.radio_on_us for m in self.per_node.values()]
+        return sum(values) / len(values)
+
+    @property
+    def max_radio_on_us(self) -> int:
+        """Worst-case per-node radio-on time."""
+        return max(m.radio_on_us for m in self.per_node.values())
+
+    @property
+    def total_schedule_us(self) -> int:
+        """End-to-end scheduled duration of the round."""
+        return self.sharing_duration_us + self.reconstruction_duration_us
+
+
+def summarize_rounds(rounds: Iterable[RoundMetrics]) -> dict[str, float]:
+    """Mean-of-rounds summary used by the experiment harness.
+
+    Latency figures are means over rounds of the per-round maximum (the
+    network is done when its slowest node is), radio-on figures are means
+    of per-round means; both in milliseconds to match the paper's axes.
+    """
+    rounds = list(rounds)
+    if not rounds:
+        raise ProtocolError("cannot summarize zero rounds")
+    completed = [r for r in rounds if r.latencies_us()]
+    summary = {
+        "rounds": float(len(rounds)),
+        "completed_rounds": float(len(completed)),
+        "success_fraction": sum(r.success_fraction for r in rounds) / len(rounds),
+        "all_correct_fraction": sum(1.0 for r in rounds if r.all_correct)
+        / len(rounds),
+        "mean_radio_on_ms": sum(r.mean_radio_on_us for r in rounds)
+        / len(rounds)
+        / 1000.0,
+    }
+    if completed:
+        summary["latency_ms"] = sum(r.max_latency_us for r in completed) / len(
+            completed
+        ) / 1000.0
+        summary["mean_node_latency_ms"] = sum(
+            r.mean_latency_us for r in completed
+        ) / len(completed) / 1000.0
+    return summary

@@ -1,0 +1,237 @@
+"""Packet data path: share encryption and sum serialization.
+
+This module is where bytes actually get built and parsed:
+
+* **Share packets** (sharing phase) — a field element packed into one
+  16-byte block, AES-128-CTR encrypted under the (source, destination)
+  pairwise key with a per-round nonce, plus a truncated CBC-MAC tag under
+  an independently derived MAC key.  The paper: "each packet is encrypted
+  using AES-128" with keys "already shared ... during the bootstrapping
+  phase".
+* **Sum packets** (reconstruction phase) — plain text per the paper
+  ("the reconstruction phase runs in plane text"): the field sum plus a
+  contributor bitmap that lets reconstructors group sums by contributor
+  set (the consistency mechanism DESIGN.md §5 describes).
+
+A :class:`StubShareCodec` with the same interface supports
+:class:`repro.core.config.CryptoMode.STUB` — identical sizes and layout,
+no cipher work — so big simulation sweeps don't pay for cryptography that
+cannot change the measured metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keystore import PairwiseKeyStore, derive_pairwise_key
+from repro.crypto.mac import cbc_mac, verify_mac
+from repro.crypto.modes import ctr_transform
+from repro.errors import AuthenticationError, CryptoError, PacketError
+from repro.field.prime_field import FieldElement, PrimeField
+
+#: Width of the encrypted share value field (one AES block).
+SHARE_BLOCK_BYTES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class SharePacket:
+    """Wire form of one sharing-phase sub-slot payload."""
+
+    source: int
+    destination: int
+    ciphertext: bytes
+    tag: bytes
+
+
+class RealShareCodec:
+    """AES-128-CTR + CBC-MAC share protection under pairwise keys.
+
+    Each node pair has two independent keys (encryption, MAC) derived
+    from the network master secret; the CTR nonce binds round, source and
+    destination so no (key, nonce) pair ever repeats across a campaign.
+    """
+
+    __slots__ = ("_enc_store", "_mac_store", "_tag_bytes")
+
+    def __init__(
+        self,
+        node_id: int,
+        peers,
+        master_secret: bytes,
+        tag_bytes: int = 4,
+    ):
+        self._enc_store = PairwiseKeyStore(node_id)
+        self._mac_store = PairwiseKeyStore(node_id)
+        for peer in peers:
+            if peer == node_id:
+                continue
+            self._enc_store.install_key(
+                peer, derive_pairwise_key(master_secret + b"|enc", node_id, peer)
+            )
+            self._mac_store.install_key(
+                peer, derive_pairwise_key(master_secret + b"|mac", node_id, peer)
+            )
+        self._tag_bytes = tag_bytes
+
+    @property
+    def node_id(self) -> int:
+        """The node this codec belongs to."""
+        return self._enc_store.node_id
+
+    @staticmethod
+    def _nonce(round_nonce: int, source: int, destination: int) -> bytes:
+        return (
+            round_nonce.to_bytes(8, "big")
+            + source.to_bytes(4, "big")
+            + destination.to_bytes(4, "big")
+        )
+
+    def encrypt_share(
+        self,
+        destination: int,
+        value: FieldElement,
+        round_nonce: int,
+    ) -> SharePacket:
+        """Encrypt one share destined for ``destination``."""
+        source = self.node_id
+        plaintext = value.value.to_bytes(SHARE_BLOCK_BYTES, "big")
+        cipher = self._enc_store.cipher_for(destination)
+        nonce = self._nonce(round_nonce, source, destination)
+        ciphertext = ctr_transform(cipher, nonce, plaintext)
+        mac_cipher = self._mac_store.cipher_for(destination)
+        tag = cbc_mac(mac_cipher, nonce + ciphertext, self._tag_bytes)
+        return SharePacket(
+            source=source, destination=destination, ciphertext=ciphertext, tag=tag
+        )
+
+    def decrypt_share(
+        self,
+        packet: SharePacket,
+        field: PrimeField,
+        round_nonce: int,
+    ) -> FieldElement:
+        """Authenticate and decrypt a share addressed to this node.
+
+        Raises :class:`AuthenticationError` on tag mismatch and
+        :class:`CryptoError` on a non-canonical decrypted value — both of
+        which a receiver treats as "drop the packet".
+        """
+        if packet.destination != self.node_id:
+            raise CryptoError(
+                f"packet for node {packet.destination} handed to node "
+                f"{self.node_id}"
+            )
+        nonce = self._nonce(round_nonce, packet.source, packet.destination)
+        mac_cipher = self._mac_store.cipher_for(packet.source)
+        verify_mac(mac_cipher, nonce + packet.ciphertext, packet.tag, self._tag_bytes)
+        cipher = self._enc_store.cipher_for(packet.source)
+        plaintext = ctr_transform(cipher, nonce, packet.ciphertext)
+        value = int.from_bytes(plaintext, "big")
+        if value >= field.prime:
+            raise CryptoError("decrypted share is not a canonical field element")
+        return field(value)
+
+
+class StubShareCodec:
+    """Zero-cost stand-in with identical packet shapes.
+
+    The "ciphertext" is the plaintext XORed with a (source, destination,
+    round) tag, so accidentally reading a stub packet at the wrong node
+    still fails loudly, and the tag is a 4-byte checksum.  Only for
+    metric sweeps; privacy tests always use :class:`RealShareCodec`.
+    """
+
+    __slots__ = ("_node_id", "_tag_bytes")
+
+    def __init__(self, node_id: int, tag_bytes: int = 4):
+        self._node_id = node_id
+        self._tag_bytes = tag_bytes
+
+    @property
+    def node_id(self) -> int:
+        """The node this codec belongs to."""
+        return self._node_id
+
+    @staticmethod
+    def _pad(round_nonce: int, source: int, destination: int) -> int:
+        mixed = (round_nonce * 0x9E3779B97F4A7C15 + source * 0x100000001B3 + destination) % (
+            1 << (8 * SHARE_BLOCK_BYTES)
+        )
+        return mixed
+
+    def encrypt_share(
+        self, destination: int, value: FieldElement, round_nonce: int
+    ) -> SharePacket:
+        """Tag-XOR 'encryption' with real packet dimensions."""
+        plaintext = value.value ^ self._pad(round_nonce, self._node_id, destination)
+        ciphertext = plaintext.to_bytes(SHARE_BLOCK_BYTES, "big")
+        tag = (sum(ciphertext) % 251).to_bytes(1, "big") * self._tag_bytes
+        return SharePacket(
+            source=self._node_id,
+            destination=destination,
+            ciphertext=ciphertext,
+            tag=tag,
+        )
+
+    def decrypt_share(
+        self, packet: SharePacket, field: PrimeField, round_nonce: int
+    ) -> FieldElement:
+        """Inverse of the tag-XOR; checks the checksum tag."""
+        if packet.destination != self._node_id:
+            raise CryptoError(
+                f"packet for node {packet.destination} handed to node "
+                f"{self._node_id}"
+            )
+        expected_tag = (sum(packet.ciphertext) % 251).to_bytes(1, "big") * self._tag_bytes
+        if packet.tag != expected_tag:
+            raise AuthenticationError("stub tag mismatch")
+        value = int.from_bytes(packet.ciphertext, "big") ^ self._pad(
+            round_nonce, packet.source, packet.destination
+        )
+        if value >= field.prime:
+            raise CryptoError("stub share is not a canonical field element")
+        return field(value)
+
+
+# -- reconstruction-phase sum packets (plain text) ----------------------------
+
+
+def encode_sum_packet(
+    total: FieldElement,
+    contributors,
+    num_nodes: int,
+    element_size: int,
+) -> bytes:
+    """Serialize a holder's (sum, contributor bitmap) payload."""
+    if any(c < 0 or c >= num_nodes for c in contributors):
+        raise PacketError("contributor id outside the network")
+    bitmap = 0
+    for contributor in contributors:
+        bitmap |= 1 << contributor
+    bitmap_bytes = (num_nodes + 7) // 8
+    return total.value.to_bytes(element_size, "big") + bitmap.to_bytes(
+        bitmap_bytes, "big"
+    )
+
+
+def decode_sum_packet(
+    payload: bytes,
+    field: PrimeField,
+    num_nodes: int,
+    element_size: int,
+) -> tuple[FieldElement, frozenset[int]]:
+    """Parse a sum packet back into (sum, contributor set)."""
+    bitmap_bytes = (num_nodes + 7) // 8
+    if len(payload) != element_size + bitmap_bytes:
+        raise PacketError(
+            f"sum packet must be {element_size + bitmap_bytes} bytes, "
+            f"got {len(payload)}"
+        )
+    value = int.from_bytes(payload[:element_size], "big")
+    if value >= field.prime:
+        raise PacketError("sum value is not a canonical field element")
+    bitmap = int.from_bytes(payload[element_size:], "big")
+    contributors = frozenset(
+        node for node in range(num_nodes) if (bitmap >> node) & 1
+    )
+    return field(value), contributors

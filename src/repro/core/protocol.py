@@ -1,0 +1,482 @@
+"""The two-phase SSS-over-MiniCast round engine.
+
+Both protocol variants execute the same pipeline; they differ only in the
+*parameters* each phase gets (destination set, NTX, schedule length,
+radio policy).  The pipeline per round:
+
+1. **Deal** — every source draws a random degree-p polynomial hiding its
+   secret and evaluates it at the public point of every destination.
+2. **Protect** — each evaluation is packed into a share packet
+   (AES-128-CTR + CBC-MAC under the pairwise key, or the stub codec).
+3. **Sharing phase** — one MiniCast round carries the chain of share
+   packets; destinations decrypt what reached them and fold it into
+   per-point share sums with contributor tracking.
+4. **Reconstruction phase** — a second MiniCast round floods each
+   holder's (sum, contributor bitmap) packet network-wide; every node
+   groups received sums by contributor set and Lagrange-interpolates the
+   aggregate from a consistent group.
+5. **Metrics** — per-node latency (sharing schedule + local
+   reconstruction completion) and radio-on time (TX + RX over both
+   phases), plus correctness against ground truth.
+
+The engine is deliberately oblivious to *why* the parameters are what
+they are — that knowledge lives in :mod:`repro.core.s3` /
+:mod:`repro.core.s4` and, for S4, in the bootstrap measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.crypto.prng import AesCtrDrbg
+from repro.ct.coverage import arm_offsets
+from repro.ct.minicast import (
+    MiniCastResult,
+    MiniCastRound,
+    RadioOffPolicy,
+    Requirement,
+)
+from repro.ct.packet import ChainLayout
+from repro.ct.slots import RoundSchedule
+from repro.errors import (
+    CryptoError,
+    FieldError,
+    ProtocolError,
+    ReconstructionError,
+)
+from repro.field.polynomial import Polynomial
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.link import LinkTable
+from repro.core.config import CryptoMode, ProtocolConfig
+from repro.core.metrics import NodeMetrics, RoundMetrics
+from repro.core.payload import (
+    RealShareCodec,
+    SharePacket,
+    StubShareCodec,
+    decode_sum_packet,
+    encode_sum_packet,
+)
+from repro.sss.aggregation import ShareAccumulator, reconstruct_aggregate
+from repro.sss.public_points import PublicPointRegistry
+from repro.sim.seeds import stable_seed
+from repro.sss.shares import Share
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Everything one MiniCast phase needs: schedule + policy."""
+
+    schedule: RoundSchedule
+    policy: RadioOffPolicy
+
+
+class AggregationEngine:
+    """Shared machinery; subclasses implement the planning hooks.
+
+    Args:
+        topology: node placement.
+        channel: propagation parameters.
+        config: shared protocol settings.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        channel: ChannelParameters,
+        config: ProtocolConfig,
+        interference=None,
+    ):
+        if len(topology) < config.threshold:
+            raise ProtocolError(
+                f"{len(topology)} nodes cannot support degree {config.degree} "
+                f"(need at least {config.threshold})"
+            )
+        self._topology = topology
+        self._channel_model = ChannelModel(channel)
+        self._config = config
+        self._interference = interference
+        self._registry = PublicPointRegistry(config.field, topology.node_ids)
+        self._links_cache: dict[int, LinkTable] = {}
+        self._codec_cache: dict[int, RealShareCodec | StubShareCodec] = {}
+
+    # -- shared infrastructure ---------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The deployment this engine runs on."""
+        return self._topology
+
+    @property
+    def config(self) -> ProtocolConfig:
+        """Shared protocol settings."""
+        return self._config
+
+    @property
+    def registry(self) -> PublicPointRegistry:
+        """Node → public point mapping."""
+        return self._registry
+
+    def links_for(self, frame_bytes: int) -> LinkTable:
+        """Link table at a given on-air frame size (cached)."""
+        table = self._links_cache.get(frame_bytes)
+        if table is None:
+            table = LinkTable(
+                self._topology.positions,
+                self._channel_model,
+                frame_bytes,
+                interference=self._interference,
+            )
+            self._links_cache[frame_bytes] = table
+        return table
+
+    def codec(self, node: int):
+        """The share codec (cipher + keys) node ``node`` was provisioned with."""
+        existing = self._codec_cache.get(node)
+        if existing is not None:
+            return existing
+        if self._config.crypto_mode is CryptoMode.REAL:
+            built = RealShareCodec(
+                node,
+                self._topology.node_ids,
+                self._config.master_secret,
+                tag_bytes=self._config.mac_tag_bytes,
+            )
+        else:
+            built = StubShareCodec(node, tag_bytes=self._config.mac_tag_bytes)
+        self._codec_cache[node] = built
+        return built
+
+    # -- variant hooks -------------------------------------------------------------
+
+    def destinations(self, sources: Sequence[int]) -> list[int]:
+        """Share destinations (every node for S3, collectors for S4)."""
+        raise NotImplementedError
+
+    def chain_sources(self, sources: Sequence[int]) -> list[int]:
+        """Which nodes get a sub-slot row reserved in the sharing chain.
+
+        S4 constructs the chain from bootstrapping knowledge, so only
+        actual sources get rows.  The naive S3 chain is static TDMA — "the
+        chain size is extended to contain n² sub-slots" — so every node
+        owns a row whether it sources data this round or not; unfilled
+        sub-slots are silence but still occupy airtime.
+        """
+        return list(sources)
+
+    def sharing_plan(self, layout: ChainLayout) -> PhasePlan:
+        """Schedule + policy of the sharing phase."""
+        raise NotImplementedError
+
+    def reconstruction_plan(self, layout: ChainLayout) -> PhasePlan:
+        """Schedule + policy of the reconstruction phase."""
+        raise NotImplementedError
+
+    @property
+    def variant_name(self) -> str:
+        """Short name used in reports ("S3"/"S4")."""
+        raise NotImplementedError
+
+    # -- the round ----------------------------------------------------------------
+
+    def run(
+        self,
+        secrets: Mapping[int, int],
+        seed: int,
+        sharing_failures: Mapping[int, int] | None = None,
+        reconstruction_failures: Mapping[int, int] | None = None,
+    ) -> RoundMetrics:
+        """Execute one full aggregation round.
+
+        Args:
+            secrets: source node → secret value.
+            seed: round seed; drives both crypto and channel randomness
+                through independent streams.
+            sharing_failures: node → sharing chain-slot at which it dies.
+            reconstruction_failures: same for the reconstruction phase.
+        """
+        config = self._config
+        field = config.field
+        degree = config.degree
+        sources = sorted(secrets)
+        if not sources:
+            raise ProtocolError("no sources given")
+        unknown = [s for s in sources if s not in self._topology]
+        if unknown:
+            raise ProtocolError(f"sources not in topology: {unknown}")
+        if len(sources) != len(set(sources)):
+            raise ProtocolError("duplicate sources")
+
+        destinations = self.destinations(sources)
+        if len(destinations) < config.threshold:
+            raise ProtocolError(
+                f"{len(destinations)} destinations cannot reach threshold "
+                f"{config.threshold}"
+            )
+
+        round_nonce = seed & ((1 << 64) - 1)
+        dealer_root = AesCtrDrbg.from_seed(f"round-{seed}")
+
+        # 1+2. Deal polynomials and build the encrypted sub-slot payloads.
+        layout = ChainLayout.sharing(self.chain_sources(sources), destinations)
+        payloads: dict[int, SharePacket] = {}
+        for src in sources:
+            polynomial = Polynomial.random_with_secret(
+                field,
+                secrets[src],
+                degree,
+                dealer_root.fork(f"dealer-{src}"),
+            )
+            src_codec = self.codec(src)
+            for dst in destinations:
+                value = polynomial(self._registry.point_of(dst))
+                if dst == src:
+                    # A node's share to itself never leaves the node; the
+                    # sub-slot still exists (and costs airtime) in the
+                    # naive static chain, but carries no cipher work.
+                    packet = SharePacket(
+                        source=src,
+                        destination=dst,
+                        ciphertext=value.value.to_bytes(16, "big"),
+                        tag=b"",
+                    )
+                else:
+                    packet = src_codec.encrypt_share(dst, value, round_nonce)
+                payloads[layout.index_of(src, dst)] = packet
+
+        # 3. Sharing phase.
+        plan = self.sharing_plan(layout)
+        links = self.links_for(
+            config.timings.phy_overhead_bytes + layout.psdu_bytes
+        )
+        sharing_round = MiniCastRound(
+            links,
+            plan.schedule,
+            capture=config.capture,
+            policy=plan.policy,
+            tx_probability=config.tx_probability,
+        )
+        # Only rows of actual sources carry data; reserved-but-unfilled
+        # rows (naive static chains) are silence nobody can receive.
+        filled = 0
+        for src in sources:
+            filled |= layout.source_mask(src)
+        initial = {
+            node: (layout.source_mask(node) if node in secrets else 0)
+            for node in self._topology.node_ids
+        }
+        requirements = {
+            dst: Requirement.all_of(layout.destination_mask(dst) & filled)
+            for dst in destinations
+        }
+        sharing_result = sharing_round.run(
+            random.Random(stable_seed(seed, "sharing")),
+            initial_knowledge=initial,
+            requirements=requirements,
+            initiators=[sources[0]],
+            failures=sharing_failures,
+            arm_schedule=arm_offsets(links, sources[0]),
+        )
+
+        failed_in_sharing = set(sharing_result.failures)
+        alive_after_sharing = set(self._topology.node_ids) - failed_in_sharing
+
+        # Decrypt and fold into per-point sums.
+        accumulators: dict[int, ShareAccumulator] = {}
+        for dst in destinations:
+            if dst not in alive_after_sharing:
+                continue
+            dst_codec = self.codec(dst)
+            point = self._registry.point_of(dst)
+            accumulator = ShareAccumulator.empty(point)
+            view = sharing_result.knowledge[dst] & layout.destination_mask(dst)
+            while view:
+                low_bit = view & -view
+                index = low_bit.bit_length() - 1
+                view ^= low_bit
+                packet = payloads[index]
+                try:
+                    if packet.source == dst:
+                        value = field.element_from_bytes(
+                            packet.ciphertext[-field.element_size_bytes :]
+                        )
+                    else:
+                        value = dst_codec.decrypt_share(
+                            packet, field, round_nonce
+                        )
+                except (CryptoError, FieldError):
+                    continue  # corrupted/forged packet: drop
+                accumulator.add(
+                    Share(dealer_id=packet.source, x=point, y=value)
+                )
+            if accumulator.contributors:
+                accumulators[dst] = accumulator
+
+        if not accumulators:
+            raise ProtocolError(
+                "no destination received a single share; the sharing NTX "
+                "is catastrophically low for this deployment"
+            )
+
+        # 4. Reconstruction phase.
+        holders = sorted(accumulators)
+        recon_layout = ChainLayout.reconstruction(
+            holders,
+            num_nodes=max(self._topology.node_ids) + 1,
+            element_size=field.element_size_bytes,
+        )
+        sum_payloads: dict[int, bytes] = {}
+        for holder in holders:
+            accumulator = accumulators[holder]
+            sum_payloads[recon_layout.index_of(holder, None)] = encode_sum_packet(
+                accumulator.total,
+                accumulator.contributors,
+                num_nodes=max(self._topology.node_ids) + 1,
+                element_size=field.element_size_bytes,
+            )
+
+        recon_plan = self.reconstruction_plan(recon_layout)
+        recon_links = self.links_for(
+            config.timings.phy_overhead_bytes + recon_layout.psdu_bytes
+        )
+        recon_round = MiniCastRound(
+            recon_links,
+            recon_plan.schedule,
+            capture=config.capture,
+            policy=recon_plan.policy,
+            tx_probability=config.tx_probability,
+        )
+        recon_initial = {
+            node: (
+                recon_layout.source_mask(node) if node in accumulators else 0
+            )
+            for node in self._topology.node_ids
+        }
+        recon_requirement = Requirement.count_of(
+            recon_layout.full_mask(), min(config.threshold, len(holders))
+        )
+        recon_requirements = {
+            node: recon_requirement for node in alive_after_sharing
+        }
+        recon_result = recon_round.run(
+            random.Random(stable_seed(seed, "reconstruction")),
+            initial_knowledge=recon_initial,
+            requirements=recon_requirements,
+            initiators=[holders[0]],
+            alive=alive_after_sharing,
+            failures=reconstruction_failures,
+            arm_schedule=arm_offsets(recon_links, holders[0]),
+        )
+
+        # 5. Per-node reconstruction and metrics.
+        return self._assemble_metrics(
+            secrets=secrets,
+            sources=sources,
+            layout=layout,
+            recon_layout=recon_layout,
+            sum_payloads=sum_payloads,
+            sharing_result=sharing_result,
+            recon_result=recon_result,
+        )
+
+    # -- metric assembly -------------------------------------------------------
+
+    def _assemble_metrics(
+        self,
+        secrets: Mapping[int, int],
+        sources: list[int],
+        layout: ChainLayout,
+        recon_layout: ChainLayout,
+        sum_payloads: dict[int, bytes],
+        sharing_result: MiniCastResult,
+        recon_result: MiniCastResult,
+    ) -> RoundMetrics:
+        config = self._config
+        field = config.field
+        degree = config.degree
+        num_nodes = max(self._topology.node_ids) + 1
+        expected = field.sum(secrets[s] for s in sources)
+        sharing_duration = sharing_result.schedule.round_duration_us
+        all_failures = dict(sharing_result.failures)
+        all_failures.update(recon_result.failures)
+
+        per_node: dict[int, NodeMetrics] = {}
+        for node in self._topology.node_ids:
+            tx_us = sharing_result.tx_us.get(node, 0) + recon_result.tx_us.get(
+                node, 0
+            )
+            rx_us = sharing_result.rx_us.get(node, 0) + recon_result.rx_us.get(
+                node, 0
+            )
+            aggregate: int | None = None
+            contributors: frozenset[int] = frozenset()
+            correct = False
+            latency: int | None = None
+
+            dead = node in all_failures
+            if not dead:
+                view = recon_result.knowledge.get(node, 0)
+                sums: list[ShareAccumulator] = []
+                bits = view
+                while bits:
+                    low_bit = bits & -bits
+                    index = low_bit.bit_length() - 1
+                    bits ^= low_bit
+                    holder = recon_layout.spec(index).source
+                    value, contributor_set = decode_sum_packet(
+                        sum_payloads[index],
+                        field,
+                        num_nodes=num_nodes,
+                        element_size=field.element_size_bytes,
+                    )
+                    sums.append(
+                        ShareAccumulator(
+                            x=self._registry.point_of(holder),
+                            total=value,
+                            contributors=set(contributor_set),
+                        )
+                    )
+                try:
+                    result = reconstruct_aggregate(field, sums, degree)
+                except (ReconstructionError, ProtocolError):
+                    result = None
+                if result is not None:
+                    aggregate = result.value.value
+                    contributors = result.contributors
+                    truth = field.sum(
+                        secrets[s] for s in contributors if s in secrets
+                    )
+                    correct = (
+                        bool(contributors)
+                        and contributors <= frozenset(sources)
+                        and aggregate == truth.value
+                    )
+                    completion = recon_result.completion_us(node)
+                    if completion is not None:
+                        latency = sharing_duration + completion
+
+            per_node[node] = NodeMetrics(
+                node=node,
+                latency_us=latency,
+                radio_on_us=tx_us + rx_us,
+                tx_us=tx_us,
+                rx_us=rx_us,
+                aggregate=aggregate,
+                contributors=contributors,
+                correct=correct,
+            )
+
+        return RoundMetrics(
+            per_node=per_node,
+            expected_aggregate=expected.value,
+            sources=frozenset(sources),
+            sharing_duration_us=sharing_duration,
+            reconstruction_duration_us=recon_result.schedule.round_duration_us,
+            sharing_slots=sharing_result.schedule.num_slots,
+            reconstruction_slots=recon_result.schedule.num_slots,
+            chain_length_sharing=len(layout),
+            chain_length_reconstruction=len(recon_layout),
+            failures=all_failures,
+        )

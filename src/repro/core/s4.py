@@ -1,0 +1,147 @@
+"""S4 — the scalable SSS variant (the paper's contribution).
+
+Three optimizations over S3, all enabled by the low polynomial degree
+``p`` and the bootstrapping measurements:
+
+1. **Trimmed chain** — shares go only to ``m = p + 1 + redundancy``
+   elected collectors, shrinking the sharing chain from ``s × n`` to
+   ``s × m`` sub-slots.
+2. **Low NTX + truncated schedule** — the sharing flood runs at the
+   profiled low NTX (6 on FlockLab, 5 on DCube) and the round is cut at
+   the bootstrap-measured completion quantile instead of the worst-case
+   budget bound ("the process completes fast with low NTX and enters the
+   reconstruction phase").
+3. **Early radio-off** — nodes power down as soon as their budget is
+   spent and their local requirement met (Glossy-style termination).
+
+Fault tolerance falls out of the redundancy: any ``p + 1`` collectors
+with consistent contributor sets reconstruct, so ``redundancy`` collector
+failures are survivable by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ct.minicast import RadioOffPolicy
+from repro.ct.packet import ChainLayout, sharing_psdu_bytes
+from repro.ct.slots import RoundSchedule
+from repro.core.bootstrap import S4Bootstrap, bootstrap_s4, network_depth
+from repro.core.config import S4Config
+from repro.core.protocol import AggregationEngine, PhasePlan
+from repro.errors import BootstrapError
+from repro.phy.channel import ChannelParameters
+from repro.topology.graph import Topology
+from repro.topology.testbeds import TestbedSpec
+
+
+class S4Engine(AggregationEngine):
+    """The scalable protocol variant.
+
+    The engine bootstraps lazily per source-set signature: collector
+    election depends on who may source data, and the truncated schedule
+    depends on the resulting chain — both are commissioning-time
+    measurements in a real deployment.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        channel: ChannelParameters,
+        config: S4Config,
+        interference=None,
+    ):
+        super().__init__(topology, channel, config.base, interference=interference)
+        self._s4 = config
+        self._depth: int | None = None
+        self._bootstrap_cache: dict[tuple[int, ...], S4Bootstrap] = {}
+        self._current_bootstrap: S4Bootstrap | None = None
+
+    @classmethod
+    def for_testbed(cls, spec: TestbedSpec, config: S4Config | None = None) -> "S4Engine":
+        """Build an S4 engine with the paper's testbed parameters."""
+        return cls(
+            spec.topology,
+            spec.channel,
+            config if config is not None else S4Config.for_testbed(spec),
+        )
+
+    @property
+    def s4_config(self) -> S4Config:
+        """Variant-specific settings."""
+        return self._s4
+
+    @property
+    def variant_name(self) -> str:
+        """Report label."""
+        return "S4"
+
+    def _network_depth(self) -> int:
+        if self._depth is None:
+            frame = self.config.timings.phy_overhead_bytes + sharing_psdu_bytes()
+            self._depth = network_depth(self.links_for(frame))
+        return self._depth
+
+    # -- bootstrapping ---------------------------------------------------------
+
+    def bootstrap_for(self, sources: Sequence[int]) -> S4Bootstrap:
+        """Bootstrap measurements for a given source set (cached)."""
+        key = tuple(sorted(sources))
+        cached = self._bootstrap_cache.get(key)
+        if cached is not None:
+            return cached
+        frame = self.config.timings.phy_overhead_bytes + sharing_psdu_bytes()
+        links = self.links_for(frame)
+        result = bootstrap_s4(
+            links=links,
+            timings=self.config.timings,
+            sources=list(key),
+            # Redundancy is clamped by the deployment size: a subnetwork of
+            # n nodes can never field more than n collectors.
+            num_collectors=min(self._s4.num_collectors, len(self._topology)),
+            sharing_ntx=self._s4.sharing_ntx,
+            capture=self.config.capture,
+            tx_probability=self.config.tx_probability,
+            collector_threshold=self._s4.collector_threshold,
+            completion_quantile=self._s4.completion_quantile,
+            slack_slots=self._s4.sharing_slack_slots,
+            iterations=self._s4.bootstrap_iterations,
+            seed=self._s4.bootstrap_seed,
+            satisfy_count=self.config.threshold,
+        )
+        self._bootstrap_cache[key] = result
+        return result
+
+    # -- variant hooks -----------------------------------------------------------
+
+    def destinations(self, sources: Sequence[int]) -> list[int]:
+        """The elected collectors for this source set."""
+        bootstrap = self.bootstrap_for(sources)
+        self._current_bootstrap = bootstrap
+        return list(bootstrap.collectors)
+
+    def sharing_plan(self, layout: ChainLayout) -> PhasePlan:
+        """Truncated schedule at the low NTX, early radio-off."""
+        bootstrap = self._current_bootstrap
+        if bootstrap is None:
+            raise BootstrapError("sharing_plan called before destinations()")
+        schedule = RoundSchedule(
+            chain_length=len(layout),
+            psdu_bytes=layout.psdu_bytes,
+            ntx=self._s4.sharing_ntx,
+            num_slots=bootstrap.sharing_slots,
+            timings=self.config.timings,
+        )
+        return PhasePlan(schedule=schedule, policy=RadioOffPolicy.EARLY_OFF)
+
+    def reconstruction_plan(self, layout: ChainLayout) -> PhasePlan:
+        """Full-coverage flood of the m sums, early radio-off."""
+        schedule = RoundSchedule.plan(
+            chain_length=len(layout),
+            psdu_bytes=layout.psdu_bytes,
+            ntx=self._s4.reconstruction_ntx,
+            depth_hint=self._network_depth(),
+            timings=self.config.timings,
+            slack=self.config.slack_slots,
+        )
+        return PhasePlan(schedule=schedule, policy=RadioOffPolicy.EARLY_OFF)

@@ -1,0 +1,216 @@
+"""AES-128 block cipher, pure Python, from scratch (FIPS-197).
+
+The paper's sharing phase encrypts each MiniCast sub-slot packet with
+AES-128 under a pairwise key.  nRF52840 does this in hardware; we implement
+the same algorithm in software.  The implementation favours clarity over
+speed — it is table-driven only for the S-boxes, with MixColumns done via
+``xtime`` exactly as the standard describes — and is validated against the
+FIPS-197 and SP 800-38A known-answer vectors in the test suite.
+
+Security note: this is a *simulation fidelity* component, not hardened
+code — no constant-time guarantees are attempted (nor needed here).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+#: AES block size in bytes.
+BLOCK_SIZE = 16
+#: AES-128 key size in bytes.
+KEY_SIZE = 16
+
+_ROUNDS = 10
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box and its inverse from first principles.
+
+    Each entry is the multiplicative inverse in GF(2^8) followed by the
+    affine transformation from FIPS-197 §5.1.1.  Building the table instead
+    of pasting 256 magic numbers keeps the implementation auditable.
+    """
+    # Multiplicative inverses in GF(2^8) with the AES polynomial 0x11B,
+    # computed via log/antilog tables over the generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by generator 3 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inverse = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i
+        result = 0
+        for bit in range(8):
+            b = (
+                (inverse >> bit)
+                ^ (inverse >> ((bit + 4) % 8))
+                ^ (inverse >> ((bit + 5) % 8))
+                ^ (inverse >> ((bit + 6) % 8))
+                ^ (inverse >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            result |= b << bit
+        sbox[value] = result
+
+    inv_sbox = bytearray(256)
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants for key expansion (rcon[i] = x^(i-1) in GF(2^8)).
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook, used by InvMixColumns)."""
+    product = 0
+    while b:
+        if b & 1:
+            product ^= a
+        a = _xtime(a)
+        b >>= 1
+    return product
+
+
+class AES128:
+    """AES-128 with a fixed expanded key schedule.
+
+    >>> cipher = AES128(bytes(range(16)))
+    >>> block = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(block) == bytes(16)
+    True
+    """
+
+    __slots__ = ("_round_keys",)
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """FIPS-197 key expansion: 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (_ROUNDS + 1)):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]  # RotWord
+                word = [_SBOX[b] for b in word]  # SubWord
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], word)])
+        round_keys = []
+        for r in range(_ROUNDS + 1):
+            key_bytes: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                key_bytes.extend(w)
+            round_keys.append(key_bytes)
+        return round_keys
+
+    # State layout: list of 16 ints, column-major as in FIPS-197
+    # (state[r + 4*c] is row r, column c) — matching the byte order of the
+    # input block laid out column by column.
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # Row r shifts left by r positions.
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            total = col[0] ^ col[1] ^ col[2] ^ col[3]
+            first = col[0]
+            state[4 * c + 0] = col[0] ^ total ^ _xtime(col[0] ^ col[1])
+            state[4 * c + 1] = col[1] ^ total ^ _xtime(col[1] ^ col[2])
+            state[4 * c + 2] = col[2] ^ total ^ _xtime(col[2] ^ col[3])
+            state[4 * c + 3] = col[3] ^ total ^ _xtime(col[3] ^ first)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _mul(a0, 14) ^ _mul(a1, 11) ^ _mul(a2, 13) ^ _mul(a3, 9)
+            state[4 * c + 1] = _mul(a0, 9) ^ _mul(a1, 14) ^ _mul(a2, 11) ^ _mul(a3, 13)
+            state[4 * c + 2] = _mul(a0, 13) ^ _mul(a1, 9) ^ _mul(a2, 14) ^ _mul(a3, 11)
+            state[4 * c + 3] = _mul(a0, 11) ^ _mul(a1, 13) ^ _mul(a2, 9) ^ _mul(a3, 14)
+
+    def _add_round_key(self, state: list[int], round_index: int) -> None:
+        round_key = self._round_keys[round_index]
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, 0)
+        for round_index in range(1, _ROUNDS):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, _ROUNDS)
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, _ROUNDS)
+        for round_index in range(_ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, round_index)
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, 0)
+        return bytes(state)

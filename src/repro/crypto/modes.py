@@ -1,0 +1,96 @@
+"""Block-cipher modes of operation on top of :class:`AES128`.
+
+CTR is the packet cipher: the sharing-phase sub-slot payload is a single
+field element, and CTR turns AES into a stream cipher so payloads need no
+padding and ciphertext length equals plaintext length (which keeps the
+802.15.4 air-time model honest).  CBC exists to support CBC-MAC.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.errors import CryptoError
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ctr_keystream(cipher: AES128, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes for a 16-byte initial counter.
+
+    The full 16-byte ``nonce`` is the initial counter block; successive
+    blocks increment it as a big-endian 128-bit integer (wrapping), per
+    SP 800-38A.
+    """
+    if len(nonce) != BLOCK_SIZE:
+        raise CryptoError(f"CTR nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}")
+    if length < 0:
+        raise CryptoError(f"keystream length must be >= 0, got {length}")
+    counter = int.from_bytes(nonce, "big")
+    stream = bytearray()
+    while len(stream) < length:
+        block = counter.to_bytes(BLOCK_SIZE, "big")
+        stream.extend(cipher.encrypt_block(block))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(stream[:length])
+
+
+def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operation is its own
+    inverse)."""
+    return _xor_bytes(data, ctr_keystream(cipher, nonce, len(data)))
+
+
+def cbc_encrypt(cipher: AES128, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC-encrypt a block-aligned plaintext."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"CBC IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if len(plaintext) % BLOCK_SIZE != 0:
+        raise CryptoError(
+            f"CBC plaintext must be a multiple of {BLOCK_SIZE} bytes, "
+            f"got {len(plaintext)}"
+        )
+    previous = iv
+    ciphertext = bytearray()
+    for offset in range(0, len(plaintext), BLOCK_SIZE):
+        block = _xor_bytes(plaintext[offset : offset + BLOCK_SIZE], previous)
+        previous = cipher.encrypt_block(block)
+        ciphertext.extend(previous)
+    return bytes(ciphertext)
+
+
+def cbc_decrypt(cipher: AES128, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC-decrypt a block-aligned ciphertext."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"CBC IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise CryptoError(
+            f"CBC ciphertext must be a multiple of {BLOCK_SIZE} bytes, "
+            f"got {len(ciphertext)}"
+        )
+    previous = iv
+    plaintext = bytearray()
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        plaintext.extend(_xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    return bytes(plaintext)
+
+
+def pad_pkcs7(data: bytes) -> bytes:
+    """PKCS#7-pad ``data`` up to the next block boundary."""
+    pad_length = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([pad_length]) * pad_length
+
+
+def unpad_pkcs7(data: bytes) -> bytes:
+    """Strip PKCS#7 padding, validating every pad byte."""
+    if not data or len(data) % BLOCK_SIZE != 0:
+        raise CryptoError("invalid PKCS#7 input length")
+    pad_length = data[-1]
+    if not 1 <= pad_length <= BLOCK_SIZE:
+        raise CryptoError("invalid PKCS#7 pad length")
+    if data[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise CryptoError("corrupt PKCS#7 padding")
+    return data[:-pad_length]

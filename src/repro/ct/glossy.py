@@ -1,0 +1,212 @@
+"""Glossy: the single-packet concurrent-transmission flood.
+
+Glossy (Zimmerling et al., IPSN 2011) floods one packet network-wide:
+the initiator transmits, every receiver retransmits in the next slot,
+concurrent retransmissions interfere non-destructively, and each node
+transmits at most NTX times.  The paper's system uses Glossy-class floods
+for bootstrapping (time sync, control signalling); MiniCast generalizes
+the same engine to chains.
+
+The simulation is slot-synchronous: one packet air-time per slot, the
+reception-triggers-transmission rule, and the capture/diversity model
+from :mod:`repro.phy.capture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.phy.capture import CaptureModel
+from repro.phy.link import LinkTable
+from repro.phy.radio import RadioTimings
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True, slots=True)
+class GlossyResult:
+    """Outcome of one flood.
+
+    Attributes:
+        received: node → slot index at which it first received the packet
+            (0 = the initiator's own slot); missing nodes never received.
+        slots_run: how many slots the flood actually used.
+        num_slots: the scheduled upper bound.
+        slot_us: duration of one slot.
+        tx_us / rx_us: per-node radio time split.
+    """
+
+    received: dict[int, int]
+    slots_run: int
+    num_slots: int
+    slot_us: int
+    tx_us: dict[int, int] = field(default_factory=dict)
+    rx_us: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of nodes that received the packet."""
+        return len(self.received) / max(len(self.tx_us), 1)
+
+    def latency_us(self, node: int) -> int | None:
+        """Time at which ``node`` first held the packet, or None."""
+        slot = self.received.get(node)
+        if slot is None:
+            return None
+        return (slot + 1) * self.slot_us
+
+
+class GlossyFlood:
+    """One configured Glossy flood, runnable many times with fresh RNG.
+
+    Args:
+        links: precomputed link table (PRRs at the flood's frame size).
+        initiator: the node that owns the packet.
+        ntx: per-node transmission budget.
+        psdu_bytes: packet payload size.
+        timings: radio timing model.
+        num_slots: scheduled slot count; defaults to ``2 * ntx +
+            network-size heuristic`` via the caller; must be explicit.
+        capture: concurrent-reception model.
+    """
+
+    __slots__ = (
+        "_links",
+        "_initiator",
+        "_ntx",
+        "_num_slots",
+        "_slot_us",
+        "_capture",
+        "_rx_order",
+        "_prr",
+    )
+
+    def __init__(
+        self,
+        links: LinkTable,
+        initiator: int,
+        ntx: int,
+        psdu_bytes: int,
+        timings: RadioTimings,
+        num_slots: int,
+        capture: CaptureModel | None = None,
+    ):
+        if initiator not in links.node_ids:
+            raise ConfigurationError(f"initiator {initiator} not in link table")
+        if ntx < 1:
+            raise ConfigurationError(f"ntx must be >= 1, got {ntx}")
+        if num_slots < 1:
+            raise ConfigurationError(f"num_slots must be >= 1, got {num_slots}")
+        self._links = links
+        self._initiator = initiator
+        self._ntx = ntx
+        self._num_slots = num_slots
+        self._slot_us = timings.packet_slot_us(psdu_bytes)
+        self._capture = capture or CaptureModel()
+        # Precompute, per receiver, all candidate transmitters strongest
+        # first, so the hot loop never sorts.
+        self._prr = {node: links.prr_row(node) for node in links.node_ids}
+        self._rx_order = {
+            dst: sorted(
+                (src for src in links.node_ids if src != dst),
+                key=lambda src: self._prr[src][dst],
+                reverse=True,
+            )
+            for dst in links.node_ids
+        }
+
+    def run(
+        self,
+        rng,
+        alive: set[int] | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> GlossyResult:
+        """Execute the flood once; all randomness from ``rng``."""
+        nodes = self._links.node_ids
+        alive = set(nodes) if alive is None else alive
+        capture = self._capture
+        floor = capture.prr_floor
+        max_div = capture.max_diversity
+
+        has_packet = {node: False for node in nodes}
+        pending_tx = {node: False for node in nodes}
+        tx_count = {node: 0 for node in nodes}
+        received_at: dict[int, int] = {}
+        tx_us = {node: 0 for node in nodes}
+        rx_us = {node: 0 for node in nodes}
+
+        if self._initiator in alive:
+            has_packet[self._initiator] = True
+            pending_tx[self._initiator] = True
+            received_at[self._initiator] = 0
+
+        slots_run = 0
+        for slot in range(self._num_slots):
+            transmitters = [
+                node
+                for node in nodes
+                if node in alive
+                and pending_tx[node]
+                and tx_count[node] < self._ntx
+                and has_packet[node]
+            ]
+            if not transmitters:
+                # Reception is the only thing that sets pending_tx, so an
+                # all-quiet slot is quiet forever: account the idle tail
+                # for still-listening nodes and stop simulating.
+                break
+            slots_run = slot + 1
+            tx_set = set(transmitters)
+            for node in transmitters:
+                pending_tx[node] = False
+                tx_count[node] += 1
+                tx_us[node] += self._slot_us
+                if trace is not None:
+                    trace.record(slot * self._slot_us, node, "glossy_tx")
+
+            for node in nodes:
+                if node not in alive or node in tx_set:
+                    continue
+                rx_us[node] += self._slot_us
+                # Strongest-first independent attempts, capped.
+                success = False
+                attempts = 0
+                for src in self._rx_order[node]:
+                    if src not in tx_set:
+                        continue
+                    prr = self._prr[src][node]
+                    if prr <= floor:
+                        break  # sorted descending: the rest are weaker
+                    attempts += 1
+                    if rng.random() < prr:
+                        success = True
+                        break
+                    if attempts >= max_div:
+                        break
+                if success:
+                    if not has_packet[node]:
+                        has_packet[node] = True
+                        received_at[node] = slot
+                        if trace is not None:
+                            trace.record(
+                                slot * self._slot_us, node, "glossy_rx_first"
+                            )
+                    if tx_count[node] < self._ntx:
+                        pending_tx[node] = True
+
+        # Idle-listening tail up to the scheduled end for alive nodes:
+        # real Glossy keeps the radio on for the whole scheduled flood
+        # unless told otherwise.
+        for node in nodes:
+            if node in alive:
+                listened = tx_us[node] + rx_us[node]
+                rx_us[node] += self._num_slots * self._slot_us - listened
+
+        return GlossyResult(
+            received=received_at,
+            slots_run=slots_run,
+            num_slots=self._num_slots,
+            slot_us=self._slot_us,
+            tx_us=tx_us,
+            rx_us=rx_us,
+        )

@@ -1,0 +1,437 @@
+"""MiniCast: many-to-many data sharing over a chain of packets.
+
+MiniCast (Saha et al., DCOSS 2017) extends Glossy from one packet to a
+*chain* of sub-slot packets transmitted back-to-back.  Every node that is
+triggered (hears a chain) transmits its own view of the chain — the
+sub-slots it originates plus every sub-slot it has received so far — in
+the next chain slot, up to NTX chain transmissions.  Because a sub-slot's
+content is immutable (set by its source), concurrent transmitters send
+*identical* packets in any sub-slot they both know, which is exactly the
+condition Glossy-style constructive interference needs.
+
+Simulation model (slot-synchronous, one event per chain slot):
+
+* a node's chain view is a bit mask over sub-slot indices (one big int);
+* per (listener, slot): concurrent transmitters are tried strongest
+  first; each contributes an independent Bernoulli(PRR) *mask* of
+  delivered sub-slots (sampled in O(precision) big-int ops via
+  :mod:`repro.sim.bitrandom`), and each sub-slot accepts attempts from at
+  most ``max_diversity`` transmitters *that know it* — the capture cap is
+  per packet, not per node, tracked with saturating bit-plane counters;
+* decoding at least one sub-slot arms the listener, which then transmits
+  in each following slot with probability ``tx_probability`` until its
+  NTX budget is spent.  The randomized transmit decision is how
+  Chaos/Mixer-class many-to-many CT protocols desynchronize the network;
+  a deterministic transmit-after-reception rule phase-locks the network
+  into two alternating crowds and data from all but the strongest
+  transmitters never propagates (we reproduce that pathology in tests);
+* radio accounting: a transmitter spends ``popcount(view) × packet`` time
+  in TX and the rest of the chain slot in RX; a listener spends the whole
+  chain slot in RX; a node whose radio is off spends nothing.
+
+Two radio-off policies mirror S3 vs S4:
+
+* ``ALWAYS_ON`` — the naive schedule: every alive node keeps its radio on
+  until the scheduled end of the round.
+* ``EARLY_OFF`` — Glossy-style termination: a node switches off once it
+  has (a) spent its NTX budget and (b) satisfied its local reception
+  requirement, since it can contribute nothing further.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.phy.capture import CaptureModel
+from repro.phy.link import LinkTable
+from repro.ct.slots import RoundSchedule
+from repro.sim.bitrandom import random_bitmask
+from repro.sim.trace import TraceRecorder
+
+
+class RadioOffPolicy(enum.Enum):
+    """When a node may power its radio down within a round."""
+
+    ALWAYS_ON = "always_on"
+    EARLY_OFF = "early_off"
+
+
+@dataclass(frozen=True, slots=True)
+class Requirement:
+    """A node's local reception goal: ``min_count`` sub-slots of ``mask``.
+
+    ``min_count == popcount(mask)`` means "all of them"; the sharing phase
+    uses that form, the reconstruction phase uses ``min_count = degree+1``
+    over the holders' mask.
+    """
+
+    mask: int
+    min_count: int
+
+    @classmethod
+    def all_of(cls, mask: int) -> "Requirement":
+        """Require every sub-slot in ``mask``."""
+        return cls(mask=mask, min_count=mask.bit_count())
+
+    @classmethod
+    def count_of(cls, mask: int, min_count: int) -> "Requirement":
+        """Require any ``min_count`` sub-slots of ``mask``."""
+        if min_count > mask.bit_count():
+            raise ConfigurationError(
+                f"min_count {min_count} exceeds mask population {mask.bit_count()}"
+            )
+        return cls(mask=mask, min_count=min_count)
+
+    @classmethod
+    def nothing(cls) -> "Requirement":
+        """No reception requirement (pure source/relay)."""
+        return cls(mask=0, min_count=0)
+
+    def satisfied_by(self, knowledge: int) -> bool:
+        """Whether ``knowledge`` meets this requirement."""
+        if self.min_count == 0:
+            return True
+        return (knowledge & self.mask).bit_count() >= self.min_count
+
+
+@dataclass(frozen=True)
+class MiniCastResult:
+    """Outcome of one MiniCast round.
+
+    Attributes:
+        knowledge: node → final chain-view bit mask.
+        completion_slot: node → chain-slot index at whose end the node's
+            requirement was first satisfied (−1 if satisfied at start,
+            ``None`` if never).
+        tx_us / rx_us: per-node radio time split over the round.
+        radio_off_slot: node → slot after which it powered down (None if
+            it stayed on to the scheduled end).
+        slots_run: chain slots actually simulated before network-quiet.
+        schedule: the round schedule that was executed.
+    """
+
+    knowledge: dict[int, int]
+    completion_slot: dict[int, int | None]
+    tx_us: dict[int, int]
+    rx_us: dict[int, int]
+    radio_off_slot: dict[int, int | None]
+    slots_run: int
+    schedule: RoundSchedule
+    failures: dict[int, int] = field(default_factory=dict)
+
+    def completion_us(self, node: int) -> int | None:
+        """Time at which ``node`` met its requirement (end of that slot)."""
+        slot = self.completion_slot.get(node)
+        if slot is None:
+            return None
+        if slot < 0:
+            return 0
+        return (slot + 1) * self.schedule.chain_slot_us
+
+    def radio_on_us(self, node: int) -> int:
+        """Radio-on time (TX + RX) of ``node`` for this round."""
+        return self.tx_us.get(node, 0) + self.rx_us.get(node, 0)
+
+    @property
+    def round_duration_us(self) -> int:
+        """Scheduled duration of the round (what TDMA reserves)."""
+        return self.schedule.round_duration_us
+
+    def delivery_ratio(self, mask: int) -> float:
+        """Fraction of nodes whose final view contains all of ``mask``."""
+        if not self.knowledge:
+            return 0.0
+        hits = sum(
+            1 for view in self.knowledge.values() if view & mask == mask
+        )
+        return hits / len(self.knowledge)
+
+
+class MiniCastRound:
+    """One configured MiniCast round, runnable many times with fresh RNG."""
+
+    __slots__ = (
+        "_links",
+        "_schedule",
+        "_capture",
+        "_policy",
+        "_tx_probability",
+        "_prr",
+        "_rx_order",
+    )
+
+    def __init__(
+        self,
+        links: LinkTable,
+        schedule: RoundSchedule,
+        capture: CaptureModel | None = None,
+        policy: RadioOffPolicy = RadioOffPolicy.ALWAYS_ON,
+        tx_probability: float = 0.5,
+    ):
+        if not 0.0 < tx_probability <= 1.0:
+            raise ConfigurationError(
+                f"tx_probability must be in (0, 1], got {tx_probability}"
+            )
+        self._links = links
+        self._schedule = schedule
+        self._capture = capture or CaptureModel()
+        self._policy = policy
+        self._tx_probability = tx_probability
+        self._prr = {node: links.prr_row(node) for node in links.node_ids}
+        self._rx_order = {
+            dst: sorted(
+                (src for src in links.node_ids if src != dst),
+                key=lambda src: self._prr[src][dst],
+                reverse=True,
+            )
+            for dst in links.node_ids
+        }
+
+    @property
+    def schedule(self) -> RoundSchedule:
+        """The schedule this round executes."""
+        return self._schedule
+
+    @property
+    def policy(self) -> RadioOffPolicy:
+        """The radio-off policy in force."""
+        return self._policy
+
+    def run(
+        self,
+        rng,
+        initial_knowledge: Mapping[int, int],
+        requirements: Mapping[int, Requirement] | None = None,
+        initiators: Iterable[int] | None = None,
+        alive: set[int] | None = None,
+        failures: Mapping[int, int] | None = None,
+        arm_schedule: Mapping[int, int] | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> MiniCastResult:
+        """Execute the round.
+
+        Args:
+            rng: randomness source (``random``-like).
+            initial_knowledge: node → bit mask of sub-slots it originates.
+            requirements: node → local reception goal (default: nothing).
+            initiators: nodes triggered at slot 0; defaults to the lowest
+                node id with non-empty initial knowledge.
+            alive: nodes participating at all (default: every node).
+            failures: node → chain-slot index at whose *start* it dies.
+            arm_schedule: node → chain-slot at which it joins the flood
+                regardless of reception.  This models MiniCast's TDMA wave
+                ("first-hop neighbors of the initiator transmit ... which
+                in turn trigger the second hop"): in a time-synchronized
+                network a node at hop h starts contending at slot h.
+                Reception still arms a node earlier if it happens.
+            trace: optional event recorder.
+        """
+        nodes = self._links.node_ids
+        schedule = self._schedule
+        chain_bits = schedule.chain_length
+        ntx = schedule.ntx
+        packet_us = schedule.packet_slot_us
+        chain_slot_us = schedule.chain_slot_us
+        capture = self._capture
+        floor = capture.prr_floor
+        max_div = capture.max_diversity
+        early_off = self._policy is RadioOffPolicy.EARLY_OFF
+
+        alive_set = set(nodes) if alive is None else set(alive)
+        failures = dict(failures or {})
+        requirements = dict(requirements or {})
+
+        know: dict[int, int] = {}
+        for node in nodes:
+            mask = initial_knowledge.get(node, 0)
+            if mask >> chain_bits:
+                raise ConfigurationError(
+                    f"initial knowledge of node {node} exceeds chain width"
+                )
+            know[node] = mask if node in alive_set else 0
+
+        if initiators is None:
+            with_data = [n for n in nodes if know[n] and n in alive_set]
+            if not with_data:
+                raise ConfigurationError("no node has data; cannot start round")
+            initiator_set = {with_data[0]}
+        else:
+            initiator_set = set(initiators)
+            unknown = initiator_set - set(nodes)
+            if unknown:
+                raise ConfigurationError(f"unknown initiators {sorted(unknown)}")
+
+        # "Armed" nodes have joined the flood and contend for transmission
+        # with probability tx_probability per slot until NTX is spent.
+        armed = {
+            node: (node in initiator_set and node in alive_set and know[node] != 0)
+            for node in nodes
+        }
+        force_tx = dict(armed)  # initiators transmit slot 0 unconditionally
+        tx_count = {node: 0 for node in nodes}
+        tx_us = {node: 0 for node in nodes}
+        radio_on = {node: node in alive_set for node in nodes}
+        radio_off_slot: dict[int, int | None] = {node: None for node in nodes}
+        # When each node's radio finally powered down; RX time falls out as
+        # on-time minus TX time, which transparently covers silent slots
+        # and early network-quiet.
+        on_until_us = {
+            node: (schedule.round_duration_us if radio_on[node] else 0)
+            for node in nodes
+        }
+        completion: dict[int, int | None] = {}
+        actual_failures: dict[int, int] = {}
+        for node in nodes:
+            requirement = requirements.get(node)
+            if requirement is not None and requirement.satisfied_by(know[node]):
+                completion[node] = -1
+            elif requirement is None:
+                completion[node] = -1
+            else:
+                completion[node] = None
+
+        arm_schedule = dict(arm_schedule or {})
+
+        slots_run = 0
+        for slot in range(schedule.num_slots):
+            # TDMA wave: nodes scheduled to join this slot become armed.
+            for node, arm_slot in arm_schedule.items():
+                if (
+                    arm_slot == slot
+                    and node in alive_set
+                    and know[node] != 0
+                    and tx_count[node] < ntx
+                ):
+                    armed[node] = True
+
+            # Fault injection scheduled for the start of this slot.
+            for node, fail_slot in failures.items():
+                if fail_slot == slot and node in alive_set:
+                    alive_set.discard(node)
+                    radio_on[node] = False
+                    on_until_us[node] = slot * chain_slot_us
+                    actual_failures[node] = slot
+                    if trace is not None:
+                        trace.record(slot * chain_slot_us, node, "node_failed")
+
+            contenders = [
+                node
+                for node in nodes
+                if radio_on[node]
+                and armed[node]
+                and tx_count[node] < ntx
+                and know[node] != 0
+            ]
+            if not contenders:
+                if any(arm_slot > slot for arm_slot in arm_schedule.values()):
+                    continue  # a scheduled joiner may still wake the round
+                # Arming otherwise only happens on reception: quiet stays
+                # quiet, so stop simulating.
+                break
+            slots_run = slot + 1
+            transmitters = [
+                node
+                for node in contenders
+                if force_tx[node] or rng.random() < self._tx_probability
+            ]
+            tx_set = set(transmitters)
+            slot_start_us = slot * chain_slot_us
+
+            for node in transmitters:
+                force_tx[node] = False
+                tx_count[node] += 1
+                tx_us[node] += know[node].bit_count() * packet_us
+                if trace is not None:
+                    trace.record(
+                        slot_start_us, node, "chain_tx", know[node].bit_count()
+                    )
+
+            if not tx_set:
+                # Every contender's coin flip said "listen"; the slot is
+                # silent but the round is still live.
+                continue
+
+            for node in nodes:
+                if not radio_on[node] or node in tx_set:
+                    continue
+                received = 0
+                decoded_any = False
+                # Per-sub-slot saturating attempt counters (bit planes):
+                # attempted[k] has a 1 wherever a bit received >= k+1
+                # attempts, so a bit stops accepting transmitters once the
+                # max_diversity strongest holders of *that bit* have tried.
+                attempted = [0] * max_div
+                saturated = 0
+                for src in self._rx_order[node]:
+                    if src not in tx_set:
+                        continue
+                    prr = self._prr[src][node]
+                    if prr <= floor:
+                        break  # descending order: the rest are weaker
+                    eligible = know[src] & ~saturated
+                    if not eligible:
+                        continue
+                    mask = random_bitmask(rng, chain_bits, prr)
+                    got = eligible & mask
+                    if got:
+                        decoded_any = True
+                        received |= got
+                    for plane in range(max_div - 1, 0, -1):
+                        attempted[plane] |= attempted[plane - 1] & eligible
+                    attempted[0] |= eligible
+                    saturated = attempted[max_div - 1]
+                if not decoded_any:
+                    continue
+                new_bits = received & ~know[node]
+                if new_bits:
+                    know[node] |= new_bits
+                    if trace is not None:
+                        trace.record(
+                            slot_start_us, node, "chain_rx", new_bits.bit_count()
+                        )
+                if tx_count[node] < ntx:
+                    armed[node] = True
+
+            # End-of-slot bookkeeping: completion and early radio-off.
+            for node in nodes:
+                if not radio_on[node]:
+                    continue
+                if completion[node] is None:
+                    requirement = requirements.get(node)
+                    if requirement is not None and requirement.satisfied_by(
+                        know[node]
+                    ):
+                        completion[node] = slot
+                if (
+                    early_off
+                    and tx_count[node] >= ntx
+                    and completion[node] is not None
+                ):
+                    radio_on[node] = False
+                    radio_off_slot[node] = slot
+                    on_until_us[node] = (slot + 1) * chain_slot_us
+                    if trace is not None:
+                        trace.record(
+                            (slot + 1) * chain_slot_us, node, "radio_off"
+                        )
+
+        # RX time = radio-on time minus transmission time.  Nodes that kept
+        # the radio on to the end idle-listen out the scheduled round: TDMA
+        # gives them no way to know the network has gone quiet.
+        rx_us = {
+            node: max(0, on_until_us[node] - tx_us[node]) for node in nodes
+        }
+
+        return MiniCastResult(
+            knowledge=know,
+            completion_slot=completion,
+            tx_us=tx_us,
+            rx_us=rx_us,
+            radio_off_slot=radio_off_slot,
+            slots_run=slots_run,
+            schedule=schedule,
+            failures=actual_failures,
+        )

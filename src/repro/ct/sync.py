@@ -1,0 +1,154 @@
+"""Time synchronization: the Glossy sync flood and clock-drift budget.
+
+Every deployed CT stack (Glossy, LWB, Crystal, the MiniCast system under
+this paper) is time-triggered: rounds start at globally agreed instants,
+which requires (a) a periodic synchronization flood carrying the
+reference time and (b) guard times absorbing the clock drift accumulated
+since the last sync.  The paper does not discuss this layer — its rounds
+are long enough that sync overhead is invisible — but a complete system
+must budget for it, and the engines can optionally account it.
+
+Components:
+
+* :class:`ClockModel` — per-node crystal-oscillator drift (±ppm) and the
+  guard time needed after a given silence interval.
+* :class:`SyncPlan` — how often to re-sync and what one sync flood costs
+  (latency and per-node radio-on), built on :class:`GlossyFlood`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ct.glossy import GlossyFlood
+from repro.errors import ConfigurationError
+from repro.phy.capture import CaptureModel
+from repro.phy.link import LinkTable
+from repro.phy.radio import RadioTimings
+from repro.sim.seeds import stable_seed
+
+#: Sync packet: 3 B header + 8 B reference time + 4 B round id/flags.
+SYNC_PSDU_BYTES = 15
+
+
+@dataclass(frozen=True, slots=True)
+class ClockModel:
+    """Crystal-oscillator drift model.
+
+    Attributes:
+        drift_ppm: worst-case frequency error of a node's crystal
+            (±20 ppm is the customary 32.768 kHz watch-crystal rating).
+    """
+
+    drift_ppm: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.drift_ppm < 0:
+            raise ConfigurationError(
+                f"drift_ppm must be >= 0, got {self.drift_ppm}"
+            )
+
+    def guard_us(self, silence_us: int) -> int:
+        """Guard time two nodes need after ``silence_us`` without sync.
+
+        Worst case: the two clocks drift in opposite directions, so the
+        relative error is twice the ppm rating.
+        """
+        if silence_us < 0:
+            raise ConfigurationError("silence must be >= 0")
+        return int(2 * self.drift_ppm * silence_us / 1_000_000) + 1
+
+    def max_silence_us(self, guard_budget_us: int) -> int:
+        """Longest silence a given guard budget can absorb."""
+        if guard_budget_us < 1:
+            raise ConfigurationError("guard budget must be >= 1 us")
+        if self.drift_ppm == 0:
+            return 2**62  # effectively unbounded
+        return int(guard_budget_us * 1_000_000 / (2 * self.drift_ppm))
+
+
+@dataclass(frozen=True)
+class SyncCost:
+    """What one synchronization flood costs the network."""
+
+    latency_us: int
+    mean_radio_on_us: float
+    coverage: float
+
+
+class SyncPlan:
+    """Periodic Glossy-based re-synchronization for a deployment.
+
+    Args:
+        links: link table at the sync frame size.
+        timings: radio timing model.
+        ntx: sync-flood transmission budget (sync must be reliable, so
+            the default is generous).
+        initiator: the time master.
+        clock: drift model for guard-time math.
+    """
+
+    def __init__(
+        self,
+        links: LinkTable,
+        timings: RadioTimings,
+        ntx: int = 5,
+        initiator: int | None = None,
+        clock: ClockModel | None = None,
+        capture: CaptureModel | None = None,
+    ):
+        nodes = links.node_ids
+        self._clock = clock or ClockModel()
+        self._timings = timings
+        root = nodes[0] if initiator is None else initiator
+        num_slots = 2 * ntx + len(nodes)  # generous single-packet schedule
+        self._flood = GlossyFlood(
+            links,
+            initiator=root,
+            ntx=ntx,
+            psdu_bytes=SYNC_PSDU_BYTES,
+            timings=timings,
+            num_slots=num_slots,
+            capture=capture,
+        )
+
+    @property
+    def clock(self) -> ClockModel:
+        """The drift model in force."""
+        return self._clock
+
+    def measure_cost(self, seed: int = 0, iterations: int = 10) -> SyncCost:
+        """Empirical cost of one sync flood (mean over iterations)."""
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        latency_total = 0
+        radio_total = 0.0
+        coverage_total = 0.0
+        for iteration in range(iterations):
+            result = self._flood.run(random.Random(stable_seed(seed, "sync", iteration)))
+            last = max(result.received.values(), default=0)
+            latency_total += (last + 1) * result.slot_us
+            nodes = list(result.tx_us)
+            radio_total += sum(
+                result.tx_us[n] + result.rx_us[n] for n in nodes
+            ) / len(nodes)
+            coverage_total += result.coverage
+        return SyncCost(
+            latency_us=latency_total // iterations,
+            mean_radio_on_us=radio_total / iterations,
+            coverage=coverage_total / iterations,
+        )
+
+    def guard_for_round_spacing(self, round_period_us: int) -> int:
+        """Guard time a TDMA round needs given re-sync every period."""
+        return self._clock.guard_us(round_period_us)
+
+    def overhead_fraction(
+        self, round_period_us: int, seed: int = 0, iterations: int = 5
+    ) -> float:
+        """Sync radio-on as a fraction of the period (the budget line)."""
+        if round_period_us < 1:
+            raise ConfigurationError("round period must be >= 1 us")
+        cost = self.measure_cost(seed=seed, iterations=iterations)
+        return cost.mean_radio_on_us / round_period_us

@@ -1,0 +1,80 @@
+"""Library-wide exception hierarchy.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed (field arithmetic,
+crypto, secret sharing, simulation, protocol).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation."""
+
+
+class NonInvertibleError(FieldError):
+    """An element with no multiplicative inverse was inverted (e.g. zero)."""
+
+
+class MixedFieldError(FieldError):
+    """Two elements from different fields were combined."""
+
+
+class PolynomialError(ReproError):
+    """Invalid polynomial construction or operation."""
+
+
+class InterpolationError(ReproError):
+    """Lagrange interpolation could not be performed.
+
+    Raised for duplicate x-coordinates or an insufficient number of points.
+    """
+
+
+class CryptoError(ReproError):
+    """Cryptographic failure (bad key/nonce sizes, MAC mismatch, ...)."""
+
+
+class AuthenticationError(CryptoError):
+    """A message failed MAC verification."""
+
+
+class KeyNotFoundError(CryptoError):
+    """No pairwise key installed for the requested node pair."""
+
+
+class SecretSharingError(ReproError):
+    """Invalid secret-sharing parameters or inconsistent shares."""
+
+
+class ReconstructionError(SecretSharingError):
+    """Not enough (or inconsistent) shares to reconstruct the secret."""
+
+
+class TopologyError(ReproError):
+    """Malformed network topology (unknown node, disconnected graph, ...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator misuse (time travel, double-start, ...)."""
+
+
+class PacketError(ReproError):
+    """Malformed packet or chain layout."""
+
+
+class ProtocolError(ReproError):
+    """Protocol-level failure in S3/S4 round orchestration."""
+
+
+class BootstrapError(ProtocolError):
+    """Bootstrapping could not establish keys or elect collectors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid protocol or experiment configuration."""

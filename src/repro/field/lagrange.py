@@ -1,0 +1,128 @@
+"""Lagrange interpolation over a prime field.
+
+The reconstruction phase of Shamir's scheme interpolates the *sum*
+polynomial from ``k + 1`` (point, value) pairs.  Reconstruction almost
+always only needs the value at ``x = 0`` (the aggregate secret), for which
+computing the full coefficient vector is wasted work — so this module
+offers both:
+
+* :func:`interpolate_at` / :func:`interpolate_constant` — O(k²) evaluation
+  of the interpolating polynomial at a single point, the hot path.
+* :func:`interpolate_polynomial` — full coefficient recovery, used by tests
+  and by the privacy analysis tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import InterpolationError
+from repro.field.modular import mod_inverse
+from repro.field.polynomial import Polynomial
+from repro.field.prime_field import FieldElement, IntoElement, PrimeField
+
+
+def _canonical_points(
+    field: PrimeField,
+    points: Sequence[tuple[IntoElement, IntoElement]],
+) -> tuple[list[int], list[int]]:
+    """Validate points and return parallel lists of canonical int coords."""
+    if not points:
+        raise InterpolationError("cannot interpolate from zero points")
+    xs: list[int] = []
+    ys: list[int] = []
+    for x, y in points:
+        xs.append(field(x).value)
+        ys.append(field(y).value)
+    if len(set(xs)) != len(xs):
+        duplicates = sorted({x for x in xs if xs.count(x) > 1})
+        raise InterpolationError(f"duplicate x-coordinates: {duplicates}")
+    return xs, ys
+
+
+def lagrange_weights_at(
+    field: PrimeField,
+    xs: Sequence[IntoElement],
+    at: IntoElement = 0,
+) -> list[FieldElement]:
+    """Lagrange basis weights ``L_i(at)`` for the given x-coordinates.
+
+    With these weights, the interpolated value is ``sum(w_i * y_i)``.
+    Computing weights separately lets a caller reuse them across many
+    reconstructions that share the same point set (e.g. every round of a
+    periodic aggregation with a fixed collector set).
+    """
+    prime = field.prime
+    x_values = [field(x).value for x in xs]
+    if len(set(x_values)) != len(x_values):
+        raise InterpolationError("duplicate x-coordinates in weight computation")
+    at_value = field(at).value
+    weights: list[FieldElement] = []
+    for i, x_i in enumerate(x_values):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(x_values):
+            if i == j:
+                continue
+            numerator = numerator * ((at_value - x_j) % prime) % prime
+            denominator = denominator * ((x_i - x_j) % prime) % prime
+        weights.append(
+            FieldElement(field, numerator * mod_inverse(denominator, prime))
+        )
+    return weights
+
+
+def interpolate_at(
+    field: PrimeField,
+    points: Sequence[tuple[IntoElement, IntoElement]],
+    at: IntoElement,
+) -> FieldElement:
+    """Value at ``at`` of the unique polynomial through ``points``.
+
+    O(k²) field operations, no full coefficient recovery.
+    """
+    xs, ys = _canonical_points(field, points)
+    weights = lagrange_weights_at(field, xs, at)
+    prime = field.prime
+    total = 0
+    for weight, y in zip(weights, ys):
+        total = (total + weight.value * y) % prime
+    return FieldElement(field, total)
+
+
+def interpolate_constant(
+    field: PrimeField,
+    points: Sequence[tuple[IntoElement, IntoElement]],
+) -> FieldElement:
+    """``P(0)`` of the interpolating polynomial — the Shamir hot path."""
+    return interpolate_at(field, points, 0)
+
+
+def interpolate_polynomial(
+    field: PrimeField,
+    points: Sequence[tuple[IntoElement, IntoElement]],
+) -> Polynomial:
+    """Full interpolating polynomial through ``points``.
+
+    Builds ``sum_i y_i * prod_{j != i} (x - x_j) / (x_i - x_j)`` with dense
+    coefficient arithmetic.  O(k²) space/time in the coefficient vector;
+    fine for the k ≤ a few dozen this library uses.
+    """
+    xs, ys = _canonical_points(field, points)
+    prime = field.prime
+
+    result = Polynomial.zero(field)
+    for i, (x_i, y_i) in enumerate(zip(xs, ys)):
+        if y_i == 0:
+            continue
+        # Numerator polynomial prod_{j != i} (x - x_j), built incrementally.
+        basis = Polynomial(field, [1])
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            basis = basis * Polynomial(field, [(-x_j) % prime, 1])
+            denominator = denominator * ((x_i - x_j) % prime) % prime
+        scale = y_i * mod_inverse(denominator, prime) % prime
+        result = result + basis * scale
+    return result

@@ -1,0 +1,189 @@
+"""Dense polynomials over a prime field.
+
+Shamir's scheme hides a secret as the constant term of a random polynomial
+and evaluates it at public points.  This module provides the polynomial
+algebra the scheme (and its tests) need: construction from coefficients or
+from a secret plus randomness, Horner evaluation, ring arithmetic, and a
+couple of convenience constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import PolynomialError
+from repro.field.prime_field import FieldElement, IntoElement, PrimeField
+
+
+class Polynomial:
+    """A polynomial ``c0 + c1*x + ... + ck*x**k`` over GF(p).
+
+    Coefficients are stored dense, lowest degree first, and normalized so
+    that the highest stored coefficient is non-zero (the zero polynomial
+    stores a single zero coefficient and reports degree ``-1``).
+    """
+
+    __slots__ = ("_field", "_coeffs")
+
+    def __init__(self, field: PrimeField, coefficients: Iterable[IntoElement]):
+        self._field = field
+        coeffs = [field(c).value for c in coefficients]
+        if not coeffs:
+            coeffs = [0]
+        # Normalize: strip trailing zero coefficients, keep at least one.
+        while len(coeffs) > 1 and coeffs[-1] == 0:
+            coeffs.pop()
+        self._coeffs = tuple(coeffs)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: PrimeField) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(field, [0])
+
+    @classmethod
+    def constant(cls, field: PrimeField, value: IntoElement) -> "Polynomial":
+        """The degree-0 polynomial ``value``."""
+        return cls(field, [value])
+
+    @classmethod
+    def random_with_secret(
+        cls,
+        field: PrimeField,
+        secret: IntoElement,
+        degree: int,
+        rng,
+    ) -> "Polynomial":
+        """Random degree-``degree`` polynomial with ``P(0) == secret``.
+
+        This is the dealer polynomial of Shamir's scheme: the constant term
+        carries the secret and the remaining ``degree`` coefficients are
+        uniform random.  The leading coefficient is drawn from ``[1, p)`` so
+        the polynomial has *exactly* the requested degree — a lower actual
+        degree would silently weaken the collusion threshold.
+        """
+        if degree < 0:
+            raise PolynomialError(f"degree must be >= 0, got {degree}")
+        coeffs: list[int] = [field(secret).value]
+        for _ in range(max(0, degree - 1)):
+            coeffs.append(rng.randrange(field.prime))
+        if degree >= 1:
+            coeffs.append(1 + rng.randrange(field.prime - 1))
+        return cls(field, coeffs)
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def field(self) -> PrimeField:
+        """Field the coefficients live in."""
+        return self._field
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """Coefficient integers, lowest degree first."""
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree ``-1``."""
+        if len(self._coeffs) == 1 and self._coeffs[0] == 0:
+            return -1
+        return len(self._coeffs) - 1
+
+    @property
+    def constant_term(self) -> FieldElement:
+        """``P(0)`` — where Shamir's scheme stores the secret."""
+        return FieldElement(self._field, self._coeffs[0])
+
+    def __len__(self) -> int:
+        return len(self._coeffs)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def __call__(self, x: IntoElement) -> FieldElement:
+        """Evaluate at ``x`` with Horner's rule."""
+        prime = self._field.prime
+        x_value = self._field(x).value
+        accumulator = 0
+        for coefficient in reversed(self._coeffs):
+            accumulator = (accumulator * x_value + coefficient) % prime
+        return FieldElement(self._field, accumulator)
+
+    def evaluate_many(self, xs: Sequence[IntoElement]) -> list[FieldElement]:
+        """Evaluate at many points (the sharing phase's bulk operation)."""
+        return [self(x) for x in xs]
+
+    # -- ring arithmetic ----------------------------------------------------------
+
+    def _check_same_field(self, other: "Polynomial") -> None:
+        if other._field is not self._field:
+            raise PolynomialError(
+                "cannot combine polynomials over different fields: "
+                f"GF({self._field.prime}) vs GF({other._field.prime})"
+            )
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        longer, shorter = self._coeffs, other._coeffs
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        summed = list(longer)
+        for i, coefficient in enumerate(shorter):
+            summed[i] = (summed[i] + coefficient) % self._field.prime
+        return Polynomial(self._field, summed)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        length = max(len(self._coeffs), len(other._coeffs))
+        prime = self._field.prime
+        diff = []
+        for i in range(length):
+            a = self._coeffs[i] if i < len(self._coeffs) else 0
+            b = other._coeffs[i] if i < len(other._coeffs) else 0
+            diff.append((a - b) % prime)
+        return Polynomial(self._field, diff)
+
+    def __neg__(self) -> "Polynomial":
+        prime = self._field.prime
+        return Polynomial(self._field, [(-c) % prime for c in self._coeffs])
+
+    def __mul__(self, other: "Polynomial | int | FieldElement") -> "Polynomial":
+        prime = self._field.prime
+        if isinstance(other, (int, FieldElement)):
+            scalar = self._field(other).value
+            return Polynomial(self._field, [c * scalar % prime for c in self._coeffs])
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        product = [0] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other._coeffs):
+                product[i + j] = (product[i + j] + a * b) % prime
+        return Polynomial(self._field, product)
+
+    __rmul__ = __mul__
+
+    # -- comparison / repr -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return other._field is self._field and other._coeffs == self._coeffs
+
+    def __hash__(self) -> int:
+        return hash((self._field.prime, self._coeffs))
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"{c}*x^{i}" if i else str(c)
+            for i, c in enumerate(self._coeffs)
+            if c or len(self._coeffs) == 1
+        )
+        return f"Polynomial({terms} over GF({self._field.prime}))"

@@ -1,0 +1,38 @@
+"""Physical-layer substrate: radio timing, channel, reception models.
+
+The paper's numbers come from nRF52840 radios speaking IEEE 802.15.4 at
+2.4 GHz.  This package models the pieces of that PHY the evaluation
+depends on:
+
+* :mod:`repro.phy.radio` — timing (32 µs/byte, PHY overhead) and power
+  constants; packet air-time arithmetic.
+* :mod:`repro.phy.channel` — log-distance path loss with per-link
+  shadowing, and the Zuniga-Krishnamachari closed-form PRR model for
+  802.15.4 (the standard way to map RSSI + frame length to packet
+  reception ratio).
+* :mod:`repro.phy.capture` — reception under concurrent transmissions:
+  capture-capped transmitter diversity, the established abstraction for
+  Glossy-style constructive interference in simulation.
+* :mod:`repro.phy.link` — per-pair link table combining topology geometry
+  with the channel model.
+"""
+
+from repro.phy.radio import RadioTimings, RadioPower, NRF52840_154
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.capture import CaptureModel
+from repro.phy.interference import Interferer, InterferenceField, dcube_jamming
+from repro.phy.link import Link, LinkTable
+
+__all__ = [
+    "RadioTimings",
+    "RadioPower",
+    "NRF52840_154",
+    "ChannelModel",
+    "ChannelParameters",
+    "CaptureModel",
+    "Interferer",
+    "InterferenceField",
+    "dcube_jamming",
+    "Link",
+    "LinkTable",
+]

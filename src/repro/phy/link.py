@@ -1,0 +1,154 @@
+"""Per-pair link table: geometry + channel → RSSI / PRR lookups.
+
+A :class:`LinkTable` is computed once per (topology, channel, frame size)
+and then queried millions of times from the chain-slot hot loop, so all
+pairwise values are precomputed dense and exposed as plain floats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import TopologyError
+from repro.phy.channel import ChannelModel
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One directed link's precomputed figures."""
+
+    src: int
+    dst: int
+    distance_m: float
+    rssi_dbm: float
+    prr: float
+
+
+class LinkTable:
+    """All pairwise links between nodes at fixed frame size.
+
+    Args:
+        positions: mapping node id → (x, y) metres.
+        channel: the channel model to evaluate.
+        frame_bytes: full frame size (PHY overhead included) the PRRs are
+            computed for.  MiniCast chains have a single fixed packet size
+            per phase, so one table per phase suffices.
+        good_link_threshold: PRR above which a link counts as a
+            "neighbour" edge for hop-distance purposes (the conventional
+            75% used by testbed connectivity maps).
+    """
+
+    __slots__ = (
+        "_node_ids",
+        "_frame_bytes",
+        "_good_link_threshold",
+        "_rssi",
+        "_prr",
+    )
+
+    def __init__(
+        self,
+        positions: Mapping[int, tuple[float, float]],
+        channel: ChannelModel,
+        frame_bytes: int,
+        good_link_threshold: float = 0.75,
+        interference=None,
+    ):
+        if len(positions) < 2:
+            raise TopologyError(f"need >= 2 nodes, got {len(positions)}")
+        if not 0.0 < good_link_threshold <= 1.0:
+            raise TopologyError(
+                f"good_link_threshold must be in (0, 1], got {good_link_threshold}"
+            )
+        self._node_ids: tuple[int, ...] = tuple(sorted(positions))
+        self._frame_bytes = frame_bytes
+        self._good_link_threshold = good_link_threshold
+        self._rssi: dict[tuple[int, int], float] = {}
+        self._prr: dict[tuple[int, int], float] = {}
+        for a in self._node_ids:
+            ax, ay = positions[a]
+            for b in self._node_ids:
+                if a == b:
+                    continue
+                bx, by = positions[b]
+                distance = math.hypot(ax - bx, ay - by)
+                rssi = channel.rssi_dbm(distance, a, b)
+                self._rssi[(a, b)] = rssi
+                if interference is not None and interference:
+                    self._prr[(a, b)] = interference.effective_prr(
+                        channel, rssi, frame_bytes, (bx, by)
+                    )
+                else:
+                    self._prr[(a, b)] = channel.prr(rssi, frame_bytes)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All node ids in the table."""
+        return self._node_ids
+
+    @property
+    def frame_bytes(self) -> int:
+        """Frame size the PRRs were computed for."""
+        return self._frame_bytes
+
+    @property
+    def good_link_threshold(self) -> float:
+        """PRR threshold used for the neighbour graph."""
+        return self._good_link_threshold
+
+    def prr(self, src: int, dst: int) -> float:
+        """PRR of the directed link ``src → dst``."""
+        try:
+            return self._prr[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"unknown link {src} -> {dst}") from None
+
+    def rssi(self, src: int, dst: int) -> float:
+        """RSSI of the directed link ``src → dst``."""
+        try:
+            return self._rssi[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"unknown link {src} -> {dst}") from None
+
+    def link(self, src: int, dst: int, distance_m: float = float("nan")) -> Link:
+        """Materialize one :class:`Link` record (diagnostics, traces)."""
+        return Link(
+            src=src,
+            dst=dst,
+            distance_m=distance_m,
+            rssi_dbm=self.rssi(src, dst),
+            prr=self.prr(src, dst),
+        )
+
+    def neighbors(self, node: int) -> list[int]:
+        """Nodes reachable from ``node`` over a good link."""
+        return [
+            dst
+            for dst in self._node_ids
+            if dst != node and self._prr[(node, dst)] >= self._good_link_threshold
+        ]
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Good-link adjacency of the whole network (for hop metrics)."""
+        return {node: self.neighbors(node) for node in self._node_ids}
+
+    def prr_row(self, src: int) -> dict[int, float]:
+        """All outgoing PRRs of ``src`` (hot-loop precomputation helper)."""
+        return {
+            dst: self._prr[(src, dst)]
+            for dst in self._node_ids
+            if dst != src
+        }
+
+    def density(self) -> float:
+        """Average good-link neighbourhood size (network density proxy)."""
+        degrees = [len(self.neighbors(node)) for node in self._node_ids]
+        return sum(degrees) / len(degrees)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkTable({len(self._node_ids)} nodes, frame={self._frame_bytes} B, "
+            f"density={self.density():.1f})"
+        )

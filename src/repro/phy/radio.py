@@ -1,0 +1,94 @@
+"""Radio timing and power constants (nRF52840, IEEE 802.15.4 @ 2.4 GHz).
+
+All times are integer microseconds — the same resolution Glossy-class
+firmware works at — so the simulator never accumulates float drift across
+the hundreds of thousands of packet slots in a long experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 802.15.4 @ 2.4 GHz transmits 250 kbit/s = 32 µs per byte.
+US_PER_BYTE = 32
+
+#: PHY-layer framing: 4 B preamble + 1 B SFD + 1 B PHR (length field).
+PHY_OVERHEAD_BYTES = 6
+
+#: Largest PSDU (MAC payload as seen by the PHY) 802.15.4 allows.
+MAX_PSDU_BYTES = 127
+
+
+@dataclass(frozen=True, slots=True)
+class RadioTimings:
+    """Timing model of one radio configuration.
+
+    Attributes:
+        us_per_byte: on-air time per byte.
+        phy_overhead_bytes: preamble + SFD + PHR bytes sent before the PSDU.
+        turnaround_us: RX/TX turnaround — the gap MiniCast needs between
+            consecutive packets in a chain (radio stays on).
+        slot_guard_us: software guard time added once per chain slot to
+            absorb clock drift between concurrent transmitters.
+        max_psdu_bytes: upper bound on the PSDU length.
+    """
+
+    us_per_byte: int = US_PER_BYTE
+    phy_overhead_bytes: int = PHY_OVERHEAD_BYTES
+    turnaround_us: int = 100
+    slot_guard_us: int = 200
+    max_psdu_bytes: int = MAX_PSDU_BYTES
+
+    def air_time_us(self, psdu_bytes: int) -> int:
+        """On-air duration of a single packet with ``psdu_bytes`` payload."""
+        if psdu_bytes < 0:
+            raise ConfigurationError(f"psdu_bytes must be >= 0, got {psdu_bytes}")
+        if psdu_bytes > self.max_psdu_bytes:
+            raise ConfigurationError(
+                f"psdu of {psdu_bytes} B exceeds 802.15.4 limit of "
+                f"{self.max_psdu_bytes} B"
+            )
+        return (self.phy_overhead_bytes + psdu_bytes) * self.us_per_byte
+
+    def packet_slot_us(self, psdu_bytes: int) -> int:
+        """Air time plus the inter-packet turnaround (one chain sub-slot)."""
+        return self.air_time_us(psdu_bytes) + self.turnaround_us
+
+    def chain_slot_us(self, psdu_bytes: int, chain_length: int) -> int:
+        """Duration of one full chain transmission of ``chain_length`` packets.
+
+        This is MiniCast's atomic TDMA unit: every packet of the chain
+        back-to-back, plus one guard interval.
+        """
+        if chain_length < 1:
+            raise ConfigurationError(
+                f"chain_length must be >= 1, got {chain_length}"
+            )
+        return chain_length * self.packet_slot_us(psdu_bytes) + self.slot_guard_us
+
+
+@dataclass(frozen=True, slots=True)
+class RadioPower:
+    """Current-draw model used to convert radio-on time into charge.
+
+    Defaults are nRF52840 datasheet values at 3 V with the DC/DC
+    converter: 0 dBm TX ≈ 6.4 mA, RX ≈ 6.26 mA.  The paper reports
+    radio-on *time*; charge is a convenience for the energy ablations.
+    """
+
+    tx_current_ma: float = 6.40
+    rx_current_ma: float = 6.26
+    tx_power_dbm: float = 0.0
+    supply_voltage_v: float = 3.0
+
+    def charge_uc(self, tx_us: int, rx_us: int) -> float:
+        """Charge in microcoulombs consumed by the given radio-on split."""
+        return (
+            self.tx_current_ma * tx_us + self.rx_current_ma * rx_us
+        ) / 1000.0
+
+
+#: The configuration used throughout the paper reproduction.
+NRF52840_154 = RadioTimings()

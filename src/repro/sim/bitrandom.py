@@ -1,0 +1,108 @@
+"""Fast Bernoulli bit-mask sampling over Python big integers.
+
+The MiniCast hot loop must decide, for every (receiver, chain-slot,
+transmitter) triple, which of up to ~2000 sub-slot packets survive a lossy
+link.  Doing that with one ``random.random()`` per packet is ruinously
+slow in pure Python.  Instead we represent a chain's knowledge as a bit
+mask in a single ``int`` and sample a whole mask of independent
+Bernoulli(p) bits with a handful of ``getrandbits`` calls:
+
+Write p in binary as ``0.b1 b2 ... bk``.  Starting from ``acc = 0`` and
+processing bits **LSB-first**, update with a fresh uniform random word
+``r`` each step::
+
+    acc = (acc & r)   if b == 0
+    acc = (acc | r)   if b == 1
+
+After processing bit ``b_j`` (j = k..1) the density of ``acc`` is the
+binary fraction ``0.b_j ... b_k``, so after the final (most significant)
+step each bit of ``acc`` is independently one with probability ``p``
+truncated to ``k`` binary digits.  ``k = 10`` gives ≈ 0.001 resolution at
+10 ``getrandbits`` calls per mask, independent of mask width.
+
+``exact_random_bitmask`` is the obvious per-bit reference implementation;
+the test suite checks the fast sampler against it statistically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: Default number of binary digits of the probability to honour.
+DEFAULT_PRECISION = 10
+
+
+def random_bitmask(rng, nbits: int, probability: float, precision: int = DEFAULT_PRECISION) -> int:
+    """Integer with ``nbits`` independent Bernoulli(probability) bits.
+
+    Args:
+        rng: any object with ``getrandbits`` (stdlib Random, AesCtrDrbg).
+        nbits: width of the mask.
+        probability: per-bit probability of a 1, in [0, 1].
+        precision: binary digits of ``probability`` to honour.
+    """
+    if nbits < 0:
+        raise SimulationError(f"nbits must be >= 0, got {nbits}")
+    if not 0.0 <= probability <= 1.0:
+        raise SimulationError(f"probability must be in [0, 1], got {probability}")
+    if precision < 1:
+        raise SimulationError(f"precision must be >= 1, got {precision}")
+    if nbits == 0:
+        return 0
+    if probability == 0.0:
+        return 0
+    if probability == 1.0:
+        return (1 << nbits) - 1
+
+    # Quantize p to `precision` binary digits, rounding to nearest so the
+    # expected density error is at most 2**-(precision+1).
+    quantized = round(probability * (1 << precision))
+    if quantized <= 0:
+        return 0
+    if quantized >= (1 << precision):
+        return (1 << nbits) - 1
+
+    acc = 0
+    # LSB-first over the binary digits of quantized/2**precision.
+    for bit_index in range(precision):
+        r = rng.getrandbits(nbits)
+        if (quantized >> bit_index) & 1:
+            acc |= r
+        else:
+            acc &= r
+    return acc
+
+
+def exact_random_bitmask(rng, nbits: int, probability: float) -> int:
+    """Reference per-bit sampler (slow; for tests and tiny masks)."""
+    if nbits < 0:
+        raise SimulationError(f"nbits must be >= 0, got {nbits}")
+    if not 0.0 <= probability <= 1.0:
+        raise SimulationError(f"probability must be in [0, 1], got {probability}")
+    mask = 0
+    for bit in range(nbits):
+        if rng.random() < probability:
+            mask |= 1 << bit
+    return mask
+
+
+def bit_indices(mask: int) -> list[int]:
+    """Positions of set bits, ascending (diagnostics helper)."""
+    indices = []
+    position = 0
+    while mask:
+        if mask & 1:
+            indices.append(position)
+        mask >>= 1
+        position += 1
+    return indices
+
+
+def mask_from_indices(indices) -> int:
+    """Inverse of :func:`bit_indices`."""
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise SimulationError(f"bit index must be >= 0, got {index}")
+        mask |= 1 << index
+    return mask

@@ -1,0 +1,68 @@
+"""Per-node simulation container.
+
+A :class:`SimNode` bundles the state that belongs to one mote across a
+whole experiment: identity, radio/energy accounting, provisioned key
+material, its private DRBG, and an alive/failed flag for fault injection.
+Protocol-round scratch state (chain knowledge, share accumulators) lives
+in the protocol engines, keyed by node id — it is per-round, not
+per-node-lifetime.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keystore import PairwiseKeyStore
+from repro.crypto.prng import AesCtrDrbg
+from repro.errors import SimulationError
+from repro.sim.energy import RadioEnergyMeter
+
+
+class SimNode:
+    """One simulated mote."""
+
+    __slots__ = ("_node_id", "meter", "keystore", "drbg", "_alive", "_failed_at_us")
+
+    def __init__(
+        self,
+        node_id: int,
+        keystore: PairwiseKeyStore | None = None,
+        drbg: AesCtrDrbg | None = None,
+    ):
+        if node_id < 0:
+            raise SimulationError(f"node id must be >= 0, got {node_id}")
+        self._node_id = node_id
+        self.meter = RadioEnergyMeter()
+        self.keystore = keystore if keystore is not None else PairwiseKeyStore(node_id)
+        self.drbg = drbg if drbg is not None else AesCtrDrbg.from_seed(f"node-{node_id}")
+        self._alive = True
+        self._failed_at_us: int | None = None
+
+    @property
+    def node_id(self) -> int:
+        """This node's id."""
+        return self._node_id
+
+    @property
+    def alive(self) -> bool:
+        """False once the node has been failed by fault injection."""
+        return self._alive
+
+    @property
+    def failed_at_us(self) -> int | None:
+        """When the node failed, or None."""
+        return self._failed_at_us
+
+    def fail(self, now_us: int) -> None:
+        """Kill the node: radio off, no further participation."""
+        if not self._alive:
+            raise SimulationError(f"node {self._node_id} already failed")
+        self._alive = False
+        self._failed_at_us = now_us
+
+    def revive(self) -> None:
+        """Bring a failed node back (between rounds; models reboot)."""
+        self._alive = True
+        self._failed_at_us = None
+
+    def __repr__(self) -> str:
+        status = "alive" if self._alive else f"failed@{self._failed_at_us}"
+        return f"SimNode({self._node_id}, {status})"

@@ -1,0 +1,99 @@
+"""Bounded in-memory trace recording.
+
+Protocol debugging and the coverage profiler both need to see *what
+happened when* inside a round.  :class:`TraceRecorder` keeps a bounded
+list of structured events; recording can be disabled entirely (the
+default for benchmarks) at zero per-event cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        time_us: simulated timestamp.
+        node: node id the event concerns (or -1 for network-wide events).
+        kind: short machine-readable category, e.g. ``"chain_tx"``.
+        detail: free-form payload (kept small by convention).
+    """
+
+    time_us: int
+    node: int
+    kind: str
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Append-only bounded event log.
+
+    Args:
+        enabled: when False, :meth:`record` is a no-op costing one branch.
+        max_events: hard cap; exceeding it raises — a trace that silently
+            drops events is worse than none.
+    """
+
+    __slots__ = ("_enabled", "_events", "_max_events")
+
+    def __init__(self, enabled: bool = False, max_events: int = 1_000_000):
+        if max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
+        self._enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._max_events = max_events
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being recorded."""
+        return self._enabled
+
+    def record(self, time_us: int, node: int, kind: str, detail: Any = None) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self._enabled:
+            return
+        if len(self._events) >= self._max_events:
+            raise SimulationError(
+                f"trace exceeded {self._max_events} events; "
+                "raise max_events or narrow what you record"
+            )
+        self._events.append(TraceEvent(time_us, node, kind, detail))
+
+    def events(
+        self,
+        kind: str | None = None,
+        node: int | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Filtered copy of the recorded events."""
+        selected: Iterator[TraceEvent] = iter(self._events)
+        if kind is not None:
+            selected = (e for e in selected if e.kind == kind)
+        if node is not None:
+            selected = (e for e in selected if e.node == node)
+        if predicate is not None:
+            selected = (e for e in selected if predicate(e))
+        return list(selected)
+
+    def count(self, kind: str | None = None) -> int:
+        """Number of events (optionally of one kind)."""
+        if kind is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        status = "on" if self._enabled else "off"
+        return f"TraceRecorder({status}, {len(self._events)} events)"

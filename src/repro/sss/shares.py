@@ -1,0 +1,50 @@
+"""The :class:`Share` value type.
+
+A share is an evaluation of a dealer's polynomial at a public point.  It
+remembers who dealt it and at which point it was evaluated, which is what
+the aggregation layer needs to track contributor sets for consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SecretSharingError
+from repro.field.prime_field import FieldElement
+
+
+@dataclass(frozen=True, slots=True)
+class Share:
+    """One evaluation ``y = P_dealer(x)`` of a dealer polynomial.
+
+    Attributes:
+        dealer_id: node id of the secret owner who dealt this share.
+        x: the public evaluation point (a field element).
+        y: the polynomial value at ``x``.
+    """
+
+    dealer_id: int
+    x: FieldElement
+    y: FieldElement
+
+    def __post_init__(self) -> None:
+        if self.dealer_id < 0:
+            raise SecretSharingError(f"dealer_id must be >= 0, got {self.dealer_id}")
+        if self.x.field is not self.y.field:
+            raise SecretSharingError("share x and y must live in the same field")
+        if self.x.value == 0:
+            raise SecretSharingError(
+                "shares must not be evaluated at x=0 (that would leak the secret)"
+            )
+
+    @property
+    def point(self) -> tuple[FieldElement, FieldElement]:
+        """The ``(x, y)`` pair, ready for interpolation."""
+        return (self.x, self.y)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the y value (the x is implied by the destination)."""
+        return self.y.to_bytes()
+
+    def __repr__(self) -> str:
+        return f"Share(dealer={self.dealer_id}, x={self.x.value}, y={self.y.value})"

@@ -1,0 +1,171 @@
+"""Synthetic stand-ins for the paper's two public testbeds.
+
+The paper evaluates on FlockLab 2 (ETH Zurich, 26 nRF52840 observers in an
+office building) and D-Cube (TU Graz, 45 nodes in a denser office/lab
+area).  We cannot run on the physical testbeds, so — per the substitution
+policy in DESIGN.md — each is replaced by a deterministic synthetic layout
+plus channel parameters calibrated so that the *structural* properties the
+paper's results depend on hold:
+
+* FlockLab: 26 nodes, building-scale L-shaped deployment, good-link
+  diameter ≈ 4 hops, moderate density;
+* D-Cube: 45 nodes, denser and flatter, good-link diameter ≈ 3 hops,
+  high density (which is what amplifies S4's gains there).
+
+``tests/topology/test_testbeds.py`` pins these calibration targets so a
+change to the channel model cannot silently invalidate the benchmarks.
+
+Each testbed also records the evaluation parameters the paper states for
+it: the source-count sweep of Fig. 1, the polynomial degree rule
+``⌊n/3⌋``, and the sharing-phase NTX the authors found sufficient (6 for
+FlockLab, 5 for D-Cube).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.phy.channel import ChannelParameters
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """A testbed: geometry, propagation environment, paper parameters.
+
+    Attributes:
+        topology: node placement.
+        channel: propagation parameters calibrated for this testbed.
+        sharing_ntx: NTX the paper found sufficient for S4's sharing phase.
+        full_coverage_ntx: NTX at which dissemination reliably reaches the
+            whole network (what S3 must use); profiled during calibration.
+        source_sweep: the x-axis of the paper's Fig. 1 for this testbed.
+        name: testbed name used in reports.
+    """
+
+    topology: Topology
+    channel: ChannelParameters
+    sharing_ntx: int
+    full_coverage_ntx: int
+    source_sweep: tuple[int, ...]
+    name: str = "testbed"
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count n."""
+        return len(self.topology)
+
+    @property
+    def polynomial_degree(self) -> int:
+        """The paper's degree rule: ⌊n/3⌋."""
+        return self.num_nodes // 3
+
+
+def _jittered(
+    base: list[tuple[float, float]], seed: int, jitter_m: float
+) -> dict[int, tuple[float, float]]:
+    """Apply deterministic position jitter to break grid symmetries."""
+    rng = random.Random(seed)
+    return {
+        i: (
+            x + rng.uniform(-jitter_m, jitter_m),
+            y + rng.uniform(-jitter_m, jitter_m),
+        )
+        for i, (x, y) in enumerate(base)
+    }
+
+
+def flocklab() -> TestbedSpec:
+    """Synthetic FlockLab: 26 nodes in an L-shaped office building.
+
+    Two wings of offices either side of a corridor, ~52 m tip-to-tip.
+    With the calibrated channel (path-loss exponent 4.0, 52 dB reference
+    loss — interior walls), good links span ≈ 15-20 m, giving the ≈ 4-hop
+    diameter FlockLab's nRF connectivity maps show.
+    """
+    base: list[tuple[float, float]] = []
+    # Wing A: offices along a horizontal corridor (14 nodes).
+    for x in (2.0, 7.0, 12.0, 17.0, 22.0, 27.0, 32.0):
+        base.append((x, -4.0))
+        base.append((x, 4.0))
+    # Wing B: offices along a vertical corridor at the east end (12 nodes).
+    for y in (6.0, 11.0, 16.0, 21.0, 26.0, 31.0):
+        base.append((32.0, y))
+        base.append((40.0, y))
+    positions = _jittered(base, seed=26, jitter_m=1.0)
+    topology = Topology(positions, name="flocklab-26")
+    channel = ChannelParameters(
+        tx_power_dbm=0.0,
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=3.0,
+        noise_floor_dbm=-96.0,
+        shadowing_seed=0xF10C,
+    )
+    return TestbedSpec(
+        topology=topology,
+        channel=channel,
+        sharing_ntx=6,
+        # Profiled minimum for reliable full-network n^2-chain coverage is
+        # NTX=10 (see tests/ct/test_coverage_calibration.py); the naive
+        # baseline has no bootstrapping insight, so it over-provisions by
+        # the customary +2 margin.
+        full_coverage_ntx=12,
+        source_sweep=(3, 6, 10, 24),
+        name="FlockLab",
+        # Calibrated S4 operating point for this synthetic channel: our
+        # loss tail needs NTX=7 where the authors' hardware managed 6,
+        # plus two redundant collectors (see EXPERIMENTS.md deviations).
+        extras={"s4_sharing_ntx": 7, "s4_redundancy": 2},
+    )
+
+
+def dcube() -> TestbedSpec:
+    """Synthetic D-Cube: 45 nodes, dense office/lab deployment.
+
+    A 9 x 5 jittered grid over ~44 x 21 m.  Denser than FlockLab — a good
+    link reaches a sizeable fraction of the network — giving the ≈ 3-hop
+    diameter and the larger S4 advantage the paper reports there.
+    """
+    base = [
+        (column * 5.5, row * 5.25)
+        for row in range(5)
+        for column in range(9)
+    ]
+    positions = _jittered(base, seed=45, jitter_m=1.2)
+    topology = Topology(positions, name="dcube-45")
+    channel = ChannelParameters(
+        tx_power_dbm=0.0,
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=3.0,
+        noise_floor_dbm=-96.0,
+        shadowing_seed=0xDC0B,
+    )
+    return TestbedSpec(
+        topology=topology,
+        channel=channel,
+        sharing_ntx=5,
+        # Same provisioning rule as FlockLab: profiled minimum 10 plus 2.
+        full_coverage_ntx=12,
+        source_sweep=(5, 7, 12, 45),
+        name="DCube",
+        # Calibrated S4 operating point: our synthetic channel's loss tail
+        # needs NTX=7 where the authors' physical testbed managed 5, plus
+        # two redundant collectors (see EXPERIMENTS.md deviations).
+        extras={"s4_sharing_ntx": 7, "s4_redundancy": 2},
+    )
+
+
+def testbed_by_name(name: str) -> TestbedSpec:
+    """Look a testbed up by case-insensitive name."""
+    lowered = name.lower()
+    if lowered in ("flocklab", "flocklab-26"):
+        return flocklab()
+    if lowered in ("dcube", "d-cube", "dcube-45"):
+        return dcube()
+    from repro.errors import TopologyError
+
+    raise TopologyError(f"unknown testbed {name!r} (have: flocklab, dcube)")

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface.
+
+Full campaigns are slow, so CLI tests run the smallest honest
+configurations and mostly verify wiring: argument parsing, output
+formats, exit codes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_no_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_testbed_exits(self):
+        with pytest.raises(SystemExit):
+            main(["coverage", "--testbed", "nope"])
+
+
+class TestCoverageCommand:
+    def test_table_output(self, capsys):
+        code = main(["coverage", "--testbed", "flocklab", "--iterations", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "NTX" in captured.out
+        assert "FlockLab" in captured.out
+
+    def test_csv_output(self, capsys):
+        code = main(
+            ["coverage", "--testbed", "flocklab", "--iterations", "2", "--csv"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("ntx,")
+
+
+class TestFigure1Command:
+    def test_csv_has_expected_columns(self, capsys):
+        code = main(
+            ["figure1", "--testbed", "flocklab", "--iterations", "2", "--csv"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        header = captured.out.splitlines()[0]
+        for column in ("n", "s3_latency_ms", "s4_latency_ms", "latency_ratio"):
+            assert column in header
+        # one row per sweep point
+        assert len(captured.out.strip().splitlines()) == 5

@@ -1,0 +1,68 @@
+"""CLI coverage for the remaining subcommands (fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDegreesCommand:
+    def test_table(self, capsys):
+        assert main(["degrees", "--testbed", "flocklab", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "degree" in out and "latency" in out
+
+    def test_csv(self, capsys):
+        assert (
+            main(["degrees", "--testbed", "flocklab", "--iterations", "2", "--csv"])
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("degree,")
+
+
+class TestFaultsCommand:
+    def test_table(self, capsys):
+        assert main(["faults", "--testbed", "flocklab", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "failed collectors" in out
+
+
+class TestAblationCommand:
+    def test_table(self, capsys):
+        assert main(["ablation", "--testbed", "flocklab", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "s4_no_early_off" in out
+
+
+class TestInterferenceCommand:
+    def test_table(self, capsys):
+        assert (
+            main(["interference", "--testbed", "flocklab", "--iterations", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "jamming level" in out
+
+    def test_csv(self, capsys):
+        assert (
+            main(
+                [
+                    "interference",
+                    "--testbed",
+                    "flocklab",
+                    "--iterations",
+                    "2",
+                    "--csv",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("level,")
+
+
+class TestLifetimeCommand:
+    def test_table(self, capsys):
+        assert main(["lifetime", "--testbed", "flocklab", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime" in out and "S4 extends network lifetime" in out

@@ -1,0 +1,109 @@
+"""Tests for experiment-result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import Figure1Point, Figure1Result
+from repro.analysis.io import (
+    figure1_from_dict,
+    figure1_to_dict,
+    load_figure1,
+    load_rows,
+    save_figure1,
+    save_rows,
+)
+from repro.analysis.stats import summarize
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def sample_result():
+    def stats(base):
+        return summarize([base, base * 1.1, base * 0.9])
+
+    point = Figure1Point(
+        num_nodes=10,
+        degree=3,
+        s3_latency_ms=stats(3000),
+        s4_latency_ms=stats(800),
+        s3_radio_ms=stats(3200),
+        s4_radio_ms=stats(850),
+        s3_success=1.0,
+        s4_success=0.97,
+    )
+    return Figure1Result(testbed="TestBed", points=(point,), iterations=3)
+
+
+class TestFigure1Roundtrip:
+    def test_roundtrip_preserves_everything(self, sample_result, tmp_path):
+        path = tmp_path / "fig1.json"
+        save_figure1(sample_result, path)
+        loaded = load_figure1(path)
+        assert loaded.testbed == sample_result.testbed
+        assert loaded.iterations == sample_result.iterations
+        original = sample_result.points[0]
+        restored = loaded.points[0]
+        assert restored.num_nodes == original.num_nodes
+        assert restored.s3_latency_ms == original.s3_latency_ms
+        assert restored.latency_ratio == pytest.approx(original.latency_ratio)
+
+    def test_dict_roundtrip(self, sample_result):
+        assert (
+            figure1_from_dict(figure1_to_dict(sample_result)).points
+            == sample_result.points
+        )
+
+    def test_file_is_valid_json(self, sample_result, tmp_path):
+        path = tmp_path / "fig1.json"
+        save_figure1(sample_result, path)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "figure1"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_figure1(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_figure1(path)
+
+    def test_wrong_kind(self, sample_result, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows([{"a": 1}], path, kind="coverage")
+        with pytest.raises(ReproError):
+            load_figure1(path)
+
+    def test_wrong_schema(self, sample_result):
+        data = figure1_to_dict(sample_result)
+        data["schema"] = 99
+        with pytest.raises(ReproError):
+            figure1_from_dict(data)
+
+    def test_missing_summary_field(self, sample_result):
+        data = figure1_to_dict(sample_result)
+        del data["points"][0]["s3_latency_ms"]["mean"]
+        with pytest.raises(ReproError):
+            figure1_from_dict(data)
+
+
+class TestRows:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"ntx": 1, "reach": 5.5}, {"ntx": 2, "reach": 8.0}]
+        path = tmp_path / "coverage.json"
+        save_rows(rows, path, kind="coverage")
+        assert load_rows(path, kind="coverage") == rows
+
+    def test_kind_checked(self, tmp_path):
+        path = tmp_path / "coverage.json"
+        save_rows([{"a": 1}], path, kind="coverage")
+        with pytest.raises(ReproError):
+            load_rows(path, kind="degrees")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_rows(tmp_path / "nope.json", kind="x")

@@ -1,0 +1,58 @@
+"""Tests for table rendering and CSV export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table, to_csv
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "30" in lines[4]  # title, header, rule, row 1, row 2
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.123], [float("nan")]])
+        assert "1,235" in text
+        assert "0.12" in text
+        assert "-" in text.splitlines()[-1]
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [[1]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestToCsv:
+    def test_basic(self):
+        csv = to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert csv == "a,b\n1,2\n3,4\n"
+
+    def test_explicit_order(self):
+        csv = to_csv([{"a": 1, "b": 2}], field_order=["b", "a"])
+        assert csv.splitlines()[0] == "b,a"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ReproError):
+            to_csv([{"a": 1}], field_order=["zz"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            to_csv([])
+
+    def test_missing_values_blank(self):
+        csv = to_csv([{"a": 1, "b": 2}, {"a": 3}], field_order=["a", "b"])
+        assert csv.splitlines()[2] == "3,"

@@ -1,0 +1,87 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    StatsError,
+    SummaryStats,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3.0
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_stdev(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_stdev_single(self):
+        assert stdev([5]) == 0.0
+
+    def test_empty_rejected(self):
+        for fn in (mean, median, stdev):
+            with pytest.raises(StatsError):
+                fn([])
+        with pytest.raises(StatsError):
+            percentile([], 50)
+
+    def test_bad_percentile(self):
+        with pytest.raises(StatsError):
+            percentile([1], 101)
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.p5 == 1
+        assert summary.p95 == 5
+
+    def test_ci_zero_for_single(self):
+        assert summarize([7]).ci95_half_width == 0.0
+
+    def test_ci_shrinks_with_samples(self):
+        few = summarize([1, 5] * 5)
+        many = summarize([1, 5] * 50)
+        assert many.ci95_half_width < few.ci95_half_width
+
+    def test_format(self):
+        text = summarize([1, 2, 3]).format(unit="ms")
+        assert "ms" in text and "n=3" in text
+
+    @given(values=samples)
+    def test_summary_invariants(self, values):
+        summary = summarize(values)
+        assert summary.p5 <= summary.median <= summary.p95
+        slack = 1e-9 * max(1.0, abs(max(values)), abs(min(values)))
+        assert min(values) - slack <= summary.mean <= max(values) + slack

@@ -1,0 +1,55 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.field import MERSENNE_61, PrimeField
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.link import LinkTable
+from repro.topology.generators import grid, line
+
+
+@pytest.fixture
+def field() -> PrimeField:
+    """The library's default field GF(2^61 - 1)."""
+    return PrimeField(MERSENNE_61)
+
+
+@pytest.fixture
+def tiny_field() -> PrimeField:
+    """A small prime field where exhaustive checks are feasible."""
+    return PrimeField(97)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic stdlib RNG for tests that need cheap randomness."""
+    return random.Random(0xC0FFEE)
+
+
+def make_links(topology, frame_bytes=29, sigma=0.0):
+    """Link table with a deterministic (no-shadowing by default) channel."""
+    channel = ChannelModel(
+        ChannelParameters(
+            path_loss_exponent=4.0,
+            reference_loss_db=52.0,
+            shadowing_sigma_db=sigma,
+            noise_floor_dbm=-96.0,
+        )
+    )
+    return LinkTable(topology.positions, channel, frame_bytes)
+
+
+@pytest.fixture
+def line5_links() -> LinkTable:
+    """5 nodes in a line, 8 m spacing: solid one-hop links, weak two-hop."""
+    return make_links(line(5, spacing_m=8.0))
+
+
+@pytest.fixture
+def grid9_links() -> LinkTable:
+    """3x3 grid, 7 m spacing: dense little mesh."""
+    return make_links(grid(3, 3, spacing_m=7.0))

@@ -1,0 +1,66 @@
+"""Shared fixtures for protocol-level tests: a small fast testbed."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import CryptoMode, ProtocolConfig, S3Config, S4Config
+from repro.core.s3 import S3Engine
+from repro.core.s4 import S4Engine
+from repro.phy.channel import ChannelParameters
+from repro.topology.generators import grid
+
+
+def small_spec_parts():
+    """A 3x3 grid deployment with solid links — fast protocol tests."""
+    topology = grid(3, 3, spacing_m=7.0, jitter_m=0.5, seed=2)
+    channel = ChannelParameters(
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=1.0,
+        noise_floor_dbm=-96.0,
+        shadowing_seed=77,
+    )
+    return topology, channel
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return small_spec_parts()
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return ProtocolConfig(degree=2, crypto_mode=CryptoMode.REAL)
+
+
+@pytest.fixture(scope="module")
+def stub_config():
+    return ProtocolConfig(degree=2, crypto_mode=CryptoMode.STUB)
+
+
+@pytest.fixture(scope="module")
+def s3_engine(small_network, base_config):
+    topology, channel = small_network
+    return S3Engine(topology, channel, S3Config(base=base_config, ntx=6))
+
+
+@pytest.fixture(scope="module")
+def s4_engine(small_network, base_config):
+    topology, channel = small_network
+    config = S4Config(
+        base=base_config,
+        sharing_ntx=4,
+        reconstruction_ntx=6,
+        collector_redundancy=1,
+        bootstrap_iterations=8,
+    )
+    return S4Engine(topology, channel, config)
+
+
+@pytest.fixture
+def secrets(small_network):
+    topology, _ = small_network
+    return {node: 10 + node for node in topology.node_ids}

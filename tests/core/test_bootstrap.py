@@ -1,0 +1,145 @@
+"""Tests for the S4 bootstrapping phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bootstrap import (
+    bootstrap_s4,
+    network_depth,
+    profile_completion_slots,
+    quantile,
+)
+from repro.ct.minicast import MiniCastRound, Requirement
+from repro.ct.packet import ChainLayout
+from repro.ct.slots import RoundSchedule
+from repro.errors import BootstrapError
+from repro.phy.radio import NRF52840_154
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_max(self):
+        assert quantile([5, 1, 3], 1.0) == 5
+
+    def test_nearest_rank(self):
+        assert quantile([1, 2, 3, 4], 0.95) == 4
+        assert quantile([1, 2, 3, 4], 0.75) == 3
+
+    def test_invalid(self):
+        with pytest.raises(BootstrapError):
+            quantile([], 0.5)
+        with pytest.raises(BootstrapError):
+            quantile([1], 0.0)
+        with pytest.raises(BootstrapError):
+            quantile([1], 1.1)
+
+
+class TestNetworkDepth:
+    def test_line_depth(self, line5_links):
+        assert network_depth(line5_links) == 4
+
+    def test_grid_depth(self, grid9_links):
+        assert 1 <= network_depth(grid9_links) <= 4
+
+
+class TestProfileCompletion:
+    def test_records_one_value_per_iteration(self, grid9_links):
+        nodes = grid9_links.node_ids
+        layout = ChainLayout.reconstruction(nodes, num_nodes=len(nodes))
+        schedule = RoundSchedule.plan(
+            chain_length=len(layout),
+            psdu_bytes=layout.psdu_bytes,
+            ntx=4,
+            depth_hint=2,
+            timings=NRF52840_154,
+        )
+        round_ = MiniCastRound(grid9_links, schedule)
+        initial = {n: layout.source_mask(n) for n in nodes}
+        requirements = {
+            n: Requirement.all_of(layout.full_mask()) for n in nodes[:3]
+        }
+        slots = profile_completion_slots(
+            round_,
+            initial_knowledge=initial,
+            requirements=requirements,
+            initiators=[nodes[0]],
+            iterations=5,
+            seed=1,
+        )
+        assert len(slots) == 5
+        assert all(0 <= s <= schedule.num_slots for s in slots)
+
+    def test_satisfy_count_lower_is_earlier(self, grid9_links):
+        nodes = grid9_links.node_ids
+        layout = ChainLayout.reconstruction(nodes, num_nodes=len(nodes))
+        schedule = RoundSchedule.plan(
+            chain_length=len(layout),
+            psdu_bytes=layout.psdu_bytes,
+            ntx=4,
+            depth_hint=2,
+            timings=NRF52840_154,
+        )
+        round_ = MiniCastRound(grid9_links, schedule)
+        initial = {n: layout.source_mask(n) for n in nodes}
+        requirements = {
+            n: Requirement.all_of(layout.full_mask()) for n in nodes[:4]
+        }
+        common = dict(
+            initial_knowledge=initial,
+            requirements=requirements,
+            initiators=[nodes[0]],
+            iterations=6,
+            seed=2,
+        )
+        first = profile_completion_slots(round_, satisfy_count=1, **common)
+        last = profile_completion_slots(round_, satisfy_count=4, **common)
+        assert sum(first) <= sum(last)
+
+    def test_bad_satisfy_count(self, grid9_links):
+        nodes = grid9_links.node_ids
+        layout = ChainLayout.reconstruction(nodes, num_nodes=len(nodes))
+        schedule = RoundSchedule.plan(
+            chain_length=len(layout), psdu_bytes=layout.psdu_bytes,
+            ntx=2, depth_hint=2, timings=NRF52840_154,
+        )
+        round_ = MiniCastRound(grid9_links, schedule)
+        initial = {n: layout.source_mask(n) for n in nodes}
+        requirements = {0: Requirement.all_of(1)}
+        with pytest.raises(BootstrapError):
+            profile_completion_slots(
+                round_, initial, requirements, [nodes[0]],
+                iterations=1, seed=0, satisfy_count=5,
+            )
+
+
+class TestBootstrapS4:
+    def test_end_to_end(self, grid9_links):
+        result = bootstrap_s4(
+            links=grid9_links,
+            timings=NRF52840_154,
+            sources=list(grid9_links.node_ids),
+            num_collectors=4,
+            sharing_ntx=4,
+            iterations=6,
+            collector_threshold=0.5,
+        )
+        assert len(result.collectors) == 4
+        assert result.sharing_slots >= 1
+        assert result.network_depth >= 1
+
+    def test_sharing_slots_bounded_by_generous(self, grid9_links):
+        result = bootstrap_s4(
+            links=grid9_links,
+            timings=NRF52840_154,
+            sources=list(grid9_links.node_ids),
+            num_collectors=4,
+            sharing_ntx=4,
+            iterations=6,
+            collector_threshold=0.5,
+        )
+        from repro.ct.slots import round_slots
+
+        assert result.sharing_slots <= round_slots(4, result.network_depth)

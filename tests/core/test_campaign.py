@@ -1,0 +1,83 @@
+"""Tests for multi-round campaigns and lifetime projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.errors import ConfigurationError
+from repro.sim.battery import Battery, DutyCycleProfile
+
+
+class TestRunCampaign:
+    def test_rounds_executed(self, s4_engine):
+        result = run_campaign(s4_engine, rounds=3, seed=1)
+        assert result.num_rounds == 3
+        assert len(result.rounds) == 3
+
+    def test_energy_accumulates(self, s4_engine):
+        one = run_campaign(s4_engine, rounds=1, seed=2)
+        three = run_campaign(s4_engine, rounds=3, seed=2)
+        for node in s4_engine.topology.node_ids:
+            assert three.radio_on_us_per_node[node] > one.radio_on_us_per_node[node]
+
+    def test_split_sums_to_total(self, s4_engine):
+        result = run_campaign(s4_engine, rounds=2, seed=3)
+        for node in s4_engine.topology.node_ids:
+            assert (
+                result.tx_us_per_node[node] + result.rx_us_per_node[node]
+                == result.radio_on_us_per_node[node]
+            )
+
+    def test_reliability_tracked(self, s4_engine):
+        result = run_campaign(s4_engine, rounds=3, seed=4)
+        assert 0.0 <= result.reliability <= 1.0
+
+    def test_custom_secrets(self, s4_engine):
+        seen = []
+
+        def secrets(index):
+            seen.append(index)
+            return {node: index + 1 for node in s4_engine.topology.node_ids}
+
+        run_campaign(s4_engine, rounds=2, secrets_for_round=secrets, seed=5)
+        assert seen == [0, 1]
+
+    def test_deterministic(self, s4_engine):
+        a = run_campaign(s4_engine, rounds=2, seed=6)
+        b = run_campaign(s4_engine, rounds=2, seed=6)
+        assert a.radio_on_us_per_node == b.radio_on_us_per_node
+
+    def test_zero_rounds_rejected(self, s4_engine):
+        with pytest.raises(ConfigurationError):
+            run_campaign(s4_engine, rounds=0)
+
+
+class TestLifetime:
+    def test_s4_outlives_s3(self, s3_engine, s4_engine):
+        s3_campaign = run_campaign(s3_engine, rounds=2, seed=7)
+        s4_campaign = run_campaign(s4_engine, rounds=2, seed=7)
+        assert s4_campaign.lifetime_days() > s3_campaign.lifetime_days()
+
+    def test_worst_node_defines_lifetime(self, s3_engine):
+        campaign = run_campaign(s3_engine, rounds=2, seed=8)
+        worst = campaign.worst_node()
+        assert campaign.radio_on_us_per_node[worst] == max(
+            campaign.radio_on_us_per_node.values()
+        )
+
+    def test_bigger_battery_longer_life(self, s4_engine):
+        campaign = run_campaign(s4_engine, rounds=2, seed=9)
+        small = campaign.lifetime_days(battery=Battery(capacity_mah=500))
+        large = campaign.lifetime_days(battery=Battery(capacity_mah=5000))
+        assert large > small
+
+    def test_duty_cycle_scales_life(self, s4_engine):
+        campaign = run_campaign(s4_engine, rounds=2, seed=10)
+        rare = campaign.lifetime_days(
+            profile=DutyCycleProfile(rounds_per_day=4)
+        )
+        frequent = campaign.lifetime_days(
+            profile=DutyCycleProfile(rounds_per_day=400)
+        )
+        assert rare > frequent

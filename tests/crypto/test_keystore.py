@@ -1,0 +1,80 @@
+"""Tests for pairwise key pre-distribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import PairwiseKeyStore, derive_pairwise_key
+from repro.errors import CryptoError, KeyNotFoundError
+
+MASTER = b"network-master-secret"
+
+
+class TestDerivation:
+    def test_symmetric_in_nodes(self):
+        assert derive_pairwise_key(MASTER, 3, 7) == derive_pairwise_key(MASTER, 7, 3)
+
+    def test_distinct_pairs_distinct_keys(self):
+        assert derive_pairwise_key(MASTER, 1, 2) != derive_pairwise_key(MASTER, 1, 3)
+        assert derive_pairwise_key(MASTER, 1, 2) != derive_pairwise_key(MASTER, 2, 3)
+
+    def test_distinct_masters_distinct_keys(self):
+        assert derive_pairwise_key(b"a", 1, 2) != derive_pairwise_key(b"b", 1, 2)
+
+    def test_key_length(self):
+        assert len(derive_pairwise_key(MASTER, 0, 1)) == 16
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_pairwise_key(MASTER, 5, 5)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_pairwise_key(MASTER, -1, 2)
+
+
+class TestKeyStore:
+    def test_provision_covers_all_peers(self):
+        store = PairwiseKeyStore.provision(0, range(5), MASTER)
+        assert store.peers() == [1, 2, 3, 4]
+
+    def test_provision_skips_self(self):
+        store = PairwiseKeyStore.provision(2, [1, 2, 3], MASTER)
+        assert store.peers() == [1, 3]
+
+    def test_both_ends_agree(self):
+        # The property that makes the "secure channel" work: node a's cipher
+        # for b encrypts what node b's cipher for a decrypts.
+        store_a = PairwiseKeyStore.provision(0, [1], MASTER)
+        store_b = PairwiseKeyStore.provision(1, [0], MASTER)
+        block = bytes(range(16))
+        encrypted = store_a.cipher_for(1).encrypt_block(block)
+        assert store_b.cipher_for(0).decrypt_block(encrypted) == block
+
+    def test_missing_key_raises(self):
+        store = PairwiseKeyStore(0)
+        with pytest.raises(KeyNotFoundError):
+            store.cipher_for(9)
+
+    def test_has_key(self):
+        store = PairwiseKeyStore.provision(0, [1, 2], MASTER)
+        assert store.has_key(1)
+        assert not store.has_key(5)
+
+    def test_install_self_rejected(self):
+        store = PairwiseKeyStore(3)
+        with pytest.raises(CryptoError):
+            store.install_key(3, bytes(16))
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(CryptoError):
+            PairwiseKeyStore(-1)
+
+    def test_len(self):
+        assert len(PairwiseKeyStore.provision(0, range(4), MASTER)) == 3
+
+    def test_node_id_property(self):
+        assert PairwiseKeyStore(7).node_id == 7
+
+    def test_repr(self):
+        assert "node=7" in repr(PairwiseKeyStore(7))

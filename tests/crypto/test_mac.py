@@ -1,0 +1,75 @@
+"""Tests for CBC-MAC authentication."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import AES128, cbc_mac, verify_mac
+from repro.errors import AuthenticationError, CryptoError
+
+
+@pytest.fixture
+def cipher():
+    return AES128(bytes(range(16)))
+
+
+class TestCbcMac:
+    def test_deterministic(self, cipher):
+        assert cbc_mac(cipher, b"hello") == cbc_mac(cipher, b"hello")
+
+    def test_default_tag_length(self, cipher):
+        assert len(cbc_mac(cipher, b"hello")) == 4
+
+    def test_custom_tag_length(self, cipher):
+        assert len(cbc_mac(cipher, b"hello", tag_length=16)) == 16
+
+    def test_tag_length_bounds(self, cipher):
+        with pytest.raises(CryptoError):
+            cbc_mac(cipher, b"x", tag_length=0)
+        with pytest.raises(CryptoError):
+            cbc_mac(cipher, b"x", tag_length=17)
+
+    def test_different_messages_different_tags(self, cipher):
+        assert cbc_mac(cipher, b"hello") != cbc_mac(cipher, b"hellp")
+
+    def test_different_keys_different_tags(self):
+        a = AES128(bytes(16))
+        b = AES128(bytes(15) + b"\x01")
+        assert cbc_mac(a, b"hello") != cbc_mac(b, b"hello")
+
+    def test_length_extension_resistance(self, cipher):
+        # The length-prepending fix: a message and its zero-extended form
+        # must have unrelated tags.
+        assert cbc_mac(cipher, b"msg") != cbc_mac(cipher, b"msg\x00")
+
+    def test_empty_message(self, cipher):
+        assert len(cbc_mac(cipher, b"")) == 4
+
+
+class TestVerifyMac:
+    def test_valid_tag_accepted(self, cipher):
+        tag = cbc_mac(cipher, b"payload")
+        verify_mac(cipher, b"payload", tag)  # must not raise
+
+    def test_wrong_tag_rejected(self, cipher):
+        tag = bytearray(cbc_mac(cipher, b"payload"))
+        tag[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            verify_mac(cipher, b"payload", bytes(tag))
+
+    def test_wrong_message_rejected(self, cipher):
+        tag = cbc_mac(cipher, b"payload")
+        with pytest.raises(AuthenticationError):
+            verify_mac(cipher, b"payloae", tag)
+
+    def test_wrong_length_rejected(self, cipher):
+        tag = cbc_mac(cipher, b"payload")
+        with pytest.raises(AuthenticationError):
+            verify_mac(cipher, b"payload", tag[:2])
+
+    @given(message=st.binary(max_size=100))
+    def test_roundtrip_property(self, message):
+        cipher = AES128(bytes(16))
+        verify_mac(cipher, message, cbc_mac(cipher, message))

@@ -1,0 +1,125 @@
+"""Tests for chain layouts and packet sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ct.packet import (
+    ChainLayout,
+    SubSlotSpec,
+    reconstruction_psdu_bytes,
+    sharing_psdu_bytes,
+)
+from repro.errors import PacketError
+
+
+class TestPsduSizes:
+    def test_sharing_psdu(self):
+        # 3 B header + 16 B ciphertext + 4 B tag.
+        assert sharing_psdu_bytes() == 23
+
+    def test_reconstruction_psdu(self):
+        # 3 B header + 8 B sum + ceil(26/8)=4 B bitmap.
+        assert reconstruction_psdu_bytes(26) == 15
+        assert reconstruction_psdu_bytes(45) == 17
+
+    def test_reconstruction_psdu_element_size(self):
+        assert reconstruction_psdu_bytes(26, element_size=16) == 23
+
+    def test_invalid(self):
+        with pytest.raises(PacketError):
+            reconstruction_psdu_bytes(0)
+        with pytest.raises(PacketError):
+            reconstruction_psdu_bytes(10, element_size=0)
+
+
+class TestSharingLayout:
+    def test_cartesian_size(self):
+        layout = ChainLayout.sharing([0, 1, 2], [5, 6])
+        assert len(layout) == 6
+
+    def test_n_squared_for_full_network(self):
+        # The paper: "the chain size is extended to contain n^2 sub-slots".
+        layout = ChainLayout.sharing(range(10), range(10))
+        assert len(layout) == 100
+
+    def test_index_lookup(self):
+        layout = ChainLayout.sharing([0, 1], [5, 6])
+        assert layout.index_of(0, 5) == 0
+        assert layout.index_of(1, 6) == 3
+        assert layout.spec(3) == SubSlotSpec(index=3, source=1, destination=6)
+
+    def test_unknown_pair(self):
+        layout = ChainLayout.sharing([0], [5])
+        with pytest.raises(PacketError):
+            layout.index_of(0, 99)
+
+    def test_source_mask(self):
+        layout = ChainLayout.sharing([0, 1], [5, 6])
+        assert layout.source_mask(0) == 0b0011
+        assert layout.source_mask(1) == 0b1100
+        assert layout.source_mask(42) == 0
+
+    def test_destination_mask(self):
+        layout = ChainLayout.sharing([0, 1], [5, 6])
+        assert layout.destination_mask(5) == 0b0101
+        assert layout.destination_mask(6) == 0b1010
+
+    def test_full_mask(self):
+        layout = ChainLayout.sharing([0, 1], [5, 6])
+        assert layout.full_mask() == 0b1111
+
+    def test_masks_partition_chain(self):
+        layout = ChainLayout.sharing(range(4), range(7))
+        union = 0
+        for src in range(4):
+            mask = layout.source_mask(src)
+            assert union & mask == 0  # disjoint
+            union |= mask
+        assert union == layout.full_mask()
+
+
+class TestReconstructionLayout:
+    def test_one_subslot_per_holder(self):
+        layout = ChainLayout.reconstruction([3, 7, 9], num_nodes=10)
+        assert len(layout) == 3
+        assert layout.spec(1).source == 7
+        assert layout.spec(1).destination is None
+
+    def test_index_of_broadcast(self):
+        layout = ChainLayout.reconstruction([3, 7], num_nodes=10)
+        assert layout.index_of(7, None) == 1
+
+    def test_psdu_matches_helper(self):
+        layout = ChainLayout.reconstruction(range(5), num_nodes=26)
+        assert layout.psdu_bytes == reconstruction_psdu_bytes(26)
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PacketError):
+            ChainLayout([], psdu_bytes=10)
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(PacketError):
+            ChainLayout([SubSlotSpec(index=1, source=0)], psdu_bytes=10)
+
+    def test_duplicate_pair_rejected(self):
+        specs = [
+            SubSlotSpec(index=0, source=0, destination=1),
+            SubSlotSpec(index=1, source=0, destination=1),
+        ]
+        with pytest.raises(PacketError):
+            ChainLayout(specs, psdu_bytes=10)
+
+    def test_out_of_range_spec(self):
+        layout = ChainLayout.sharing([0], [1])
+        with pytest.raises(PacketError):
+            layout.spec(5)
+
+    def test_bad_psdu(self):
+        with pytest.raises(PacketError):
+            ChainLayout([SubSlotSpec(index=0, source=0)], psdu_bytes=0)
+
+    def test_repr(self):
+        assert "sharing" in repr(ChainLayout.sharing([0], [1]))

@@ -1,0 +1,73 @@
+"""Tests for the time-synchronization layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ct.sync import ClockModel, SyncPlan, SYNC_PSDU_BYTES
+from repro.errors import ConfigurationError
+from repro.phy.radio import NRF52840_154
+
+
+class TestClockModel:
+    def test_guard_grows_with_silence(self):
+        clock = ClockModel(drift_ppm=20)
+        assert clock.guard_us(1_000_000) < clock.guard_us(10_000_000)
+
+    def test_known_value(self):
+        # 20 ppm both ways over 1 s = 40 us (+1 quantization).
+        assert ClockModel(drift_ppm=20).guard_us(1_000_000) == 41
+
+    def test_zero_drift(self):
+        clock = ClockModel(drift_ppm=0)
+        assert clock.guard_us(10**9) == 1
+        assert clock.max_silence_us(100) > 10**15
+
+    def test_max_silence_inverts_guard(self):
+        clock = ClockModel(drift_ppm=20)
+        budget = 500
+        silence = clock.max_silence_us(budget)
+        assert clock.guard_us(silence) <= budget + 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockModel(drift_ppm=-1)
+        with pytest.raises(ConfigurationError):
+            ClockModel().guard_us(-1)
+        with pytest.raises(ConfigurationError):
+            ClockModel().max_silence_us(0)
+
+
+class TestSyncPlan:
+    def test_cost_measured(self, grid9_links):
+        plan = SyncPlan(grid9_links, NRF52840_154, ntx=3)
+        cost = plan.measure_cost(seed=1, iterations=5)
+        assert cost.latency_us > 0
+        assert cost.mean_radio_on_us > 0
+        assert cost.coverage > 0.9  # dense grid: sync reaches everyone
+
+    def test_sync_is_cheap_relative_to_rounds(self, grid9_links):
+        # The sync flood is a single small packet; one aggregation round
+        # is thousands of packets. Overhead must be far below 1%.
+        plan = SyncPlan(grid9_links, NRF52840_154, ntx=3)
+        one_minute_us = 60_000_000
+        assert plan.overhead_fraction(one_minute_us, iterations=3) < 0.01
+
+    def test_guard_passthrough(self, grid9_links):
+        plan = SyncPlan(grid9_links, NRF52840_154, clock=ClockModel(drift_ppm=10))
+        assert plan.guard_for_round_spacing(1_000_000) == 21
+
+    def test_custom_initiator(self, grid9_links):
+        plan = SyncPlan(grid9_links, NRF52840_154, ntx=2, initiator=4)
+        cost = plan.measure_cost(iterations=3)
+        assert cost.coverage > 0.5
+
+    def test_sync_packet_is_small(self):
+        assert SYNC_PSDU_BYTES < 20
+
+    def test_validation(self, grid9_links):
+        plan = SyncPlan(grid9_links, NRF52840_154)
+        with pytest.raises(ConfigurationError):
+            plan.measure_cost(iterations=0)
+        with pytest.raises(ConfigurationError):
+            plan.overhead_fraction(0)

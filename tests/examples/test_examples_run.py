@@ -1,0 +1,67 @@
+"""Smoke tests: the shipped examples must actually run.
+
+The two fastest examples run end-to-end inside the test process (their
+asserts double as correctness checks); the slower, real-crypto ones are
+only syntax/import-checked here and exercised by their own protocol
+tests elsewhere.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_all_examples_present(self):
+        expected = {
+            "quickstart.py",
+            "smart_metering.py",
+            "fault_tolerant_sensing.py",
+            "ntx_tuning.py",
+            "deployment_lifetime.py",
+        }
+        found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= found
+
+
+class TestQuickstart:
+    def test_runs_to_completion(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "agree on the sum" in out
+
+
+class TestNtxTuning:
+    def test_runs_to_completion(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["ntx_tuning.py", "flocklab"])
+        module = load_example("ntx_tuning")
+        module.main()
+        out = capsys.readouterr().out
+        assert "coverage vs NTX" in out
+        assert "elected" in out
+
+
+class TestOthersImportable:
+    @pytest.mark.parametrize(
+        "name",
+        ["smart_metering", "fault_tolerant_sensing", "deployment_lifetime"],
+    )
+    def test_import_only(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,89 @@
+"""Tests for integer modular-arithmetic primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FieldError, NonInvertibleError
+from repro.field.modular import egcd, is_probable_prime, mod_inverse
+
+
+class TestEgcd:
+    def test_coprime_pair(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    def test_identity_on_zero(self):
+        g, x, y = egcd(0, 7)
+        assert g == 7
+        assert 0 * x + 7 * y == 7
+
+    def test_bezout_holds_for_many_pairs(self):
+        for a in range(1, 40):
+            for b in range(1, 40):
+                g, x, y = egcd(a, b)
+                assert a * x + b * y == g
+                assert a % g == 0 and b % g == 0
+
+    def test_large_operands_do_not_recurse(self):
+        a = (1 << 127) - 1
+        b = (1 << 61) - 1
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModInverse:
+    def test_known_inverse(self):
+        assert mod_inverse(3, 7) == 5  # 3*5 = 15 = 1 mod 7
+
+    def test_inverse_roundtrip_small_prime(self):
+        p = 101
+        for a in range(1, p):
+            assert a * mod_inverse(a, p) % p == 1
+
+    def test_zero_not_invertible(self):
+        with pytest.raises(NonInvertibleError):
+            mod_inverse(0, 7)
+
+    def test_multiple_of_modulus_not_invertible(self):
+        with pytest.raises(NonInvertibleError):
+            mod_inverse(14, 7)
+
+    def test_non_coprime_not_invertible(self):
+        with pytest.raises(NonInvertibleError):
+            mod_inverse(6, 9)
+
+    def test_negative_input_normalized(self):
+        assert mod_inverse(-3, 7) == mod_inverse(4, 7)
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            mod_inverse(1, 1)
+
+    def test_mersenne_61_inverse(self):
+        p = (1 << 61) - 1
+        a = 123456789123456789
+        assert a * mod_inverse(a, p) % p == 1
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 101, (1 << 61) - 1, (1 << 127) - 1])
+    def test_known_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", [-7, 0, 1, 4, 9, 91, 561, 1105, (1 << 61) - 3])
+    def test_known_composites_and_edge_cases(self, n):
+        # 561 and 1105 are Carmichael numbers; Miller-Rabin must reject them.
+        assert not is_probable_prime(n)
+
+    def test_agrees_with_sieve_below_2000(self):
+        limit = 2000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_probable_prime(n) == sieve[n], n

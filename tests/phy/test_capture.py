@@ -1,0 +1,74 @@
+"""Tests for the capture/diversity reception model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.capture import CaptureModel
+
+
+class TestEffectivePrrs:
+    def test_sorted_descending_capped(self):
+        model = CaptureModel(max_diversity=2)
+        assert model.effective_prrs([0.1, 0.9, 0.5]) == [0.9, 0.5]
+
+    def test_floor_filters(self):
+        model = CaptureModel(prr_floor=0.2)
+        assert model.effective_prrs([0.1, 0.25, 0.05]) == [0.25]
+
+    def test_empty(self):
+        assert CaptureModel().effective_prrs([]) == []
+
+
+class TestSuccessProbability:
+    def test_single_transmitter(self):
+        assert CaptureModel().success_probability([0.7]) == pytest.approx(0.7)
+
+    def test_diversity_combines(self):
+        # 1 - 0.5*0.5 = 0.75
+        assert CaptureModel().success_probability([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_cap_limits_gain(self):
+        model = CaptureModel(max_diversity=1)
+        assert model.success_probability([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_no_transmitters(self):
+        assert CaptureModel().success_probability([]) == 0.0
+
+    def test_perfect_link_dominates(self):
+        assert CaptureModel().success_probability([1.0, 0.1]) == pytest.approx(1.0)
+
+    def test_below_floor_contributes_nothing(self):
+        model = CaptureModel(prr_floor=0.05)
+        assert model.success_probability([0.01, 0.02]) == 0.0
+
+
+class TestSample:
+    def test_certain_success(self):
+        assert CaptureModel().sample([1.0], random.Random(0)) is True
+
+    def test_certain_failure(self):
+        assert CaptureModel().sample([], random.Random(0)) is False
+
+    def test_empirical_rate_matches(self):
+        model = CaptureModel()
+        rng = random.Random(42)
+        trials = 4000
+        hits = sum(model.sample([0.6, 0.4], rng) for _ in range(trials))
+        expected = 1 - 0.4 * 0.6  # 0.76
+        assert abs(hits / trials - expected) < 0.03
+
+
+class TestValidation:
+    def test_bad_diversity(self):
+        with pytest.raises(ConfigurationError):
+            CaptureModel(max_diversity=0)
+
+    def test_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            CaptureModel(prr_floor=1.0)
+        with pytest.raises(ConfigurationError):
+            CaptureModel(prr_floor=-0.1)

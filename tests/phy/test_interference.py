@@ -1,0 +1,165 @@
+"""Tests for the D-Cube-style interference model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.interference import (
+    Interferer,
+    InterferenceField,
+    dcube_jamming,
+)
+from repro.phy.link import LinkTable
+
+
+@pytest.fixture
+def channel():
+    return ChannelModel(
+        ChannelParameters(
+            path_loss_exponent=4.0,
+            reference_loss_db=52.0,
+            shadowing_sigma_db=0.0,
+        )
+    )
+
+
+class TestInterferer:
+    def test_received_power_attenuates(self, channel):
+        jammer = Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=0.5)
+        near = jammer.received_power_dbm(channel, 2.0, 0.0)
+        far = jammer.received_power_dbm(channel, 20.0, 0.0)
+        assert near > far
+
+    def test_near_field_clamped(self, channel):
+        jammer = Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=0.5)
+        at_zero = jammer.received_power_dbm(channel, 0.0, 0.0)
+        at_half = jammer.received_power_dbm(channel, 0.5, 0.0)
+        assert at_zero == at_half  # clamped to the 1 m reference
+
+    def test_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=1.5)
+
+
+class TestInterferenceField:
+    def test_empty_field_is_identity(self, channel):
+        field = InterferenceField()
+        rssi = -85.0
+        assert field.effective_prr(channel, rssi, 29, (0, 0)) == pytest.approx(
+            channel.prr(rssi, 29)
+        )
+        assert not field
+        assert len(field) == 0
+
+    def test_jamming_degrades_prr(self, channel):
+        jammer = Interferer(x=0, y=0, tx_power_dbm=-10.0, duty_cycle=0.5)
+        field = InterferenceField([jammer])
+        rssi = -85.0
+        clean = channel.prr(rssi, 29)
+        jammed = field.effective_prr(channel, rssi, 29, (3.0, 0.0))
+        assert jammed < clean
+
+    def test_duty_cycle_zero_is_harmless(self, channel):
+        jammer = Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=0.0)
+        field = InterferenceField([jammer])
+        rssi = -85.0
+        assert field.effective_prr(channel, rssi, 29, (1.0, 0.0)) == pytest.approx(
+            channel.prr(rssi, 29)
+        )
+
+    def test_duty_weighting(self, channel):
+        # With duty d, effective PRR = (1-d)*clean + d*jammed_prr.
+        jammer_on = Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=1.0)
+        always = InterferenceField([jammer_on]).effective_prr(
+            channel, -85.0, 29, (2.0, 0.0)
+        )
+        clean = channel.prr(-85.0, 29)
+        jammer_half = Interferer(x=0, y=0, tx_power_dbm=0.0, duty_cycle=0.5)
+        half = InterferenceField([jammer_half]).effective_prr(
+            channel, -85.0, 29, (2.0, 0.0)
+        )
+        assert half == pytest.approx(0.5 * clean + 0.5 * always)
+
+    def test_distance_protects(self, channel):
+        jammer = Interferer(x=0, y=0, tx_power_dbm=-10.0, duty_cycle=0.5)
+        field = InterferenceField([jammer])
+        rssi = -85.0
+        near = field.effective_prr(channel, rssi, 29, (2.0, 0.0))
+        far = field.effective_prr(channel, rssi, 29, (60.0, 0.0))
+        assert far > near
+
+    def test_multiple_jammers_worse(self, channel):
+        one = InterferenceField(
+            [Interferer(x=0, y=0, tx_power_dbm=-12.0, duty_cycle=0.4)]
+        )
+        two = InterferenceField(
+            [
+                Interferer(x=0, y=0, tx_power_dbm=-12.0, duty_cycle=0.4),
+                Interferer(x=5, y=0, tx_power_dbm=-12.0, duty_cycle=0.4),
+            ]
+        )
+        rssi = -85.0
+        assert two.effective_prr(channel, rssi, 29, (2.0, 0.0)) <= one.effective_prr(
+            channel, rssi, 29, (2.0, 0.0)
+        )
+
+    def test_too_many_jammers_rejected(self, channel):
+        field = InterferenceField(
+            Interferer(x=i, y=0, tx_power_dbm=-20, duty_cycle=0.1)
+            for i in range(7)
+        )
+        with pytest.raises(ConfigurationError):
+            field.effective_prr(channel, -85.0, 29, (0, 0))
+
+
+class TestDcubeJamming:
+    def test_level_zero_empty(self):
+        assert not dcube_jamming(0, (0, 0, 10, 10))
+
+    def test_levels_scale(self):
+        box = (0, 0, 40, 20)
+        for level in (1, 2, 3):
+            field = dcube_jamming(level, box)
+            assert len(field) == 1 + level
+
+    def test_jammers_outside_box(self):
+        box = (0.0, 0.0, 40.0, 20.0)
+        for level in (1, 2, 3):
+            for jammer in dcube_jamming(level, box).interferers:
+                outside = (
+                    jammer.x < 0 or jammer.x > 40 or jammer.y < 0 or jammer.y > 20
+                )
+                assert outside
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            dcube_jamming(4, (0, 0, 1, 1))
+        with pytest.raises(ConfigurationError):
+            dcube_jamming(-1, (0, 0, 1, 1))
+
+
+class TestLinkTableIntegration:
+    def test_interference_lowers_prrs(self, channel):
+        positions = {0: (0.0, 0.0), 1: (10.0, 0.0), 2: (20.0, 0.0)}
+        clean = LinkTable(positions, channel, frame_bytes=29)
+        jammed = LinkTable(
+            positions,
+            channel,
+            frame_bytes=29,
+            interference=InterferenceField(
+                [Interferer(x=10.0, y=5.0, tx_power_dbm=-5.0, duty_cycle=0.5)]
+            ),
+        )
+        degraded = sum(
+            1
+            for a in positions
+            for b in positions
+            if a != b and jammed.prr(a, b) < clean.prr(a, b) - 1e-9
+        )
+        assert degraded > 0
+        for a in positions:
+            for b in positions:
+                if a != b:
+                    assert jammed.prr(a, b) <= clean.prr(a, b) + 1e-12

@@ -1,0 +1,72 @@
+"""Tests for 802.15.4 radio timing and power arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.radio import NRF52840_154, RadioPower, RadioTimings
+
+
+class TestAirTime:
+    def test_known_value(self):
+        # 23 B PSDU + 6 B PHY overhead = 29 B at 32 us/B = 928 us.
+        assert NRF52840_154.air_time_us(23) == 928
+
+    def test_zero_payload(self):
+        # PHY overhead alone: 6 B * 32 us.
+        assert NRF52840_154.air_time_us(0) == 192
+
+    def test_max_psdu(self):
+        assert NRF52840_154.air_time_us(127) == (127 + 6) * 32
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NRF52840_154.air_time_us(128)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NRF52840_154.air_time_us(-1)
+
+    def test_scales_linearly(self):
+        t = NRF52840_154
+        assert t.air_time_us(20) - t.air_time_us(10) == 10 * 32
+
+
+class TestSlots:
+    def test_packet_slot_includes_turnaround(self):
+        t = NRF52840_154
+        assert t.packet_slot_us(23) == t.air_time_us(23) + t.turnaround_us
+
+    def test_chain_slot(self):
+        t = NRF52840_154
+        expected = 10 * t.packet_slot_us(23) + t.slot_guard_us
+        assert t.chain_slot_us(23, 10) == expected
+
+    def test_chain_slot_single_packet(self):
+        t = NRF52840_154
+        assert t.chain_slot_us(23, 1) == t.packet_slot_us(23) + t.slot_guard_us
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NRF52840_154.chain_slot_us(23, 0)
+
+    def test_custom_timings(self):
+        custom = RadioTimings(us_per_byte=8, phy_overhead_bytes=2, turnaround_us=10)
+        assert custom.air_time_us(10) == 96
+        assert custom.packet_slot_us(10) == 106
+
+
+class TestPower:
+    def test_charge_computation(self):
+        power = RadioPower(tx_current_ma=6.0, rx_current_ma=5.0)
+        # 1 second TX + 1 second RX at (6 + 5) mA = 11 mC = 11000 uC.
+        assert power.charge_uc(1_000_000, 1_000_000) == pytest.approx(11_000.0)
+
+    def test_zero_time_zero_charge(self):
+        assert RadioPower().charge_uc(0, 0) == 0.0
+
+    def test_defaults_are_nrf52840(self):
+        power = RadioPower()
+        assert power.tx_current_ma == pytest.approx(6.40)
+        assert power.rx_current_ma == pytest.approx(6.26)

@@ -1,0 +1,80 @@
+"""Tests for the semi-honest coalition adversary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SecretSharingError
+from repro.privacy.adversary import Coalition, CoalitionView
+from repro.sss import ShamirScheme
+
+
+class TestCoalition:
+    def test_membership(self):
+        coalition = Coalition([3, 1, 7])
+        assert coalition.size == 3
+        assert 3 in coalition
+        assert 2 not in coalition
+
+    def test_threshold_check(self):
+        coalition = Coalition(range(5))
+        assert coalition.breaches_threshold(4)
+        assert not coalition.breaches_threshold(5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SecretSharingError):
+            Coalition([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SecretSharingError):
+            Coalition([-1])
+
+    def test_repr(self):
+        assert "[1, 2]" in repr(Coalition([2, 1]))
+
+
+class TestObservation:
+    def test_pools_only_member_shares(self, field, rng):
+        scheme = ShamirScheme(field, degree=2)
+        shares = scheme.split(42, points=range(1, 6), rng=rng, dealer_id=9)
+        by_destination = {i: [shares[i]] for i in range(5)}
+        coalition = Coalition([0, 2])
+        pooled = coalition.observe_sharing(by_destination)
+        assert set(pooled) == {9}
+        assert len(pooled[9]) == 2
+
+    def test_view_accessor(self, field, rng):
+        scheme = ShamirScheme(field, degree=1)
+        shares = scheme.split(5, points=[1, 2], rng=rng, dealer_id=0)
+        view = CoalitionView(shares={0: list(shares)})
+        assert len(view.shares_of(0)) == 2
+        assert view.shares_of(99) == []
+
+
+class TestReconstructionAttempts:
+    def test_below_threshold_returns_none(self, field, rng):
+        scheme = ShamirScheme(field, degree=3)
+        shares = scheme.split(777, points=range(1, 10), rng=rng, dealer_id=0)
+        coalition = Coalition([0, 1, 2])
+        view = CoalitionView(shares={0: shares[:3]})  # 3 shares < 4 needed
+        assert coalition.attempt_reconstruction(field, view, 0, 3) is None
+
+    def test_above_threshold_recovers(self, field, rng):
+        scheme = ShamirScheme(field, degree=3)
+        shares = scheme.split(777, points=range(1, 10), rng=rng, dealer_id=0)
+        coalition = Coalition(range(4))
+        view = CoalitionView(shares={0: shares[:4]})
+        recovered = coalition.attempt_reconstruction(field, view, 0, 3)
+        assert recovered is not None
+        assert recovered.value == 777
+
+    def test_unknown_dealer(self, field):
+        coalition = Coalition([0])
+        assert (
+            coalition.attempt_reconstruction(
+                field, CoalitionView(shares={}), 5, 2
+            )
+            is None
+        )

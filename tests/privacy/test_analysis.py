@@ -1,0 +1,111 @@
+"""Tests for privacy verification tooling.
+
+The exhaustive checks are the executable form of Shamir's perfect-secrecy
+theorem; the statistical and end-to-end checks scale the claim up to the
+production field and the real protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SecretSharingError
+from repro.field import MERSENNE_61, PrimeField
+from repro.privacy.analysis import (
+    exhaustive_secrecy_check,
+    guess_secret_from_view,
+    statistical_view_distance,
+)
+
+TINY = PrimeField(11)
+FIELD = PrimeField(MERSENNE_61)
+
+
+class TestExhaustiveSecrecy:
+    def test_below_threshold_perfect_secrecy(self):
+        # Degree 2, coalition of 2: distributions must be identical.
+        assert exhaustive_secrecy_check(
+            TINY, degree=2, coalition_points=[1, 2], secret_a=3, secret_b=8
+        )
+
+    def test_at_threshold_secrecy_holds(self):
+        # Coalition of exactly `degree` members still learns nothing.
+        assert exhaustive_secrecy_check(
+            TINY, degree=1, coalition_points=[5], secret_a=0, secret_b=10
+        )
+
+    def test_above_threshold_breaks(self):
+        # Coalition of degree+1 determines the secret: distributions differ.
+        assert not exhaustive_secrecy_check(
+            TINY, degree=1, coalition_points=[1, 2], secret_a=3, secret_b=8
+        )
+
+    def test_same_secret_trivially_identical(self):
+        assert exhaustive_secrecy_check(
+            TINY, degree=1, coalition_points=[1, 2], secret_a=4, secret_b=4
+        )
+
+    def test_every_coalition_size_below_threshold(self):
+        # Sweep every coalition size for degree 3 over a tiny field.
+        for size in (1, 2, 3):
+            points = list(range(1, size + 1))
+            assert exhaustive_secrecy_check(
+                TINY, degree=3, coalition_points=points, secret_a=1, secret_b=9
+            ), f"secrecy failed for coalition of {size}"
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(SecretSharingError):
+            exhaustive_secrecy_check(TINY, 1, [1, 1], 0, 1)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(SecretSharingError):
+            exhaustive_secrecy_check(TINY, 1, [0], 0, 1)
+
+    def test_infeasible_enumeration_rejected(self):
+        with pytest.raises(SecretSharingError):
+            exhaustive_secrecy_check(FIELD, 3, [1], 0, 1)
+
+
+class TestStatisticalDistance:
+    def test_below_threshold_noise_level(self):
+        distance = statistical_view_distance(
+            FIELD,
+            degree=3,
+            coalition_points=[1, 2, 3],
+            secret_a=5,
+            secret_b=999_999,
+            samples=1500,
+        )
+        # Pure sampling noise: TV distance well below any real signal.
+        assert distance < 0.15
+
+    def test_above_threshold_distinguishable(self):
+        # With degree+1 points the interpolated constant IS the secret:
+        # the statistic distributions are disjoint point masses.
+        distance = statistical_view_distance(
+            FIELD,
+            degree=1,
+            coalition_points=[1, 2],
+            secret_a=0,
+            secret_b=MERSENNE_61 - 1,
+            samples=300,
+            buckets=4,
+        )
+        assert distance > 0.95
+
+    def test_invalid_samples(self):
+        with pytest.raises(SecretSharingError):
+            statistical_view_distance(FIELD, 1, [1], 0, 1, samples=0)
+
+
+class TestGuess:
+    def test_insufficient_shares_refuses(self):
+        assert guess_secret_from_view(FIELD, degree=3, shares=[(1, 5)]) is None
+
+    def test_sufficient_shares_exact(self, rng):
+        from repro.sss import ShamirScheme
+
+        scheme = ShamirScheme(FIELD, degree=2)
+        shares = scheme.split(123, points=[1, 2, 3], rng=rng)
+        pairs = [(s.x.value, s.y.value) for s in shares]
+        assert guess_secret_from_view(FIELD, 2, pairs) == 123

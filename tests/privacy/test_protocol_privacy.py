@@ -1,0 +1,73 @@
+"""End-to-end privacy: coalitions against real protocol rounds.
+
+These run the actual S4 engine with real AES and verify the headline
+security property: collectors below the collusion threshold cannot
+recover any individual secret, while a threshold-breaching coalition can
+(the system is exactly as private as Shamir promises — no more, no less).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CryptoMode, ProtocolConfig, S4Config
+from repro.core.s4 import S4Engine
+from repro.privacy.analysis import run_protocol_coalition_experiment
+
+
+@pytest.fixture(scope="module")
+def s4_real(small_network_module):
+    topology, channel = small_network_module
+    config = S4Config(
+        base=ProtocolConfig(degree=2, crypto_mode=CryptoMode.REAL),
+        sharing_ntx=4,
+        reconstruction_ntx=6,
+        collector_redundancy=1,
+        bootstrap_iterations=6,
+    )
+    return S4Engine(topology, channel, config)
+
+
+@pytest.fixture(scope="module")
+def small_network_module():
+    from tests.core.conftest import small_spec_parts
+
+    return small_spec_parts()
+
+
+class TestProtocolCoalitions:
+    def test_below_threshold_learns_nothing(self, s4_real):
+        secrets = {node: 50 + node for node in s4_real.topology.node_ids}
+        collectors = list(s4_real.bootstrap_for(sorted(secrets)).collectors)
+        degree = s4_real.config.degree
+        outcome = run_protocol_coalition_experiment(
+            s4_real, secrets, collectors[:degree], seed=3
+        )
+        assert not outcome["breaches_threshold"]
+        assert outcome["recovered_secrets"] == {}
+
+    def test_above_threshold_recovers_everything(self, s4_real):
+        secrets = {node: 50 + node for node in s4_real.topology.node_ids}
+        collectors = list(s4_real.bootstrap_for(sorted(secrets)).collectors)
+        degree = s4_real.config.degree
+        outcome = run_protocol_coalition_experiment(
+            s4_real, secrets, collectors[: degree + 1], seed=3
+        )
+        assert outcome["breaches_threshold"]
+        # Every dealer's secret is recovered exactly.
+        for dealer, recovered in outcome["recovered_secrets"].items():
+            assert recovered == secrets[dealer]
+        assert set(outcome["recovered_secrets"]) == set(secrets)
+
+    def test_non_collector_coalition_sees_no_shares(self, s4_real):
+        secrets = {node: 50 + node for node in s4_real.topology.node_ids}
+        collectors = set(s4_real.bootstrap_for(sorted(secrets)).collectors)
+        outsiders = [n for n in s4_real.topology.node_ids if n not in collectors]
+        if not outsiders:
+            pytest.skip("every node is a collector in this tiny network")
+        outcome = run_protocol_coalition_experiment(
+            s4_real, secrets, outsiders[:2], seed=4
+        )
+        # Outsiders relay ciphertexts but hold no decryption keys for them.
+        assert outcome["shares_per_dealer"] == {}
+        assert outcome["recovered_secrets"] == {}

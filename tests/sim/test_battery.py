@@ -1,0 +1,80 @@
+"""Tests for the battery/lifetime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.radio import RadioPower
+from repro.sim.battery import (
+    Battery,
+    DutyCycleProfile,
+    lifetime_days,
+)
+
+
+class TestBattery:
+    def test_usable_charge(self):
+        battery = Battery(capacity_mah=1000, usable_fraction=0.5)
+        assert battery.usable_charge_uc == pytest.approx(1000 * 0.5 * 3_600_000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ConfigurationError):
+            Battery(usable_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(usable_fraction=1.5)
+
+
+class TestDutyCycleProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleProfile(rounds_per_day=0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleProfile(sleep_current_ua=-1)
+
+
+class TestLifetime:
+    def test_less_radio_on_lives_longer(self):
+        short = lifetime_days(20_000_000)  # 20 s radio-on per round
+        long = lifetime_days(2_000_000)    # 2 s per round
+        assert long > short
+
+    def test_sleep_floor_bounds_lifetime(self):
+        # Even with zero radio use, sleep current caps the lifetime.
+        idle_only = lifetime_days(
+            0.0,
+            profile=DutyCycleProfile(
+                rounds_per_day=1, sleep_current_ua=1.5,
+                mcu_overhead_uc_per_round=0.0,
+            ),
+        )
+        # 2600 mAh * 0.8 = 7.488e9 uC over 1.5 uA * 86400 s/day
+        # = 129,600 uC/day → ≈ 57,800 days. Sanity bound both sides.
+        assert 45_000 < idle_only < 70_000
+
+    def test_known_value(self):
+        # 1 s radio-on per round, 96 rounds/day, RX-only at 6.26 mA:
+        # radio charge/day = 96 * 6260 uC ≈ 0.601 C; sleep = 0.1296 C;
+        # mcu = 96 * 500 uC = 0.048 C. Total ≈ 0.7786 C/day.
+        # Usable = 2600*0.8*3.6 C = 7488 C → ≈ 9617 days.
+        days = lifetime_days(1_000_000, tx_fraction=0.0)
+        assert days == pytest.approx(9617, rel=0.02)
+
+    def test_tx_fraction_matters(self):
+        power = RadioPower(tx_current_ma=20.0, rx_current_ma=5.0)
+        rx_heavy = lifetime_days(5_000_000, power=power, tx_fraction=0.0)
+        tx_heavy = lifetime_days(5_000_000, power=power, tx_fraction=1.0)
+        assert rx_heavy > tx_heavy
+
+    def test_scales_with_capacity(self):
+        small = lifetime_days(1_000_000, battery=Battery(capacity_mah=500))
+        large = lifetime_days(1_000_000, battery=Battery(capacity_mah=5000))
+        assert large == pytest.approx(10 * small, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lifetime_days(-1)
+        with pytest.raises(ConfigurationError):
+            lifetime_days(1, tx_fraction=2.0)

@@ -1,0 +1,93 @@
+"""Tests for radio-on-time accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.energy import RadioEnergyMeter, RadioState
+
+
+class TestTransitions:
+    def test_off_accrues_nothing(self):
+        meter = RadioEnergyMeter()
+        meter.transition(1000, RadioState.RX)
+        assert meter.radio_on_us == 0
+
+    def test_rx_interval_charged(self):
+        meter = RadioEnergyMeter()
+        meter.transition(0, RadioState.RX)
+        meter.transition(500, RadioState.OFF)
+        assert meter.rx_time_us == 500
+        assert meter.tx_time_us == 0
+
+    def test_tx_interval_charged(self):
+        meter = RadioEnergyMeter()
+        meter.transition(100, RadioState.TX)
+        meter.transition(350, RadioState.OFF)
+        assert meter.tx_time_us == 250
+
+    def test_rx_tx_alternation(self):
+        meter = RadioEnergyMeter()
+        meter.transition(0, RadioState.RX)
+        meter.transition(100, RadioState.TX)
+        meter.transition(150, RadioState.RX)
+        meter.transition(300, RadioState.OFF)
+        assert meter.tx_time_us == 50
+        assert meter.rx_time_us == 250
+        assert meter.radio_on_us == 300
+
+    def test_time_backwards_rejected(self):
+        meter = RadioEnergyMeter()
+        meter.transition(100, RadioState.RX)
+        with pytest.raises(SimulationError):
+            meter.transition(50, RadioState.OFF)
+
+    def test_state_property(self):
+        meter = RadioEnergyMeter()
+        assert meter.state is RadioState.OFF
+        meter.transition(0, RadioState.TX)
+        assert meter.state is RadioState.TX
+
+
+class TestBulkCharging:
+    def test_charge_helpers(self):
+        meter = RadioEnergyMeter()
+        meter.charge_tx(300)
+        meter.charge_rx(700)
+        assert meter.radio_on_us == 1000
+
+    def test_negative_rejected(self):
+        meter = RadioEnergyMeter()
+        with pytest.raises(SimulationError):
+            meter.charge_tx(-1)
+        with pytest.raises(SimulationError):
+            meter.charge_rx(-1)
+
+    def test_charge_uc(self):
+        meter = RadioEnergyMeter()
+        meter.charge_tx(1_000_000)
+        meter.charge_rx(1_000_000)
+        # Default nRF currents: 6.40 + 6.26 mA over 1 s each.
+        assert meter.charge_uc() == pytest.approx(12_660.0)
+
+
+class TestReset:
+    def test_reset_zeroes_counters(self):
+        meter = RadioEnergyMeter()
+        meter.charge_tx(100)
+        meter.transition(50, RadioState.RX)
+        meter.transition(80, RadioState.OFF)
+        meter.reset()
+        assert meter.radio_on_us == 0
+        assert meter.state is RadioState.OFF
+
+    def test_time_monotone_across_reset(self):
+        meter = RadioEnergyMeter()
+        meter.transition(100, RadioState.RX)
+        meter.reset()
+        with pytest.raises(SimulationError):
+            meter.transition(50, RadioState.TX)
+
+    def test_repr(self):
+        assert "tx=0" in repr(RadioEnergyMeter())

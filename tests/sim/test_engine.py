@@ -1,0 +1,128 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(100, lambda: times.append(sim.now))
+        sim.schedule(250, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [100, 250]
+
+    def test_equal_times_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(10, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("low"), priority=5)
+        sim.schedule(10, lambda: order.append("high"), priority=1)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            sim.schedule(5, lambda: fired.append(sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert fired == [15]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(77, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [77]
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until_us=50)
+        assert fired == [10]
+        assert sim.now == 50
+        assert sim.pending_events == 1
+
+    def test_event_at_horizon_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, lambda: fired.append(50))
+        sim.run(until_us=50)
+        assert fired == [50]
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until_us=50)
+        sim.run()
+        assert fired == [10, 100]
+
+    def test_empty_run_advances_clock(self):
+        sim = Simulator()
+        sim.run(until_us=500)
+        assert sim.now == 500
+
+
+class TestStep:
+    def test_step_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(1))
+        sim.schedule(20, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.events_executed == 1
+        assert sim.pending_events == 0
+
+    def test_repr(self):
+        assert "now=0" in repr(Simulator())

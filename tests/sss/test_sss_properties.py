@@ -1,0 +1,89 @@
+"""Property-based tests for secret sharing invariants.
+
+The two crown-jewel properties:
+
+* correctness — any threshold-sized subset of shares reconstructs;
+* additive homomorphism — share-wise sums reconstruct the secret sum
+  (the identity the whole PPDA protocol rests on).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import MERSENNE_61, PrimeField
+from repro.sss import ShamirScheme, ShareAccumulator, reconstruct_aggregate
+
+FIELD = PrimeField(MERSENNE_61)
+
+secrets_strategy = st.integers(min_value=0, max_value=10**9)
+
+
+class TestSchemeProperties:
+    @settings(max_examples=40)
+    @given(
+        secret=secrets_strategy,
+        degree=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32),
+        extra=st.integers(min_value=0, max_value=5),
+    )
+    def test_split_reconstruct_roundtrip(self, secret, degree, seed, extra):
+        rng = random.Random(seed)
+        scheme = ShamirScheme(FIELD, degree)
+        num_points = degree + 1 + extra
+        shares = scheme.split(secret, points=range(1, num_points + 1), rng=rng)
+        subset = rng.sample(shares, scheme.threshold)
+        assert scheme.reconstruct(subset).value == secret
+
+    @settings(max_examples=40)
+    @given(
+        secrets=st.lists(secrets_strategy, min_size=1, max_size=6),
+        degree=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_additive_homomorphism(self, secrets, degree, seed):
+        rng = random.Random(seed)
+        scheme = ShamirScheme(FIELD, degree)
+        points = list(range(1, degree + 4))
+        accumulators = {
+            x: ShareAccumulator.empty(FIELD(x)) for x in points
+        }
+        for dealer_id, secret in enumerate(secrets):
+            for share in scheme.split(
+                secret, points=points, rng=rng, dealer_id=dealer_id
+            ):
+                accumulators[share.x.value].add(share)
+        result = reconstruct_aggregate(
+            FIELD, list(accumulators.values()), degree=degree
+        )
+        assert result.value.value == sum(secrets) % FIELD.prime
+
+    @settings(max_examples=30)
+    @given(
+        secret=secrets_strategy,
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_below_threshold_shares_do_not_determine_secret(self, secret, seed):
+        # For every coalition of size <= degree there exists a polynomial
+        # consistent with the coalition's view for *any* candidate secret —
+        # verified exhaustively in tests/privacy; here we sanity-check the
+        # weaker statement that degree shares never interpolate to the
+        # secret systematically.
+        rng = random.Random(seed)
+        degree = 3
+        scheme = ShamirScheme(FIELD, degree)
+        shares = scheme.split(secret, points=range(1, 8), rng=rng)
+        coalition = shares[:degree]  # one below threshold
+        # Interpolating from too few points gives some polynomial of lower
+        # degree; its constant term matching the secret would be a 1/p fluke.
+        from repro.field import interpolate_constant
+
+        guess = interpolate_constant(
+            FIELD, [(s.x, s.y) for s in coalition]
+        )
+        # Not a hard guarantee (probability 1/p), but at p = 2^61 - 1 a
+        # single counterexample in CI means the scheme is broken.
+        assert guess.value != secret or secret == 0

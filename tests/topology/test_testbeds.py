@@ -1,0 +1,93 @@
+"""Calibration tests for the synthetic testbed stand-ins.
+
+These pin the structural properties the benchmark results depend on; a
+change to the channel or layouts that breaks them invalidates the
+experiment calibration and must fail loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ct.packet import sharing_psdu_bytes
+from repro.errors import TopologyError
+from repro.phy.channel import ChannelModel
+from repro.phy.link import LinkTable
+from repro.topology.graph import diameter, is_connected
+from repro.topology.testbeds import dcube, flocklab
+from repro.topology.testbeds import testbed_by_name as lookup_testbed
+
+
+def good_link_table(spec):
+    channel = ChannelModel(spec.channel)
+    return LinkTable(
+        spec.topology.positions, channel, frame_bytes=6 + sharing_psdu_bytes()
+    )
+
+
+class TestFlockLab:
+    def test_node_count(self):
+        assert flocklab().num_nodes == 26
+
+    def test_paper_parameters(self):
+        spec = flocklab()
+        assert spec.polynomial_degree == 8  # floor(26/3)
+        assert spec.sharing_ntx == 6
+        assert spec.source_sweep == (3, 6, 10, 24)
+
+    def test_connected_multihop(self):
+        adjacency = good_link_table(flocklab()).adjacency()
+        assert is_connected(adjacency)
+        assert 3 <= diameter(adjacency) <= 7
+
+    def test_moderate_density(self):
+        density = good_link_table(flocklab()).density()
+        assert 5.0 <= density <= 14.0
+
+    def test_deterministic(self):
+        assert flocklab().topology.positions == flocklab().topology.positions
+
+
+class TestDCube:
+    def test_node_count(self):
+        assert dcube().num_nodes == 45
+
+    def test_paper_parameters(self):
+        spec = dcube()
+        assert spec.polynomial_degree == 15  # floor(45/3)
+        assert spec.sharing_ntx == 5
+        assert spec.source_sweep == (5, 7, 12, 45)
+
+    def test_connected_multihop(self):
+        adjacency = good_link_table(dcube()).adjacency()
+        assert is_connected(adjacency)
+        assert 3 <= diameter(adjacency) <= 6
+
+    def test_denser_than_flocklab(self):
+        assert good_link_table(dcube()).density() > good_link_table(
+            flocklab()
+        ).density()
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert lookup_testbed("flocklab").name == "FlockLab"
+        assert lookup_testbed("DCube").name == "DCube"
+        assert lookup_testbed("d-cube").name == "DCube"
+
+    def test_unknown(self):
+        with pytest.raises(TopologyError):
+            lookup_testbed("indriya")
+
+
+class TestCalibratedOperatingPoint:
+    def test_extras_present(self):
+        for spec in (flocklab(), dcube()):
+            assert "s4_sharing_ntx" in spec.extras
+            assert "s4_redundancy" in spec.extras
+
+    def test_full_coverage_ntx_exceeds_sharing_ntx(self):
+        # The whole point of S4: its sharing NTX is well below the naive
+        # full-coverage provisioning.
+        for spec in (flocklab(), dcube()):
+            assert spec.extras["s4_sharing_ntx"] < spec.full_coverage_ntx
