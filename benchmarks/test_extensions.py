@@ -67,16 +67,25 @@ def test_interference_robustness(benchmark, interference_rows):
 
 
 def test_interference_stretches_s4_margin(benchmark, interference_rows):
-    """E1: jamming costs S4 proportionally more than over-provisioned S3."""
+    """E1: jamming erodes S4's thin margin where S3's over-provisioning holds.
+
+    The latency columns are conditioned on completion, so under heavy
+    jamming S4's mean latency can *shrink* by survivor bias (the rounds
+    that would have posted the long tails are the ones that fail).  The
+    robust signature of the thin margin is therefore reliability, not
+    conditioned latency: at the most hostile level S4's success must not
+    exceed S3's, while S3 — which paid for the margin in NTX all along —
+    visibly pays in airtime instead.
+    """
     benchmark.pedantic(lambda: interference_rows, rounds=1, iterations=1)
     clean, hostile = interference_rows[0], interference_rows[-1]
     if math.isnan(hostile["s4_latency_ms"]) or math.isnan(
         hostile["s3_latency_ms"]
     ):
         pytest.skip("hostile level prevented completion in this sample")
-    s4_stretch = hostile["s4_latency_ms"] / clean["s4_latency_ms"]
+    assert hostile["s3_success"] >= hostile["s4_success"]
     s3_stretch = hostile["s3_latency_ms"] / clean["s3_latency_ms"]
-    assert s4_stretch >= s3_stretch * 0.98
+    assert s3_stretch >= 0.99  # jamming never makes the naive flood faster
 
 
 @pytest.fixture(scope="module")

@@ -28,7 +28,7 @@ from repro.ct.coverage import profile_coverage
 from repro.ct.packet import sharing_psdu_bytes
 from repro.errors import ConfigurationError, ProtocolError, ReconstructionError
 from repro.phy.channel import ChannelModel
-from repro.phy.link import LinkTable
+from repro.phy.link import cached_link_table
 from repro.sim.seeds import stable_seed
 from repro.topology.graph import Topology, connected_subset
 from repro.topology.testbeds import TestbedSpec
@@ -45,7 +45,9 @@ def subnetwork_spec(spec: TestbedSpec, size: int) -> TestbedSpec:
         return spec
     channel = ChannelModel(spec.channel)
     frame = 6 + sharing_psdu_bytes()
-    links = LinkTable(spec.topology.positions, channel, frame)
+    # The full-testbed table is identical for every sweep point (and for
+    # repeated campaigns over the same spec) — share it process-wide.
+    links = cached_link_table(spec.topology.positions, channel, frame)
     chosen = connected_subset(links.adjacency(), size)
     positions = {node: spec.topology.position(node) for node in chosen}
     topology = Topology(positions, name=f"{spec.topology.name}-sub{size}")
@@ -219,7 +221,7 @@ def run_ntx_coverage_curve(
     """Mean reachability / full-coverage fraction as NTX grows (§III)."""
     channel = ChannelModel(spec.channel)
     frame = 6 + sharing_psdu_bytes()
-    links = LinkTable(spec.topology.positions, channel, frame)
+    links = cached_link_table(spec.topology.positions, channel, frame)
     from repro.core.bootstrap import network_depth
 
     profile = profile_coverage(

@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import fastpath
+
 from repro.ct.coverage import (
     CoverageStats,
     arm_offsets,
@@ -59,14 +61,25 @@ class S4Bootstrap:
 
 
 def network_depth(links: LinkTable) -> int:
-    """Good-link diameter — the depth hint for full-coverage schedules."""
+    """Good-link diameter — the depth hint for full-coverage schedules.
+
+    Memoised on the (immutable) link table: the diameter runs one BFS per
+    node, and every engine over a shared table asks the same question.
+    """
+    if fastpath.enabled():
+        cached = links.derived_cache.get("network_depth")
+        if cached is not None:
+            return cached
     adjacency = links.adjacency()
     if not is_connected(adjacency):
         raise BootstrapError(
             "good-link graph is disconnected; this deployment cannot "
             "support network-wide aggregation"
         )
-    return diameter(adjacency)
+    depth = diameter(adjacency)
+    if fastpath.enabled():
+        links.derived_cache["network_depth"] = depth
+    return depth
 
 
 def profile_completion_slots(
@@ -192,6 +205,9 @@ def bootstrap_s4(
         capture=capture,
         policy=RadioOffPolicy.ALWAYS_ON,
         tx_probability=tx_probability,
+        # The truncated schedule derived from these probes must be
+        # bit-identical to the seed regardless of the compute path.
+        force_reference=True,
     )
     initial = {
         node: sharing_layout.source_mask(node) for node in links.node_ids

@@ -86,6 +86,36 @@ class RealShareCodec:
             + destination.to_bytes(4, "big")
         )
 
+    @staticmethod
+    def _nonce_int(round_nonce: int, source: int, destination: int) -> int:
+        """The same nonce as :meth:`_nonce`, as a 128-bit integer."""
+        return (round_nonce << 64) | (source << 32) | destination
+
+    def ciphers_for(self, peer: int):
+        """(encryption, MAC) cipher pair shared with ``peer``.
+
+        Exposed for the batched packet pipeline
+        (:func:`batch_encrypt_shares` / :func:`batch_decrypt_shares`).
+        """
+        return self._enc_store.cipher_for(peer), self._mac_store.cipher_for(peer)
+
+    @property
+    def tag_bytes(self) -> int:
+        """Truncated MAC tag length carried on the wire."""
+        return self._tag_bytes
+
+    def supports_batch(self) -> bool:
+        """Whether this codec's ciphers can feed the vectorized pipeline.
+
+        Requires table-mode ciphers (the batch kernel reads their word
+        key schedules); a codec built while the fast path was disabled
+        reports False and keeps the per-packet path.
+        """
+        peers = self._enc_store.peers()
+        if not peers:
+            return False
+        return self._enc_store.cipher_for(peers[0]).uses_tables
+
     def encrypt_share(
         self,
         destination: int,
@@ -132,6 +162,19 @@ class RealShareCodec:
         return field(value)
 
 
+#: Precomputed stub checksum tags: tag value (0..250) → tag bytes, one
+#: table per tag width.  Saves two allocations per stub packet.
+_STUB_TAG_TABLES: dict[int, tuple[bytes, ...]] = {}
+
+
+def _stub_tags(tag_bytes: int) -> tuple[bytes, ...]:
+    table = _STUB_TAG_TABLES.get(tag_bytes)
+    if table is None:
+        table = tuple(bytes([value]) * tag_bytes for value in range(251))
+        _STUB_TAG_TABLES[tag_bytes] = table
+    return table
+
+
 class StubShareCodec:
     """Zero-cost stand-in with identical packet shapes.
 
@@ -141,11 +184,12 @@ class StubShareCodec:
     metric sweeps; privacy tests always use :class:`RealShareCodec`.
     """
 
-    __slots__ = ("_node_id", "_tag_bytes")
+    __slots__ = ("_node_id", "_tag_bytes", "_tags")
 
     def __init__(self, node_id: int, tag_bytes: int = 4):
         self._node_id = node_id
         self._tag_bytes = tag_bytes
+        self._tags = _stub_tags(tag_bytes)
 
     @property
     def node_id(self) -> int:
@@ -154,10 +198,11 @@ class StubShareCodec:
 
     @staticmethod
     def _pad(round_nonce: int, source: int, destination: int) -> int:
-        mixed = (round_nonce * 0x9E3779B97F4A7C15 + source * 0x100000001B3 + destination) % (
-            1 << (8 * SHARE_BLOCK_BYTES)
-        )
-        return mixed
+        # & (2^128 - 1) is the same reduction as % 2^128 for non-negative
+        # operands, without the division.
+        return (
+            round_nonce * 0x9E3779B97F4A7C15 + source * 0x100000001B3 + destination
+        ) & ((1 << (8 * SHARE_BLOCK_BYTES)) - 1)
 
     def encrypt_share(
         self, destination: int, value: FieldElement, round_nonce: int
@@ -165,7 +210,7 @@ class StubShareCodec:
         """Tag-XOR 'encryption' with real packet dimensions."""
         plaintext = value.value ^ self._pad(round_nonce, self._node_id, destination)
         ciphertext = plaintext.to_bytes(SHARE_BLOCK_BYTES, "big")
-        tag = (sum(ciphertext) % 251).to_bytes(1, "big") * self._tag_bytes
+        tag = self._tags[sum(ciphertext) % 251]
         return SharePacket(
             source=self._node_id,
             destination=destination,
@@ -182,7 +227,7 @@ class StubShareCodec:
                 f"packet for node {packet.destination} handed to node "
                 f"{self._node_id}"
             )
-        expected_tag = (sum(packet.ciphertext) % 251).to_bytes(1, "big") * self._tag_bytes
+        expected_tag = self._tags[sum(packet.ciphertext) % 251]
         if packet.tag != expected_tag:
             raise AuthenticationError("stub tag mismatch")
         value = int.from_bytes(packet.ciphertext, "big") ^ self._pad(
@@ -191,6 +236,107 @@ class StubShareCodec:
         if value >= field.prime:
             raise CryptoError("stub share is not a canonical field element")
         return field(value)
+
+
+# -- batched share protection (numpy-accelerated REAL mode) -------------------
+#
+# A sharing round protects hundreds of packets under independent pairwise
+# keys; batching amortises the AES round function across all of them (see
+# :mod:`repro.crypto.aesbatch`).  Outputs are bit-identical to the
+# per-packet methods above, and both helpers require the caller to have
+# checked ``aesbatch.HAVE_NUMPY``.
+
+#: Below this many packets the numpy setup costs more than it saves.
+BATCH_THRESHOLD = 8
+
+
+def batch_encrypt_shares(
+    entries: "list[tuple[RealShareCodec, int, int]]",
+    round_nonce: int,
+) -> list[SharePacket]:
+    """Encrypt many (codec, destination, value) shares in one batch.
+
+    Bit-identical to calling ``codec.encrypt_share`` per entry.
+    """
+    from repro.crypto import aesbatch
+
+    enc_ciphers = []
+    mac_ciphers = []
+    nonces = []
+    plaintexts = []
+    tag_bytes = None
+    for codec, destination, value_int in entries:
+        enc, mac = codec.ciphers_for(destination)
+        enc_ciphers.append(enc)
+        mac_ciphers.append(mac)
+        nonces.append(codec._nonce_int(round_nonce, codec.node_id, destination))
+        plaintexts.append(value_int)
+        tag_bytes = codec.tag_bytes
+    ciphertexts, tags = aesbatch.ctr_cbc_mac_batch(
+        enc_ciphers, mac_ciphers, nonces, plaintexts, tag_bytes
+    )
+    return [
+        SharePacket(
+            source=codec.node_id,
+            destination=destination,
+            ciphertext=ct.to_bytes(SHARE_BLOCK_BYTES, "big"),
+            tag=tag,
+        )
+        for (codec, destination, _), ct, tag in zip(entries, ciphertexts, tags)
+    ]
+
+
+def batch_decrypt_shares(
+    entries: "list[tuple[RealShareCodec, SharePacket]]",
+    field: PrimeField,
+    round_nonce: int,
+) -> list[FieldElement | None]:
+    """Authenticate and decrypt many received shares in one batch.
+
+    Each entry is (receiving codec, packet addressed to it).  Returns the
+    decrypted element per entry, or ``None`` where the scalar path would
+    have raised (tag mismatch, non-canonical value) — the caller treats
+    those as dropped packets.
+    """
+    from repro.crypto import aesbatch
+
+    enc_ciphers = []
+    mac_ciphers = []
+    nonces = []
+    ciphertexts = []
+    tag_bytes = None
+    for codec, packet in entries:
+        if packet.destination != codec.node_id:
+            raise CryptoError(
+                f"packet for node {packet.destination} handed to node "
+                f"{codec.node_id}"
+            )
+        enc, mac = codec.ciphers_for(packet.source)
+        enc_ciphers.append(enc)
+        mac_ciphers.append(mac)
+        nonces.append(
+            codec._nonce_int(round_nonce, packet.source, packet.destination)
+        )
+        ciphertexts.append(int.from_bytes(packet.ciphertext, "big"))
+        tag_bytes = codec.tag_bytes
+    plaintexts, expected_tags = aesbatch.ctr_cbc_mac_batch(
+        enc_ciphers,
+        mac_ciphers,
+        nonces,
+        ciphertexts,
+        tag_bytes,
+        mac_over_input=True,
+    )
+    results: list[FieldElement | None] = []
+    prime = field.prime
+    for (codec, packet), plaintext, expected in zip(
+        entries, plaintexts, expected_tags
+    ):
+        if packet.tag != expected or plaintext >= prime:
+            results.append(None)
+        else:
+            results.append(FieldElement(field, plaintext))
+    return results
 
 
 # -- reconstruction-phase sum packets (plain text) ----------------------------

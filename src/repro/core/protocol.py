@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import fastpath
 from repro.crypto.prng import AesCtrDrbg
 from repro.ct.coverage import arm_offsets
 from repro.ct.minicast import (
@@ -47,14 +48,18 @@ from repro.errors import (
     ReconstructionError,
 )
 from repro.field.polynomial import Polynomial
+from repro.field.prime_field import FieldElement
 from repro.phy.channel import ChannelModel, ChannelParameters
 from repro.phy.link import LinkTable
 from repro.core.config import CryptoMode, ProtocolConfig
 from repro.core.metrics import NodeMetrics, RoundMetrics
 from repro.core.payload import (
+    BATCH_THRESHOLD,
     RealShareCodec,
     SharePacket,
     StubShareCodec,
+    batch_decrypt_shares,
+    batch_encrypt_shares,
     decode_sum_packet,
     encode_sum_packet,
 )
@@ -71,6 +76,39 @@ class PhasePlan:
 
     schedule: RoundSchedule
     policy: RadioOffPolicy
+
+
+#: Process-wide codec pool (fast path): a node's provisioned key material
+#: is a pure function of (mode, node, peer set, master secret, tag size),
+#: so repeated engine constructions over one deployment — every campaign
+#: sweep point, REAL mode especially — share the expanded AES schedules
+#: instead of re-deriving hundreds of pairwise keys.  Codecs are
+#: read-only after construction.
+_CODEC_POOL: dict[tuple, "RealShareCodec | StubShareCodec"] = {}
+_CODEC_POOL_MAX = 4096
+
+#: Process-wide chain-layout pool (fast path): layouts are pure functions
+#: of their source/destination tuples and are immutable, so every engine
+#: instantiation across a campaign shares them.
+_LAYOUT_POOL: dict[tuple, ChainLayout] = {}
+_LAYOUT_POOL_MAX = 4096
+
+
+def _batch_crypto_available() -> bool:
+    """Whether the numpy-vectorized share pipeline can be used."""
+    from repro.crypto import aesbatch
+
+    return aesbatch.HAVE_NUMPY
+
+
+def _pooled_layout(key: tuple, build) -> ChainLayout:
+    layout = _LAYOUT_POOL.get(key)
+    if layout is None:
+        layout = build()
+        if len(_LAYOUT_POOL) >= _LAYOUT_POOL_MAX:
+            _LAYOUT_POOL.clear()
+        _LAYOUT_POOL[key] = layout
+    return layout
 
 
 class AggregationEngine:
@@ -120,10 +158,18 @@ class AggregationEngine:
         return self._registry
 
     def links_for(self, frame_bytes: int) -> LinkTable:
-        """Link table at a given on-air frame size (cached)."""
+        """Link table at a given on-air frame size (cached).
+
+        On the fast path the table also comes from the process-wide
+        :func:`repro.phy.link.cached_link_table` pool, so S3 and S4
+        engines over the same deployment (and repeated engine
+        constructions across a campaign) share one instance.
+        """
         table = self._links_cache.get(frame_bytes)
         if table is None:
-            table = LinkTable(
+            from repro.phy.link import cached_link_table
+
+            table = cached_link_table(
                 self._topology.positions,
                 self._channel_model,
                 frame_bytes,
@@ -132,11 +178,61 @@ class AggregationEngine:
             self._links_cache[frame_bytes] = table
         return table
 
+    def _minicast_round(
+        self, links: LinkTable, plan: PhasePlan
+    ) -> MiniCastRound:
+        """A (cached) MiniCast round executor for one phase configuration.
+
+        :class:`MiniCastRound` is stateless across ``run`` calls, so one
+        instance per (links, schedule, policy) can serve every round of a
+        campaign — its construction-time receive-order precomputation is
+        the part worth not repeating.
+        """
+        if not fastpath.enabled():
+            return MiniCastRound(
+                links,
+                plan.schedule,
+                capture=self._config.capture,
+                policy=plan.policy,
+                tx_probability=self._config.tx_probability,
+            )
+        key = (
+            "round",
+            plan.schedule,
+            plan.policy,
+            self._config.capture,
+            self._config.tx_probability,
+        )
+        cached = links.derived_cache.get(key)
+        if cached is None:
+            cached = MiniCastRound(
+                links,
+                plan.schedule,
+                capture=self._config.capture,
+                policy=plan.policy,
+                tx_probability=self._config.tx_probability,
+            )
+            links.derived_cache[key] = cached
+        return cached
+
     def codec(self, node: int):
         """The share codec (cipher + keys) node ``node`` was provisioned with."""
         existing = self._codec_cache.get(node)
         if existing is not None:
             return existing
+        pool_key = None
+        if fastpath.enabled():
+            pool_key = (
+                self._config.crypto_mode,
+                node,
+                self._topology.node_ids,
+                self._config.master_secret,
+                self._config.mac_tag_bytes,
+            )
+            pooled = _CODEC_POOL.get(pool_key)
+            if pooled is not None:
+                self._codec_cache[node] = pooled
+                return pooled
         if self._config.crypto_mode is CryptoMode.REAL:
             built = RealShareCodec(
                 node,
@@ -147,6 +243,10 @@ class AggregationEngine:
         else:
             built = StubShareCodec(node, tag_bytes=self._config.mac_tag_bytes)
         self._codec_cache[node] = built
+        if pool_key is not None:
+            if len(_CODEC_POOL) >= _CODEC_POOL_MAX:
+                _CODEC_POOL.clear()
+            _CODEC_POOL[pool_key] = built
         return built
 
     # -- variant hooks -------------------------------------------------------------
@@ -220,8 +320,28 @@ class AggregationEngine:
         dealer_root = AesCtrDrbg.from_seed(f"round-{seed}")
 
         # 1+2. Deal polynomials and build the encrypted sub-slot payloads.
-        layout = ChainLayout.sharing(self.chain_sources(sources), destinations)
+        fast = fastpath.enabled()
+        chain_sources = self.chain_sources(sources)
+        if fast:
+            layout = _pooled_layout(
+                ("sharing", tuple(chain_sources), tuple(destinations)),
+                lambda: ChainLayout.sharing(chain_sources, destinations),
+            )
+        else:
+            layout = ChainLayout.sharing(chain_sources, destinations)
+        destination_points = [
+            self._registry.point_of(dst).value for dst in destinations
+        ]
+        use_batch_crypto = (
+            fast
+            and config.crypto_mode is CryptoMode.REAL
+            and _batch_crypto_available()
+            and len(sources) * len(destinations) >= BATCH_THRESHOLD
+            and self.codec(sources[0]).supports_batch()
+        )
         payloads: dict[int, SharePacket] = {}
+        batch_entries: list[tuple] = []
+        batch_indices: list[int] = []
         for src in sources:
             polynomial = Polynomial.random_with_secret(
                 field,
@@ -230,34 +350,39 @@ class AggregationEngine:
                 dealer_root.fork(f"dealer-{src}"),
             )
             src_codec = self.codec(src)
-            for dst in destinations:
-                value = polynomial(self._registry.point_of(dst))
+            # Bulk raw-int evaluation: one Horner pass per destination
+            # without a FieldElement per intermediate product.
+            values = polynomial.evaluate_values(destination_points)
+            for dst, value_int in zip(destinations, values):
                 if dst == src:
                     # A node's share to itself never leaves the node; the
                     # sub-slot still exists (and costs airtime) in the
                     # naive static chain, but carries no cipher work.
-                    packet = SharePacket(
+                    payloads[layout.index_of(src, dst)] = SharePacket(
                         source=src,
                         destination=dst,
-                        ciphertext=value.value.to_bytes(16, "big"),
+                        ciphertext=value_int.to_bytes(16, "big"),
                         tag=b"",
                     )
+                elif use_batch_crypto:
+                    batch_entries.append((src_codec, dst, value_int))
+                    batch_indices.append(layout.index_of(src, dst))
                 else:
-                    packet = src_codec.encrypt_share(dst, value, round_nonce)
-                payloads[layout.index_of(src, dst)] = packet
+                    payloads[layout.index_of(src, dst)] = src_codec.encrypt_share(
+                        dst, FieldElement(field, value_int), round_nonce
+                    )
+        if batch_entries:
+            for index, packet in zip(
+                batch_indices, batch_encrypt_shares(batch_entries, round_nonce)
+            ):
+                payloads[index] = packet
 
         # 3. Sharing phase.
         plan = self.sharing_plan(layout)
         links = self.links_for(
             config.timings.phy_overhead_bytes + layout.psdu_bytes
         )
-        sharing_round = MiniCastRound(
-            links,
-            plan.schedule,
-            capture=config.capture,
-            policy=plan.policy,
-            tx_probability=config.tx_probability,
-        )
+        sharing_round = self._minicast_round(links, plan)
         # Only rows of actual sources carry data; reserved-but-unfilled
         # rows (naive static chains) are silence nobody can receive.
         filled = 0
@@ -285,13 +410,77 @@ class AggregationEngine:
 
         # Decrypt and fold into per-point sums.
         accumulators: dict[int, ShareAccumulator] = {}
+        prime = field.prime
+        element_size = field.element_size_bytes
+        decrypted_batch: dict[int, FieldElement | None] = {}
+        if use_batch_crypto:
+            # Gather every delivered foreign share across all destinations
+            # and authenticate + decrypt them in one vectorized pass.
+            gather_entries = []
+            gather_indices = []
+            for dst in destinations:
+                if dst not in alive_after_sharing:
+                    continue
+                dst_codec = self.codec(dst)
+                view = (
+                    sharing_result.knowledge[dst] & layout.destination_mask(dst)
+                )
+                while view:
+                    low_bit = view & -view
+                    index = low_bit.bit_length() - 1
+                    view ^= low_bit
+                    packet = payloads[index]
+                    if packet.source != dst:
+                        gather_entries.append((dst_codec, packet))
+                        gather_indices.append(index)
+            if gather_entries:
+                for index, value in zip(
+                    gather_indices,
+                    batch_decrypt_shares(gather_entries, field, round_nonce),
+                ):
+                    decrypted_batch[index] = value
         for dst in destinations:
             if dst not in alive_after_sharing:
                 continue
             dst_codec = self.codec(dst)
             point = self._registry.point_of(dst)
-            accumulator = ShareAccumulator.empty(point)
             view = sharing_result.knowledge[dst] & layout.destination_mask(dst)
+            if fast:
+                # Allocation-light fold: raw-int running sum plus a plain
+                # contributor set; Share/FieldElement objects are built
+                # once per accumulator instead of once per received share.
+                total = 0
+                contributors: set[int] = set()
+                while view:
+                    low_bit = view & -view
+                    index = low_bit.bit_length() - 1
+                    view ^= low_bit
+                    packet = payloads[index]
+                    try:
+                        if packet.source == dst:
+                            value = field.element_from_bytes(
+                                packet.ciphertext[-element_size:]
+                            )
+                        elif use_batch_crypto:
+                            value = decrypted_batch.get(index)
+                            if value is None:
+                                continue  # corrupted/forged packet: drop
+                        else:
+                            value = dst_codec.decrypt_share(
+                                packet, field, round_nonce
+                            )
+                    except (CryptoError, FieldError):
+                        continue  # corrupted/forged packet: drop
+                    total += value.value
+                    contributors.add(packet.source)
+                if contributors:
+                    accumulators[dst] = ShareAccumulator(
+                        x=point,
+                        total=FieldElement(field, total % prime),
+                        contributors=contributors,
+                    )
+                continue
+            accumulator = ShareAccumulator.empty(point)
             while view:
                 low_bit = view & -view
                 index = low_bit.bit_length() - 1
@@ -322,11 +511,27 @@ class AggregationEngine:
 
         # 4. Reconstruction phase.
         holders = sorted(accumulators)
-        recon_layout = ChainLayout.reconstruction(
-            holders,
-            num_nodes=max(self._topology.node_ids) + 1,
-            element_size=field.element_size_bytes,
-        )
+        num_nodes_total = max(self._topology.node_ids) + 1
+        if fast:
+            recon_layout = _pooled_layout(
+                (
+                    "reconstruction",
+                    tuple(holders),
+                    num_nodes_total,
+                    field.element_size_bytes,
+                ),
+                lambda: ChainLayout.reconstruction(
+                    holders,
+                    num_nodes=num_nodes_total,
+                    element_size=field.element_size_bytes,
+                ),
+            )
+        else:
+            recon_layout = ChainLayout.reconstruction(
+                holders,
+                num_nodes=num_nodes_total,
+                element_size=field.element_size_bytes,
+            )
         sum_payloads: dict[int, bytes] = {}
         for holder in holders:
             accumulator = accumulators[holder]
@@ -341,13 +546,7 @@ class AggregationEngine:
         recon_links = self.links_for(
             config.timings.phy_overhead_bytes + recon_layout.psdu_bytes
         )
-        recon_round = MiniCastRound(
-            recon_links,
-            recon_plan.schedule,
-            capture=config.capture,
-            policy=recon_plan.policy,
-            tx_probability=config.tx_probability,
-        )
+        recon_round = self._minicast_round(recon_links, recon_plan)
         recon_initial = {
             node: (
                 recon_layout.source_mask(node) if node in accumulators else 0
@@ -402,6 +601,58 @@ class AggregationEngine:
         all_failures = dict(sharing_result.failures)
         all_failures.update(recon_result.failures)
 
+        fast = fastpath.enabled()
+        # The reconstruction a node performs depends only on its final
+        # view of the sum chain; after a healthy flood most nodes share
+        # the full view, so memoising per distinct view collapses n
+        # interpolations into one or two.  Decoded packets are likewise
+        # shared across every node that received the same sub-slot.
+        decoded_cache: dict[int, tuple] = {}
+        outcome_cache: dict[int, tuple] = {}
+
+        def decode_view(view: int) -> tuple:
+            sums: list[ShareAccumulator] = []
+            bits = view
+            while bits:
+                low_bit = bits & -bits
+                index = low_bit.bit_length() - 1
+                bits ^= low_bit
+                decoded = decoded_cache.get(index) if fast else None
+                if decoded is None:
+                    holder = recon_layout.spec(index).source
+                    value, contributor_set = decode_sum_packet(
+                        sum_payloads[index],
+                        field,
+                        num_nodes=num_nodes,
+                        element_size=field.element_size_bytes,
+                    )
+                    decoded = (self._registry.point_of(holder), value, contributor_set)
+                    if fast:
+                        decoded_cache[index] = decoded
+                point, value, contributor_set = decoded
+                sums.append(
+                    ShareAccumulator(
+                        x=point,
+                        total=value,
+                        contributors=set(contributor_set),
+                    )
+                )
+            try:
+                result = reconstruct_aggregate(field, sums, degree)
+            except (ReconstructionError, ProtocolError):
+                result = None
+            if result is None:
+                return (None, frozenset(), False)
+            aggregate = result.value.value
+            contributors = result.contributors
+            truth = field.sum(secrets[s] for s in contributors if s in secrets)
+            correct = (
+                bool(contributors)
+                and contributors <= frozenset(sources)
+                and aggregate == truth.value
+            )
+            return (aggregate, contributors, correct)
+
         per_node: dict[int, NodeMetrics] = {}
         for node in self._topology.node_ids:
             tx_us = sharing_result.tx_us.get(node, 0) + recon_result.tx_us.get(
@@ -418,41 +669,13 @@ class AggregationEngine:
             dead = node in all_failures
             if not dead:
                 view = recon_result.knowledge.get(node, 0)
-                sums: list[ShareAccumulator] = []
-                bits = view
-                while bits:
-                    low_bit = bits & -bits
-                    index = low_bit.bit_length() - 1
-                    bits ^= low_bit
-                    holder = recon_layout.spec(index).source
-                    value, contributor_set = decode_sum_packet(
-                        sum_payloads[index],
-                        field,
-                        num_nodes=num_nodes,
-                        element_size=field.element_size_bytes,
-                    )
-                    sums.append(
-                        ShareAccumulator(
-                            x=self._registry.point_of(holder),
-                            total=value,
-                            contributors=set(contributor_set),
-                        )
-                    )
-                try:
-                    result = reconstruct_aggregate(field, sums, degree)
-                except (ReconstructionError, ProtocolError):
-                    result = None
-                if result is not None:
-                    aggregate = result.value.value
-                    contributors = result.contributors
-                    truth = field.sum(
-                        secrets[s] for s in contributors if s in secrets
-                    )
-                    correct = (
-                        bool(contributors)
-                        and contributors <= frozenset(sources)
-                        and aggregate == truth.value
-                    )
+                outcome = outcome_cache.get(view) if fast else None
+                if outcome is None:
+                    outcome = decode_view(view)
+                    if fast:
+                        outcome_cache[view] = outcome
+                aggregate, contributors, correct = outcome
+                if aggregate is not None:
                     completion = recon_result.completion_us(node)
                     if completion is not None:
                         latency = sharing_duration + completion

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import fastpath
 from repro.ct.minicast import RadioOffPolicy
 from repro.ct.packet import ChainLayout, sharing_psdu_bytes
 from repro.ct.slots import RoundSchedule
@@ -85,13 +86,44 @@ class S4Engine(AggregationEngine):
     # -- bootstrapping ---------------------------------------------------------
 
     def bootstrap_for(self, sources: Sequence[int]) -> S4Bootstrap:
-        """Bootstrap measurements for a given source set (cached)."""
+        """Bootstrap measurements for a given source set (cached).
+
+        Besides the per-engine cache, the fast path memoises the result on
+        the shared link table: bootstrapping is a deterministic function
+        of (links, timings, sources, S4 parameters), and it models a
+        *commissioning-time* measurement — a deployment performs it once,
+        not once per analysis object.  With
+        :func:`repro.phy.link.cached_link_table` deduplicating tables
+        process-wide, every engine over the same deployment shares one
+        bootstrap instead of re-profiling ~40 MiniCast probe rounds.
+        """
         key = tuple(sorted(sources))
         cached = self._bootstrap_cache.get(key)
         if cached is not None:
             return cached
         frame = self.config.timings.phy_overhead_bytes + sharing_psdu_bytes()
         links = self.links_for(frame)
+        shared_key = None
+        if fastpath.enabled():
+            shared_key = (
+                "s4-bootstrap",
+                key,
+                self.config.timings,
+                min(self._s4.num_collectors, len(self._topology)),
+                self._s4.sharing_ntx,
+                self.config.capture,
+                self.config.tx_probability,
+                self._s4.collector_threshold,
+                self._s4.completion_quantile,
+                self._s4.sharing_slack_slots,
+                self._s4.bootstrap_iterations,
+                self._s4.bootstrap_seed,
+                self.config.threshold,
+            )
+            shared = links.derived_cache.get(shared_key)
+            if shared is not None:
+                self._bootstrap_cache[key] = shared
+                return shared
         result = bootstrap_s4(
             links=links,
             timings=self.config.timings,
@@ -110,6 +142,8 @@ class S4Engine(AggregationEngine):
             satisfy_count=self.config.threshold,
         )
         self._bootstrap_cache[key] = result
+        if shared_key is not None:
+            links.derived_cache[shared_key] = result
         return result
 
     # -- variant hooks -----------------------------------------------------------

@@ -1,0 +1,181 @@
+"""Vectorized AES-128 over packet batches (numpy backend).
+
+A sharing round encrypts and MACs hundreds of independent share packets,
+each under its own pairwise key.  Per-block Python AES costs ~10 µs; the
+same T-table round function expressed as numpy gathers over ``(N,)``
+uint32 lanes costs ~1-2 µs per block once a round's packets are batched,
+because the interpreter overhead is paid per *round function*, not per
+block.
+
+The kernel evaluates exactly the column equations of
+:mod:`repro.crypto.aes` (same tables, same key schedule), so its output
+is bit-identical to the scalar implementation — enforced by
+``tests/crypto/test_aes_fastpath.py``.  numpy is an optional
+acceleration: every caller must guard on :data:`HAVE_NUMPY` and fall
+back to the scalar path (the library never *requires* numpy).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import _SBOX, _TE0, _TE1, _TE2, _TE3, AES128
+
+try:  # pragma: no cover - import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+if HAVE_NUMPY:
+    _T0 = _np.array(_TE0, dtype=_np.uint32)
+    _T1 = _np.array(_TE1, dtype=_np.uint32)
+    _T2 = _np.array(_TE2, dtype=_np.uint32)
+    _T3 = _np.array(_TE3, dtype=_np.uint32)
+    _S = _np.array(list(_SBOX), dtype=_np.uint32)
+
+#: Cached per-cipher round-key rows (uint32, length 44), keyed by id().
+#: Ciphers are pooled process-wide by the fast path, so ids are stable
+#: for the lifetime of the entries; the cache is cleared wholesale when
+#: it grows past the bound.
+_KEY_ROWS: dict[int, "tuple[AES128, object]"] = {}
+_KEY_ROWS_MAX = 8192
+
+
+def key_rows(ciphers) -> "object":
+    """Stack the expanded round keys of ``ciphers`` into an (N, 44) array.
+
+    Every cipher must be a table-mode :class:`AES128` (the fast path
+    guarantees this); the row for each cipher is cached so repeated
+    rounds over the same pairwise keys only pay a stack, not a rebuild.
+    The cache holds a reference to the cipher itself so an id() can never
+    be recycled while its row is alive.
+    """
+    rows = []
+    for cipher in ciphers:
+        entry = _KEY_ROWS.get(id(cipher))
+        if entry is None or entry[0] is not cipher:
+            row = _np.array(cipher._enc_words, dtype=_np.uint32)
+            if len(_KEY_ROWS) >= _KEY_ROWS_MAX:
+                _KEY_ROWS.clear()
+            entry = (cipher, row)
+            _KEY_ROWS[id(cipher)] = entry
+        rows.append(entry[1])
+    return _np.stack(rows)
+
+
+def words_from_ints(values) -> "tuple":
+    """Split 128-bit block ints into four big-endian uint32 word arrays."""
+    s0 = _np.fromiter((v >> 96 for v in values), dtype=_np.uint32, count=len(values))
+    s1 = _np.fromiter(
+        ((v >> 64) & 0xFFFFFFFF for v in values), dtype=_np.uint32, count=len(values)
+    )
+    s2 = _np.fromiter(
+        ((v >> 32) & 0xFFFFFFFF for v in values), dtype=_np.uint32, count=len(values)
+    )
+    s3 = _np.fromiter(
+        (v & 0xFFFFFFFF for v in values), dtype=_np.uint32, count=len(values)
+    )
+    return s0, s1, s2, s3
+
+
+def ints_from_words(words) -> list[int]:
+    """Inverse of :func:`words_from_ints`."""
+    s0, s1, s2, s3 = (w.tolist() for w in words)
+    return [
+        (a << 96) | (b << 64) | (c << 32) | d
+        for a, b, c, d in zip(s0, s1, s2, s3)
+    ]
+
+
+def encrypt_words(rk, s0, s1, s2, s3):
+    """One AES-128 encryption per lane; state as four uint32 arrays.
+
+    ``rk`` is the (N, 44) round-key matrix from :func:`key_rows` — each
+    lane uses its own key.  Returns the four output word arrays.
+    """
+    s0 = s0 ^ rk[:, 0]
+    s1 = s1 ^ rk[:, 1]
+    s2 = s2 ^ rk[:, 2]
+    s3 = s3 ^ rk[:, 3]
+    for round_index in range(1, 10):
+        k = 4 * round_index
+        u0 = _T0[s0 >> 24] ^ _T1[(s1 >> 16) & 255] ^ _T2[(s2 >> 8) & 255] ^ _T3[s3 & 255] ^ rk[:, k]
+        u1 = _T0[s1 >> 24] ^ _T1[(s2 >> 16) & 255] ^ _T2[(s3 >> 8) & 255] ^ _T3[s0 & 255] ^ rk[:, k + 1]
+        u2 = _T0[s2 >> 24] ^ _T1[(s3 >> 16) & 255] ^ _T2[(s0 >> 8) & 255] ^ _T3[s1 & 255] ^ rk[:, k + 2]
+        u3 = _T0[s3 >> 24] ^ _T1[(s0 >> 16) & 255] ^ _T2[(s1 >> 8) & 255] ^ _T3[s2 & 255] ^ rk[:, k + 3]
+        s0, s1, s2, s3 = u0, u1, u2, u3
+    u0 = ((_S[s0 >> 24] << 24) | (_S[(s1 >> 16) & 255] << 16) | (_S[(s2 >> 8) & 255] << 8) | _S[s3 & 255]) ^ rk[:, 40]
+    u1 = ((_S[s1 >> 24] << 24) | (_S[(s2 >> 16) & 255] << 16) | (_S[(s3 >> 8) & 255] << 8) | _S[s0 & 255]) ^ rk[:, 41]
+    u2 = ((_S[s2 >> 24] << 24) | (_S[(s3 >> 16) & 255] << 16) | (_S[(s0 >> 8) & 255] << 8) | _S[s1 & 255]) ^ rk[:, 42]
+    u3 = ((_S[s3 >> 24] << 24) | (_S[(s0 >> 16) & 255] << 16) | (_S[(s1 >> 8) & 255] << 8) | _S[s2 & 255]) ^ rk[:, 43]
+    return u0, u1, u2, u3
+
+
+def encrypt_blocks(ciphers, blocks: list[int]) -> list[int]:
+    """One single-block encryption per (cipher, block) pair, batched.
+
+    Bit-identical to ``[c.encrypt_int(b) for c, b in zip(ciphers, blocks)]``.
+    """
+    if not blocks:
+        return []
+    rk = key_rows(ciphers)
+    return ints_from_words(encrypt_words(rk, *words_from_ints(blocks)))
+
+
+def ctr_cbc_mac_batch(
+    enc_ciphers,
+    mac_ciphers,
+    nonces: list[int],
+    data: list[int],
+    tag_bytes: int,
+    mac_over_input: bool = False,
+) -> tuple[list[int], list[bytes]]:
+    """Batched share protection: per-lane AES-CTR + length-prepended CBC-MAC.
+
+    For each lane ``i`` the CTR output is ``data ^ E_enc(nonce)`` and the
+    tag is the truncated CBC-MAC (zero IV, 8-byte length prefix, PKCS#7
+    padding) of ``nonce_bytes + ct_bytes`` under the MAC key — exactly
+    what :func:`repro.crypto.modes.ctr_transform` +
+    :func:`repro.crypto.mac.cbc_mac` compute packet-by-packet.
+
+    On the sender ``data`` is the plaintext, the CTR output is the
+    ciphertext and the MAC covers that output.  On the receiver ``data``
+    is the received ciphertext (CTR is an involution, so the output is
+    the plaintext) and the MAC must cover the *input* — select that with
+    ``mac_over_input=True``.
+
+    Returns (CTR output ints, tag bytes).
+    """
+    n = len(nonces)
+    if n == 0:
+        return [], []
+    enc_rk = key_rows(enc_ciphers)
+    mac_rk = key_rows(mac_ciphers)
+    n0, n1, n2, n3 = words_from_ints(nonces)
+
+    # CTR: output = data ^ E_enc(nonce).
+    k0, k1, k2, k3 = encrypt_words(enc_rk, n0, n1, n2, n3)
+    d0, d1, d2, d3 = words_from_ints(data)
+    o0, o1, o2, o3 = d0 ^ k0, d1 ^ k1, d2 ^ k2, d3 ^ k3
+    if mac_over_input:
+        c0, c1, c2, c3 = d0, d1, d2, d3
+    else:
+        c0, c1, c2, c3 = o0, o1, o2, o3
+
+    # CBC-MAC over the 40-byte prefixed message, padded to 48 bytes:
+    #   block 1 = len(32).to_bytes(8) || nonce[0:8]
+    #   block 2 = nonce[8:16]         || ct[0:8]
+    #   block 3 = ct[8:16]            || 0x08 * 8   (PKCS#7)
+    b1_0 = _np.zeros(n, dtype=_np.uint32)
+    b1_1 = _np.full(n, 32, dtype=_np.uint32)
+    m0, m1, m2, m3 = encrypt_words(mac_rk, b1_0, b1_1, n0, n1)
+    m0, m1, m2, m3 = encrypt_words(mac_rk, m0 ^ n2, m1 ^ n3, m2 ^ c0, m3 ^ c1)
+    pad = _np.full(n, 0x08080808, dtype=_np.uint32)
+    m0, m1, m2, m3 = encrypt_words(mac_rk, m0 ^ c2, m1 ^ c3, m2 ^ pad, m3 ^ pad)
+
+    outputs = ints_from_words((o0, o1, o2, o3))
+    tags = [
+        tag_int.to_bytes(16, "big")[:tag_bytes]
+        for tag_int in ints_from_words((m0, m1, m2, m3))
+    ]
+    return outputs, tags

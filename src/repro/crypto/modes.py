@@ -13,6 +13,12 @@ from repro.errors import CryptoError
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    if len(a) == len(b):
+        # One big-int XOR beats a per-byte generator for the block-sized
+        # operands every caller in this library uses.
+        return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+            len(a), "big"
+        )
     return bytes(x ^ y for x, y in zip(a, b))
 
 
@@ -21,24 +27,28 @@ def ctr_keystream(cipher: AES128, nonce: bytes, length: int) -> bytes:
 
     The full 16-byte ``nonce`` is the initial counter block; successive
     blocks increment it as a big-endian 128-bit integer (wrapping), per
-    SP 800-38A.
+    SP 800-38A.  The blocks are produced in one batched
+    :meth:`AES128.ctr_blocks` call.
     """
     if len(nonce) != BLOCK_SIZE:
         raise CryptoError(f"CTR nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}")
     if length < 0:
         raise CryptoError(f"keystream length must be >= 0, got {length}")
-    counter = int.from_bytes(nonce, "big")
-    stream = bytearray()
-    while len(stream) < length:
-        block = counter.to_bytes(BLOCK_SIZE, "big")
-        stream.extend(cipher.encrypt_block(block))
-        counter = (counter + 1) % (1 << 128)
-    return bytes(stream[:length])
+    blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    stream = cipher.ctr_blocks(int.from_bytes(nonce, "big"), blocks)
+    return stream[:length]
 
 
 def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt ``data`` in CTR mode (the operation is its own
     inverse)."""
+    if len(data) == BLOCK_SIZE and len(nonce) == BLOCK_SIZE:
+        # Single-block payloads (every share packet) skip the keystream
+        # buffer entirely: one int encryption, one int XOR.
+        keystream = cipher.encrypt_int(int.from_bytes(nonce, "big"))
+        return (int.from_bytes(data, "big") ^ keystream).to_bytes(
+            BLOCK_SIZE, "big"
+        )
     return _xor_bytes(data, ctr_keystream(cipher, nonce, len(data)))
 
 

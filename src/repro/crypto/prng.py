@@ -12,14 +12,41 @@ simulation RNG.  Two reasons:
 The generator exposes the subset of the ``random.Random`` interface the
 library uses (``randrange``, ``getrandbits``, ``random_bytes``) so it can
 be passed anywhere a stdlib RNG is accepted.
+
+Performance: the keystream is produced in multi-block batches through
+:meth:`repro.crypto.aes.AES128.ctr_blocks` (one call per refill instead of
+one ``encrypt_block`` call per 16 bytes) and consumed through a moving
+offset instead of re-slicing the buffer.  Batching only changes *when*
+keystream blocks are computed, never their values, so the output stream is
+bit-identical to the seed implementation; the reference path
+(:mod:`repro.fastpath` disabled) refills one block at a time exactly as
+the original code did.
 """
 
 from __future__ import annotations
 
 import hashlib
 
+from repro import fastpath
 from repro.crypto.aes import AES128, BLOCK_SIZE
 from repro.errors import CryptoError
+
+#: Process-wide cipher pool (fast path): protocol randomness is seeded
+#: deterministically, so identical campaigns re-derive identical DRBG
+#: keys — pooling the expanded schedules makes repeat campaigns skip the
+#: per-key setup entirely.  AES128 objects are immutable after
+#: construction, so sharing is safe.
+_CIPHER_POOL: dict[bytes, AES128] = {}
+_CIPHER_POOL_MAX = 8192
+
+#: Maximum keystream blocks generated per refill on the fast path.
+#: Prefetching ahead of demand is free: CTR output depends only on the
+#: counter, so the stream a consumer sees is identical regardless of batch
+#: size.  Refills grow geometrically from one block up to this cap, so a
+#: short-lived DRBG (e.g. a per-dealer fork that draws a handful of
+#: coefficients) never wastes a big batch while long-lived streams
+#: amortise the per-call overhead fully.
+_FAST_REFILL_BLOCKS_MAX = 32
 
 
 class AesCtrDrbg:
@@ -35,14 +62,34 @@ class AesCtrDrbg:
     True
     """
 
-    __slots__ = ("_cipher", "_counter", "_buffer")
+    __slots__ = (
+        "_cipher",
+        "_counter",
+        "_buffer",
+        "_offset",
+        "_refill_blocks",
+        "_batching",
+    )
 
     def __init__(self, key: bytes):
         if len(key) != 16:
             raise CryptoError(f"DRBG key must be 16 bytes, got {len(key)}")
-        self._cipher = AES128(key)
+        if fastpath.enabled():
+            cipher = _CIPHER_POOL.get(key)
+            if cipher is None:
+                cipher = AES128(key)
+                if len(_CIPHER_POOL) >= _CIPHER_POOL_MAX:
+                    _CIPHER_POOL.clear()
+                _CIPHER_POOL[key] = cipher
+            self._cipher = cipher
+            self._batching = True
+        else:
+            self._cipher = AES128(key)
+            self._batching = False
         self._counter = 0
         self._buffer = b""
+        self._offset = 0
+        self._refill_blocks = 1
 
     @classmethod
     def from_seed(cls, seed: bytes | str | int) -> "AesCtrDrbg":
@@ -58,11 +105,24 @@ class AesCtrDrbg:
         """Next ``length`` bytes of keystream."""
         if length < 0:
             raise CryptoError(f"length must be >= 0, got {length}")
-        while len(self._buffer) < length:
-            block = self._counter.to_bytes(BLOCK_SIZE, "big")
-            self._buffer += self._cipher.encrypt_block(block)
-            self._counter += 1
-        output, self._buffer = self._buffer[:length], self._buffer[length:]
+        buffer = self._buffer
+        offset = self._offset
+        available = len(buffer) - offset
+        if available < length:
+            needed_blocks = (length - available + BLOCK_SIZE - 1) // BLOCK_SIZE
+            batch = needed_blocks
+            if self._batching:
+                batch = max(needed_blocks, self._refill_blocks)
+                self._refill_blocks = min(
+                    self._refill_blocks * 2, _FAST_REFILL_BLOCKS_MAX
+                )
+            fresh = self._cipher.ctr_blocks(self._counter, batch)
+            self._counter += batch
+            buffer = buffer[offset:] + fresh
+            offset = 0
+            self._buffer = buffer
+        output = buffer[offset : offset + length]
+        self._offset = offset + length
         return output
 
     def getrandbits(self, bits: int) -> int:

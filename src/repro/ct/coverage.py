@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import fastpath
 from repro.errors import ConfigurationError
 from repro.phy.capture import CaptureModel
 from repro.phy.link import LinkTable
@@ -42,10 +43,17 @@ def arm_offsets(links: LinkTable, root: int) -> dict[int, int]:
     the root's good-link component (possible under aggressive shadowing)
     join one slot after the farthest connected node.
     """
+    if fastpath.enabled():
+        cached = links.derived_cache.get(("wave", root))
+        if cached is not None:
+            return dict(cached)
     adjacency = links.adjacency()
     hops = bfs_hops(adjacency, root)
     fallback = (max(hops.values()) if hops else 0) + 1
-    return {node: hops.get(node, fallback) for node in links.node_ids}
+    offsets = {node: hops.get(node, fallback) for node in links.node_ids}
+    if fastpath.enabled():
+        links.derived_cache[("wave", root)] = dict(offsets)
+    return offsets
 
 
 @dataclass(frozen=True)
@@ -136,7 +144,13 @@ def probe_round(
         timings=timings,
     )
     round_ = MiniCastRound(
-        links, schedule, capture=capture, policy=RadioOffPolicy.ALWAYS_ON
+        links,
+        schedule,
+        capture=capture,
+        policy=RadioOffPolicy.ALWAYS_ON,
+        # Probe statistics feed deployment decisions (full-coverage NTX,
+        # collector election); keep them bit-identical to the seed.
+        force_reference=True,
     )
     return round_, layout
 
@@ -168,6 +182,20 @@ def profile_coverage(
         full_rounds = 0
         reachable_total = 0
         slots_total = 0
+        fast_counting = fastpath.enabled()
+        if fast_counting:
+            # Hot-loop hoists: bit position per source (computed once, not
+            # per pair per iteration), the mask of everyone-but-me, and a
+            # dense per-destination hit counter indexed by bit position.
+            bit_of_source = {src: layout.index_of(src, None) for src in nodes}
+            source_of_bit = {bit: src for src, bit in bit_of_source.items()}
+            hit_rows: dict[int, list[int]] = {
+                dst: [0] * len(layout) for dst in nodes
+            }
+            others_mask = {
+                dst: layout.full_mask() & ~(1 << bit_of_source[dst])
+                for dst in nodes
+            }
         for iteration in range(iterations):
             rng = random.Random(stable_seed(seed, ntx, iteration))
             result = round_.run(
@@ -178,6 +206,22 @@ def profile_coverage(
                 arm_schedule=wave,
             )
             slots_total += result.slots_run
+            if fast_counting:
+                everything = True
+                for dst in nodes:
+                    relevant = result.knowledge[dst] & others_mask[dst]
+                    count = relevant.bit_count()
+                    reachable_total += count
+                    if count != len(nodes) - 1:
+                        everything = False
+                    row = hit_rows[dst]
+                    while relevant:
+                        low_bit = relevant & -relevant
+                        row[low_bit.bit_length() - 1] += 1
+                        relevant ^= low_bit
+                if everything:
+                    full_rounds += 1
+                continue
             everything = True
             for dst in nodes:
                 view = result.knowledge[dst]
@@ -192,6 +236,12 @@ def profile_coverage(
                         everything = False
             if everything:
                 full_rounds += 1
+        if fast_counting:
+            for dst in nodes:
+                row = hit_rows[dst]
+                for bit, hits in enumerate(row):
+                    if hits:
+                        pair_hits[(source_of_bit[bit], dst)] = hits
         pair_delivery = {
             pair: hits / iterations for pair, hits in pair_hits.items()
         }

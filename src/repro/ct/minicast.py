@@ -44,11 +44,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro import fastpath
 from repro.errors import ConfigurationError
 from repro.phy.capture import CaptureModel
 from repro.phy.link import LinkTable
 from repro.ct.slots import RoundSchedule
-from repro.sim.bitrandom import random_bitmask
+from repro.sim.bitrandom import DEFAULT_PRECISION, quantize_probability, random_bitmask
 from repro.sim.trace import TraceRecorder
 
 
@@ -161,6 +162,9 @@ class MiniCastRound:
         "_tx_probability",
         "_prr",
         "_rx_order",
+        "_fast",
+        "_index",
+        "_rx_fast",
     )
 
     def __init__(
@@ -170,7 +174,16 @@ class MiniCastRound:
         capture: CaptureModel | None = None,
         policy: RadioOffPolicy = RadioOffPolicy.ALWAYS_ON,
         tx_probability: float = 0.5,
+        force_reference: bool = False,
     ):
+        """``force_reference`` pins this round to the readable loop even
+        when the fast path is globally enabled.  Commissioning-time
+        measurements (NTX-coverage profiling, S4 bootstrap) use it so the
+        derived deployment parameters — collector sets, truncated
+        schedules — are *bit-identical* to the seed implementation
+        regardless of the compute path, keeping every downstream
+        statistic on the exact configuration the reproduction validated.
+        """
         if not 0.0 < tx_probability <= 1.0:
             raise ConfigurationError(
                 f"tx_probability must be in (0, 1], got {tx_probability}"
@@ -189,6 +202,36 @@ class MiniCastRound:
             )
             for dst in links.node_ids
         }
+        self._fast = fastpath.enabled() and not force_reference
+        # Fast-path precomputation: node ids → dense indices, and one
+        # receive list per listener holding (source index, pre-quantized
+        # link success probability), strongest first, links at or below
+        # the capture floor dropped.  The reference loop breaks at the
+        # floor while walking the same descending order, so dropping those
+        # entries up front is behaviour-preserving (and saves re-deriving
+        # the quantized probability for every sampled mask).  Skipped
+        # entirely for reference-path rounds, which never read it.
+        if not self._fast:
+            self._index = {}
+            self._rx_fast: list[list[tuple[int, int, float]]] = []
+            return
+        node_ids = links.node_ids
+        self._index = {node: i for i, node in enumerate(node_ids)}
+        floor = self._capture.prr_floor
+        q_full = 1 << DEFAULT_PRECISION
+        # Each entry is (source index, quantized success probability,
+        # per-bit miss probability 1 - q/2^precision).  q/2^precision is
+        # dyadic, so the miss probability is an exact double.
+        self._rx_fast = []
+        for dst in node_ids:
+            row = []
+            prr_column = self._prr
+            for src in self._rx_order[dst]:
+                prr = prr_column[src][dst]
+                if prr > floor:
+                    quantized = quantize_probability(prr)
+                    row.append((self._index[src], quantized, 1.0 - quantized / q_full))
+            self._rx_fast.append(row)
 
     @property
     def schedule(self) -> RoundSchedule:
@@ -213,6 +256,17 @@ class MiniCastRound:
     ) -> MiniCastResult:
         """Execute the round.
 
+        Dispatches to the bitmask fast loop or the readable reference
+        loop depending on the :mod:`repro.fastpath` flag captured at
+        construction.  The two paths are *distribution*-identical: every
+        outcome statistic has the same law, but they spend ``rng`` draws
+        differently, so a given seed generally produces different (yet
+        equally valid) runs.  They coincide exactly only when no
+        reception randomness is consumed (every link PRR quantizes to 0
+        or 1), and commissioning callers that need seed-for-seed
+        reproducibility pin ``force_reference=True`` instead
+        (``tests/ct/test_minicast_fastpath.py`` covers all three).
+
         Args:
             rng: randomness source (``random``-like).
             initial_knowledge: node → bit mask of sub-slots it originates.
@@ -229,6 +283,40 @@ class MiniCastRound:
                 Reception still arms a node earlier if it happens.
             trace: optional event recorder.
         """
+        if self._fast:
+            return self._run_fast(
+                rng,
+                initial_knowledge,
+                requirements=requirements,
+                initiators=initiators,
+                alive=alive,
+                failures=failures,
+                arm_schedule=arm_schedule,
+                trace=trace,
+            )
+        return self._run_reference(
+            rng,
+            initial_knowledge,
+            requirements=requirements,
+            initiators=initiators,
+            alive=alive,
+            failures=failures,
+            arm_schedule=arm_schedule,
+            trace=trace,
+        )
+
+    def _run_reference(
+        self,
+        rng,
+        initial_knowledge: Mapping[int, int],
+        requirements: Mapping[int, Requirement] | None = None,
+        initiators: Iterable[int] | None = None,
+        alive: set[int] | None = None,
+        failures: Mapping[int, int] | None = None,
+        arm_schedule: Mapping[int, int] | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> MiniCastResult:
+        """The readable straight-line implementation (the fast loop's oracle)."""
         nodes = self._links.node_ids
         schedule = self._schedule
         chain_bits = schedule.chain_length
@@ -431,6 +519,321 @@ class MiniCastRound:
             tx_us=tx_us,
             rx_us=rx_us,
             radio_off_slot=radio_off_slot,
+            slots_run=slots_run,
+            schedule=schedule,
+            failures=actual_failures,
+        )
+
+    def _run_fast(
+        self,
+        rng,
+        initial_knowledge: Mapping[int, int],
+        requirements: Mapping[int, Requirement] | None = None,
+        initiators: Iterable[int] | None = None,
+        alive: set[int] | None = None,
+        failures: Mapping[int, int] | None = None,
+        arm_schedule: Mapping[int, int] | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> MiniCastResult:
+        """Bitmask hot loop, distribution-identical to the reference.
+
+        Per-node booleans (radio on, armed, forced transmit, budget left,
+        has data) live as bit positions in small ints, so per-slot node
+        scans become popcount-bounded bit iterations; per-slot schedules
+        (arming waves, fault injection) are bucketed by slot up front;
+        link success probabilities come pre-quantized from ``__init__``.
+
+        The one deliberate divergence from the reference is *how*
+        randomness is spent, not what it means: per-bit Bernoulli masks
+        are sampled only for sub-slots the listener does not yet know
+        (the only bits that can change its state), and deliveries of
+        already-known bits — which the reference samples in full and then
+        discards — collapse into one closed-form draw deciding whether a
+        still-unarmed listener decodes anything (the arming trigger; an
+        armed node stays armed, so for it the question is moot).  Per-bit
+        independence makes the split exact, so every observable outcome
+        has the same distribution as the reference; seeded runs differ
+        stream-wise, and ``tests/ct/test_minicast_fastpath.py`` checks
+        both the exact deterministic cases and distributional agreement.
+        """
+        nodes = self._links.node_ids
+        index = self._index
+        n = len(nodes)
+        schedule = self._schedule
+        chain_bits = schedule.chain_length
+        ntx = schedule.ntx
+        packet_us = schedule.packet_slot_us
+        chain_slot_us = schedule.chain_slot_us
+        max_div = self._capture.max_diversity
+        early_off = self._policy is RadioOffPolicy.EARLY_OFF
+        tx_probability = self._tx_probability
+        rx_lists = self._rx_fast
+        precision = DEFAULT_PRECISION
+        q_full = 1 << precision
+
+        if alive is None:
+            alive_mask = (1 << n) - 1
+        else:
+            alive_mask = 0
+            alive_set = set(alive)
+            for i, node in enumerate(nodes):
+                if node in alive_set:
+                    alive_mask |= 1 << i
+
+        know: list[int] = []
+        know_mask = 0  # bit i set iff know[i] != 0
+        for i, node in enumerate(nodes):
+            mask = initial_knowledge.get(node, 0)
+            if mask >> chain_bits:
+                raise ConfigurationError(
+                    f"initial knowledge of node {node} exceeds chain width"
+                )
+            if alive_mask >> i & 1 and mask:
+                know.append(mask)
+                know_mask |= 1 << i
+            else:
+                know.append(0)
+
+        if initiators is None:
+            candidates = know_mask & alive_mask
+            if not candidates:
+                raise ConfigurationError("no node has data; cannot start round")
+            initiator_mask = candidates & -candidates
+        else:
+            initiator_set = set(initiators)
+            unknown = initiator_set - set(nodes)
+            if unknown:
+                raise ConfigurationError(f"unknown initiators {sorted(unknown)}")
+            initiator_mask = 0
+            for node in initiator_set:
+                initiator_mask |= 1 << index[node]
+
+        armed_mask = initiator_mask & alive_mask & know_mask
+        force_mask = armed_mask
+        budget_mask = (1 << n) - 1 if ntx > 0 else 0  # bit set iff tx budget left
+        radio_mask = alive_mask
+        tx_count = [0] * n
+        tx_us = [0] * n
+        radio_off_slot: list[int | None] = [None] * n
+        round_duration_us = schedule.round_duration_us
+        on_until_us = [
+            round_duration_us if radio_mask >> i & 1 else 0 for i in range(n)
+        ]
+
+        requirements = dict(requirements or {})
+        completion: list[int | None] = [-1] * n
+        completed_mask = (1 << n) - 1
+        # (mask, min_count) per still-unsatisfied node; nodes without a
+        # requirement (or already satisfied) carry completion -1 from the
+        # start, exactly like the reference.
+        req_fast: list[tuple[int, int] | None] = [None] * n
+        pending: list[int] = []
+        for node, requirement in requirements.items():
+            i = index.get(node)
+            if i is None or requirement.satisfied_by(know[i]):
+                continue
+            completion[i] = None
+            completed_mask &= ~(1 << i)
+            req_fast[i] = (requirement.mask, requirement.min_count)
+            pending.append(i)
+        pending.sort()
+
+        arm_by_slot: dict[int, list[int]] = {}
+        max_arm_slot = -1
+        for node, arm_slot in (arm_schedule or {}).items():
+            i = index.get(node)
+            if i is not None:
+                arm_by_slot.setdefault(arm_slot, []).append(i)
+            if arm_slot > max_arm_slot:
+                max_arm_slot = arm_slot
+        fail_by_slot: dict[int, list[int]] = {}
+        for node, fail_slot in (failures or {}).items():
+            i = index.get(node)
+            if i is not None:
+                fail_by_slot.setdefault(fail_slot, []).append(i)
+        actual_failures: dict[int, int] = {}
+
+        rng_random = rng.random
+        getrandbits = rng.getrandbits
+        tracing = trace is not None
+
+        slots_run = 0
+        for slot in range(schedule.num_slots):
+            joiners = arm_by_slot.get(slot)
+            if joiners:
+                for i in joiners:
+                    if alive_mask >> i & 1 and know[i] and budget_mask >> i & 1:
+                        armed_mask |= 1 << i
+
+            casualties = fail_by_slot.get(slot)
+            if casualties:
+                for i in casualties:
+                    bit = 1 << i
+                    if alive_mask & bit:
+                        alive_mask &= ~bit
+                        radio_mask &= ~bit
+                        on_until_us[i] = slot * chain_slot_us
+                        actual_failures[nodes[i]] = slot
+                        if tracing:
+                            trace.record(slot * chain_slot_us, nodes[i], "node_failed")
+
+            contender_mask = radio_mask & armed_mask & budget_mask & know_mask
+            if not contender_mask:
+                if max_arm_slot > slot:
+                    continue  # a scheduled joiner may still wake the round
+                break
+            slots_run = slot + 1
+            slot_start_us = slot * chain_slot_us
+
+            # Contender scan, transmit decision and transmit bookkeeping in
+            # one ascending-index pass (same rng draw order as the
+            # reference's separate passes — bookkeeping draws nothing).
+            tx_mask = 0
+            tx_union = 0
+            bits = contender_mask
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                if force_mask & low:
+                    force_mask ^= low
+                elif rng_random() >= tx_probability:
+                    continue
+                i = low.bit_length() - 1
+                tx_mask |= low
+                view = know[i]
+                tx_union |= view
+                count = tx_count[i] + 1
+                tx_count[i] = count
+                if count >= ntx:
+                    budget_mask &= ~low
+                tx_us[i] += view.bit_count() * packet_us
+                if tracing:
+                    trace.record(slot_start_us, nodes[i], "chain_tx", view.bit_count())
+
+            if not tx_mask:
+                # Every contender's coin flip said "listen"; the slot is
+                # silent but the round is still live.
+                continue
+
+            listeners = radio_mask & ~tx_mask
+            bits = listeners
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                i = low.bit_length() - 1
+                know_i = know[i]
+                fresh_all = tx_union & ~know_i
+                # Once armed, a node stays armed (the reference never
+                # resets it), so the decode-anything re-arming draw only
+                # matters for listeners that are still unarmed with budget
+                # left.  Everyone else can only be changed by sub-slots
+                # they don't know yet.
+                can_rearm = not armed_mask & low and budget_mask & low
+                if not fresh_all and not can_rearm:
+                    continue
+                received = 0
+                sampled_hit = False
+                miss = 1.0
+                attempted = [0] * max_div
+                saturated = 0
+                for src, quantized, miss_q in rx_lists[i]:
+                    if not tx_mask >> src & 1:
+                        continue
+                    eligible = know[src] & ~saturated
+                    if not eligible:
+                        continue
+                    if quantized >= q_full:
+                        sampled_hit = True
+                        received |= eligible
+                    elif quantized > 0:
+                        fresh = eligible & ~know_i
+                        if fresh:
+                            # LSB-first over all `precision` digits of the
+                            # quantized probability, as in random_bitmask.
+                            acc = 0
+                            qbits = quantized
+                            for _ in range(precision):
+                                r = getrandbits(chain_bits)
+                                if qbits & 1:
+                                    acc |= r
+                                else:
+                                    acc &= r
+                                qbits >>= 1
+                            got = fresh & acc
+                            if got:
+                                sampled_hit = True
+                                received |= got
+                        if can_rearm and not sampled_hit:
+                            # Already-known bits can only re-arm the node;
+                            # fold their delivery odds into one draw below.
+                            stale_count = (eligible & know_i).bit_count()
+                            if stale_count:
+                                miss *= miss_q**stale_count
+                    # Nothing downstream can change once every reachable
+                    # fresh bit arrived and the arming question is settled.
+                    if fresh_all & ~received == 0 and (
+                        sampled_hit or not can_rearm
+                    ):
+                        break
+                    for plane in range(max_div - 1, 0, -1):
+                        attempted[plane] |= attempted[plane - 1] & eligible
+                    attempted[0] |= eligible
+                    saturated = attempted[max_div - 1]
+                if sampled_hit:
+                    decoded_any = True
+                elif can_rearm and miss < 1.0:
+                    # P(at least one already-known sub-slot decoded).
+                    decoded_any = rng_random() >= miss
+                else:
+                    decoded_any = False
+                if not decoded_any:
+                    continue
+                new_bits = received & ~know_i
+                if new_bits:
+                    know[i] = know_i | new_bits
+                    know_mask |= low
+                    if tracing:
+                        trace.record(
+                            slot_start_us, nodes[i], "chain_rx", new_bits.bit_count()
+                        )
+                if budget_mask & low:
+                    armed_mask |= low
+
+            # End-of-slot bookkeeping: completion and early radio-off.
+            if pending:
+                still_pending = []
+                for i in pending:
+                    if radio_mask >> i & 1:
+                        mask, min_count = req_fast[i]
+                        if (know[i] & mask).bit_count() >= min_count:
+                            completion[i] = slot
+                            completed_mask |= 1 << i
+                            continue
+                    still_pending.append(i)
+                pending = still_pending
+            if early_off:
+                bits = radio_mask & ~budget_mask & completed_mask
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    i = low.bit_length() - 1
+                    radio_mask &= ~low
+                    radio_off_slot[i] = slot
+                    on_until_us[i] = (slot + 1) * chain_slot_us
+                    if tracing:
+                        trace.record((slot + 1) * chain_slot_us, nodes[i], "radio_off")
+
+        return MiniCastResult(
+            knowledge={node: know[i] for i, node in enumerate(nodes)},
+            completion_slot={node: completion[i] for i, node in enumerate(nodes)},
+            tx_us={node: tx_us[i] for i, node in enumerate(nodes)},
+            rx_us={
+                node: max(0, on_until_us[i] - tx_us[i])
+                for i, node in enumerate(nodes)
+            },
+            radio_off_slot={
+                node: radio_off_slot[i] for i, node in enumerate(nodes)
+            },
             slots_run=slots_run,
             schedule=schedule,
             failures=actual_failures,

@@ -73,7 +73,15 @@ class SubSlotSpec:
 class ChainLayout:
     """An ordered chain of sub-slots with index lookups both ways."""
 
-    __slots__ = ("_specs", "_by_pair", "_by_source", "_psdu_bytes", "_label")
+    __slots__ = (
+        "_specs",
+        "_by_pair",
+        "_by_source",
+        "_psdu_bytes",
+        "_label",
+        "_source_masks",
+        "_dest_masks",
+    )
 
     def __init__(
         self,
@@ -96,6 +104,8 @@ class ChainLayout:
         self._label = label
         self._by_pair: dict[tuple[int, int | None], int] = {}
         self._by_source: dict[int, list[int]] = {}
+        self._source_masks: dict[int, int] = {}
+        self._dest_masks: dict[int | None, int] = {}
         for spec in specs:
             key = (spec.source, spec.destination)
             if key in self._by_pair:
@@ -192,17 +202,25 @@ class ChainLayout:
 
     def source_mask(self, source: int) -> int:
         """Bit mask over the chain of the sub-slots ``source`` originates."""
+        cached = self._source_masks.get(source)
+        if cached is not None:
+            return cached
         mask = 0
         for index in self._by_source.get(source, []):
             mask |= 1 << index
+        self._source_masks[source] = mask
         return mask
 
     def destination_mask(self, destination: int) -> int:
         """Bit mask of sub-slots addressed to ``destination``."""
+        cached = self._dest_masks.get(destination)
+        if cached is not None:
+            return cached
         mask = 0
         for spec in self._specs:
             if spec.destination == destination:
                 mask |= 1 << spec.index
+        self._dest_masks[destination] = mask
         return mask
 
     def full_mask(self) -> int:

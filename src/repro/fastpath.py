@@ -1,0 +1,65 @@
+"""Global switch between the reference and fast compute paths.
+
+The library keeps two implementations of every hot primitive:
+
+* the **reference path** — the readable, from-first-principles code the
+  reproduction was built on (byte-oriented AES, per-block CTR DRBG,
+  ``FieldElement``-based interpolation, the straight-line MiniCast loop);
+* the **fast path** — precomputed-table / raw-integer / batched kernels
+  that produce *bit-identical* results (enforced by the property tests in
+  ``tests/*/test_*fastpath*.py``) at a fraction of the cost.
+
+The fast path is on by default.  It can be disabled globally — for
+benchmarking against the reference, or for debugging a suspected fast-path
+divergence — via the ``REPRO_FASTPATH=0`` environment variable or the
+:func:`disabled` context manager.
+
+Components consult the flag at *construction* time (cipher objects, DRBG
+instances, MiniCast rounds) or at cheap call-time branch points, so
+toggling the flag affects objects built afterwards, not objects already
+in flight.  The flag itself is a plain module global guarded by the GIL;
+the context managers are not thread-safe against concurrent toggling (the
+microbenchmark is single-threaded) but *reading* the flag from worker
+threads is always safe.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+_enabled: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in {
+    "0",
+    "false",
+    "off",
+    "no",
+}
+
+
+def enabled() -> bool:
+    """Whether the fast compute path is currently selected."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the fast-path flag; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextlib.contextmanager
+def forced(flag: bool) -> Iterator[None]:
+    """Run a block with the fast-path flag pinned to ``flag``."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def disabled() -> contextlib.AbstractContextManager[None]:
+    """Run a block on the reference path (seed-equivalent behaviour)."""
+    return forced(False)

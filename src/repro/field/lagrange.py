@@ -14,9 +14,12 @@ offers both:
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
+from repro import fastpath
 from repro.errors import InterpolationError
+from repro.field.kernels import lagrange_weight_values
 from repro.field.modular import mod_inverse
 from repro.field.polynomial import Polynomial
 from repro.field.prime_field import FieldElement, IntoElement, PrimeField
@@ -72,6 +75,55 @@ def lagrange_weights_at(
     return weights
 
 
+class LagrangeWeights:
+    """A thread-safe cache of Lagrange basis weights keyed by point set.
+
+    Reconstruction in a periodic aggregation evaluates the *same* basis
+    weights every round (the collector set — hence the x-coordinates — is
+    fixed for a deployment), so the O(k²) weight computation can be paid
+    once per point set and amortised over an entire campaign.  Weights
+    are stored as canonical integer residues; entries are exact, so a
+    cache hit is value-identical to recomputation.
+
+    The cache is bounded: once ``max_entries`` distinct point sets have
+    been seen it is cleared wholesale, which keeps pathological callers
+    (e.g. a fuzzer generating fresh point sets forever) from leaking
+    memory while costing steady-state workloads nothing.
+    """
+
+    __slots__ = ("_cache", "_lock", "_max_entries")
+
+    def __init__(self, max_entries: int = 4096):
+        self._cache: dict[tuple[int, tuple[int, ...], int], tuple[int, ...]] = {}
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+
+    def weight_values(
+        self, prime: int, xs: tuple[int, ...], at: int = 0
+    ) -> tuple[int, ...]:
+        """Weights ``L_i(at)`` for canonical x-residues ``xs``, cached."""
+        key = (prime, xs, at)
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        weights = lagrange_weight_values(xs, prime, at)
+        with self._lock:
+            if len(self._cache) >= self._max_entries:
+                self._cache.clear()
+            self._cache[key] = weights
+        return weights
+
+    def clear(self) -> None:
+        """Drop every cached weight vector."""
+        with self._lock:
+            self._cache.clear()
+
+
+#: The library-wide shared weight cache (used when the fast path is on).
+SHARED_WEIGHTS = LagrangeWeights()
+
+
 def interpolate_at(
     field: PrimeField,
     points: Sequence[tuple[IntoElement, IntoElement]],
@@ -79,11 +131,21 @@ def interpolate_at(
 ) -> FieldElement:
     """Value at ``at`` of the unique polynomial through ``points``.
 
-    O(k²) field operations, no full coefficient recovery.
+    O(k²) field operations, no full coefficient recovery.  On the fast
+    path the basis weights come from :data:`SHARED_WEIGHTS`, so repeated
+    reconstructions over the same point set are O(k).
     """
     xs, ys = _canonical_points(field, points)
-    weights = lagrange_weights_at(field, xs, at)
     prime = field.prime
+    if fastpath.enabled():
+        weight_values = SHARED_WEIGHTS.weight_values(
+            prime, tuple(xs), field(at).value
+        )
+        total = 0
+        for weight, y in zip(weight_values, ys):
+            total += weight * y
+        return FieldElement(field, total % prime)
+    weights = lagrange_weights_at(field, xs, at)
     total = 0
     for weight, y in zip(weights, ys):
         total = (total + weight.value * y) % prime

@@ -39,19 +39,23 @@ def mod_inverse(a: int, modulus: int) -> int:
     """Multiplicative inverse of ``a`` modulo ``modulus``.
 
     Raises :class:`NonInvertibleError` when ``gcd(a, modulus) != 1`` (in a
-    prime field that only happens for ``a ≡ 0``).
+    prime field that only happens for ``a ≡ 0``).  Delegates to CPython's
+    native ``pow(a, -1, m)``, which runs the same extended Euclid in C;
+    :func:`egcd` remains the readable reference (and Bezout-coefficient
+    provider) and the tests check the two agree.
     """
     if modulus <= 1:
         raise FieldError(f"modulus must be > 1, got {modulus}")
     a %= modulus
     if a == 0:
         raise NonInvertibleError(f"0 has no inverse modulo {modulus}")
-    g, x, _ = egcd(a, modulus)
-    if g != 1:
+    try:
+        return pow(a, -1, modulus)
+    except ValueError:
+        g, _, _ = egcd(a, modulus)
         raise NonInvertibleError(
             f"{a} has no inverse modulo {modulus} (gcd={g})"
-        )
-    return x % modulus
+        ) from None
 
 
 def is_probable_prime(n: int) -> bool:

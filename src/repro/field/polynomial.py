@@ -110,9 +110,22 @@ class Polynomial:
             accumulator = (accumulator * x_value + coefficient) % prime
         return FieldElement(self._field, accumulator)
 
+    def evaluate_values(self, xs: Sequence[int]) -> list[int]:
+        """Evaluate at many canonical integer points, returning raw residues.
+
+        The allocation-free bulk form of :meth:`__call__` used by the
+        sharing hot path: no ``FieldElement`` is created per evaluation.
+        The caller is responsible for ``xs`` being canonical (``0 <= x < p``).
+        """
+        from repro.field.kernels import horner_eval_many
+
+        return horner_eval_many(self._coeffs, xs, self._field.prime)
+
     def evaluate_many(self, xs: Sequence[IntoElement]) -> list[FieldElement]:
         """Evaluate at many points (the sharing phase's bulk operation)."""
-        return [self(x) for x in xs]
+        field = self._field
+        values = self.evaluate_values([field(x).value for x in xs])
+        return [FieldElement(field, value) for value in values]
 
     # -- ring arithmetic ----------------------------------------------------------
 

@@ -9,6 +9,7 @@ the point of the mistake instead of at reconstruction time.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Union
 
 from repro.errors import FieldError, MixedFieldError, NonInvertibleError
@@ -39,6 +40,13 @@ class PrimeField:
     __slots__ = ("_prime",)
 
     _instances: dict[int, "PrimeField"] = {}
+    # Interning must be race-free: if two threads could both miss the cache
+    # and insert distinct GF(p) objects, ``is``-based mixing checks would
+    # spuriously reject elements of the "same" field.  Campaign
+    # parallelism constructs fields from worker threads, so the check-and-
+    # insert is serialised (primality validation runs outside the lock —
+    # a duplicate validation race is harmless, a duplicate insert is not).
+    _instances_lock = threading.Lock()
 
     def __new__(cls, prime: int = DEFAULT_PRIME, *, validate: bool = True):
         if not isinstance(prime, int) or isinstance(prime, bool):
@@ -54,9 +62,13 @@ class PrimeField:
                 raise FieldError(f"prime must be >= 2, got {prime}")
             if not is_probable_prime(prime):
                 raise FieldError(f"{prime} is not prime")
-        instance = super().__new__(cls)
-        instance._prime = prime
-        cls._instances[prime] = instance
+        with cls._instances_lock:
+            cached = cls._instances.get(prime)
+            if cached is not None:
+                return cached
+            instance = super().__new__(cls)
+            instance._prime = prime
+            cls._instances[prime] = instance
         return instance
 
     @property

@@ -116,6 +116,13 @@ class ChannelModel:
 
     # -- reception ------------------------------------------------------------
 
+    #: Precomputed series terms ((-1)^k * C(16, k), 1/k - 1) for k = 2..16.
+    #: Hoisting the binomials out of the per-link loop is float-exact: the
+    #: multiplication order below matches the inline expression.
+    _BER_TERMS = tuple(
+        ((-1.0) ** k * math.comb(16, k), 1.0 / k - 1.0) for k in range(2, 17)
+    )
+
     @staticmethod
     def bit_error_rate(snr_db: float) -> float:
         """BER of 802.15.4 O-QPSK/DSSS at the given SNR.
@@ -126,11 +133,10 @@ class ChannelModel:
                   * exp(20 * SNR_linear * (1/k - 1))
         """
         snr_linear = 10.0 ** (snr_db / 10.0)
+        scale = 20.0 * snr_linear
         total = 0.0
-        for k in range(2, 17):
-            total += (-1.0) ** k * math.comb(16, k) * math.exp(
-                20.0 * snr_linear * (1.0 / k - 1.0)
-            )
+        for coefficient, exponent_factor in ChannelModel._BER_TERMS:
+            total += coefficient * math.exp(scale * exponent_factor)
         ber = (8.0 / 15.0) * (1.0 / 16.0) * total
         # Numerical guard: the series is mathematically within [0, 0.5].
         return min(max(ber, 0.0), 0.5)

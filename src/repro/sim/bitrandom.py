@@ -53,19 +53,40 @@ def random_bitmask(rng, nbits: int, probability: float, precision: int = DEFAULT
         return 0
     if probability == 1.0:
         return (1 << nbits) - 1
+    return random_bitmask_quantized(
+        rng, nbits, quantize_probability(probability, precision), precision
+    )
 
-    # Quantize p to `precision` binary digits, rounding to nearest so the
-    # expected density error is at most 2**-(precision+1).
-    quantized = round(probability * (1 << precision))
+
+def quantize_probability(probability: float, precision: int = DEFAULT_PRECISION) -> int:
+    """``probability`` as an integer numerator over ``2**precision``.
+
+    Rounding to nearest keeps the expected density error at most
+    ``2**-(precision+1)``.  Precomputing this once per link (instead of
+    once per sampled mask) is the MiniCast hot loop's cheapest win.
+    """
+    return round(probability * (1 << precision))
+
+
+def random_bitmask_quantized(
+    rng, nbits: int, quantized: int, precision: int = DEFAULT_PRECISION
+) -> int:
+    """Bernoulli mask for a pre-quantized probability ``quantized / 2**precision``.
+
+    Consumes exactly the same ``getrandbits`` draws as
+    :func:`random_bitmask` with the equivalent float probability: zero
+    draws for the degenerate all-zeros / all-ones cases, ``precision``
+    draws otherwise.
+    """
     if quantized <= 0:
         return 0
     if quantized >= (1 << precision):
         return (1 << nbits) - 1
-
+    getrandbits = rng.getrandbits
     acc = 0
     # LSB-first over the binary digits of quantized/2**precision.
     for bit_index in range(precision):
-        r = rng.getrandbits(nbits)
+        r = getrandbits(nbits)
         if (quantized >> bit_index) & 1:
             acc |= r
         else:

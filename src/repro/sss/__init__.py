@@ -22,6 +22,7 @@ from repro.sss.aggregation import (
     aggregate_shares,
     reconstruct_aggregate,
     reconstruct_from_sums,
+    reconstruct_many_from_sums,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "aggregate_shares",
     "reconstruct_aggregate",
     "reconstruct_from_sums",
+    "reconstruct_many_from_sums",
 ]

@@ -194,6 +194,41 @@ def reconstruct_from_sums(
     return interpolate_constant(field, points)
 
 
+def reconstruct_many_from_sums(
+    field: PrimeField,
+    sums_batch: Sequence[Mapping[int, int]],
+    degree: int,
+) -> list[FieldElement]:
+    """Batched :func:`reconstruct_from_sums` over many rounds' sums.
+
+    The batched reconstruction entry point for campaign post-processing:
+    one Lagrange weight vector is computed (and cached in
+    :data:`repro.field.lagrange.SHARED_WEIGHTS`) per distinct point set
+    and reused across the whole batch — with a fixed collector set that
+    is a single weight computation for an arbitrarily long campaign.
+    Results are value-identical to calling :func:`reconstruct_from_sums`
+    once per entry.
+    """
+    from repro.field.lagrange import SHARED_WEIGHTS
+
+    threshold = degree + 1
+    prime = field.prime
+    results: list[FieldElement] = []
+    for sums in sums_batch:
+        if len(sums) < threshold:
+            raise ReconstructionError(
+                f"need {threshold} sums for degree {degree}, got {len(sums)}"
+            )
+        items = sorted(sums.items())[:threshold]
+        xs = tuple(x % prime for x, _ in items)
+        weights = SHARED_WEIGHTS.weight_values(prime, xs, 0)
+        total = 0
+        for (_, y), weight in zip(items, weights):
+            total += weight * (y % prime)
+        results.append(FieldElement(field, total % prime))
+    return results
+
+
 def majority_contributor_set(
     accumulators: Sequence[ShareAccumulator],
 ) -> frozenset[int] | None:

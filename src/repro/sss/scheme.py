@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ReconstructionError, SecretSharingError
+from repro.field.kernels import horner_eval_many
 from repro.field.lagrange import interpolate_constant, interpolate_polynomial
 from repro.field.polynomial import Polynomial
 from repro.field.prime_field import FieldElement, IntoElement, PrimeField
@@ -59,14 +60,10 @@ class ShamirScheme:
             self._field, secret, self._degree, rng
         )
 
-    def split(
-        self,
-        secret: IntoElement,
-        points: Sequence[IntoElement],
-        rng,
-        dealer_id: int = 0,
-    ) -> list[Share]:
-        """Split ``secret`` into one share per public point.
+    def _validated_points(
+        self, points: Sequence[IntoElement]
+    ) -> list[FieldElement]:
+        """Coerce and validate a public-point set (shared by both splits).
 
         ``points`` must contain at least ``degree + 1`` distinct non-zero
         points, otherwise the secret could never be reconstructed.
@@ -81,10 +78,60 @@ class ShamirScheme:
                 f"need at least {self.threshold} points for degree "
                 f"{self._degree}, got {len(elements)}"
             )
+        return elements
+
+    def split(
+        self,
+        secret: IntoElement,
+        points: Sequence[IntoElement],
+        rng,
+        dealer_id: int = 0,
+    ) -> list[Share]:
+        """Split ``secret`` into one share per public point."""
+        elements = self._validated_points(points)
         polynomial = self.deal_polynomial(secret, rng)
         return [
             Share(dealer_id=dealer_id, x=x, y=polynomial(x)) for x in elements
         ]
+
+    def split_many(
+        self,
+        secrets: Sequence[IntoElement],
+        points: Sequence[IntoElement],
+        rng,
+        dealer_ids: Sequence[int] | None = None,
+    ) -> list[list[Share]]:
+        """Split many secrets at once over a common public-point set.
+
+        The batched form of :meth:`split`: point validation happens once,
+        each dealer polynomial is evaluated with the raw-integer Horner
+        kernel, and ``FieldElement`` objects are built only for the final
+        :class:`Share` values.  The randomness draw order matches
+        ``[self.split(s, points, rng) for s in secrets]`` exactly, so the
+        two paths produce *identical* shares from identical RNG state
+        (enforced by ``tests/sss/test_batch_fastpath.py``).
+        """
+        if dealer_ids is None:
+            dealer_ids = range(len(secrets))
+        elif len(dealer_ids) != len(secrets):
+            raise SecretSharingError(
+                f"{len(dealer_ids)} dealer ids for {len(secrets)} secrets"
+            )
+        field = self._field
+        elements = self._validated_points(points)
+        x_values = [e.value for e in elements]
+        prime = field.prime
+        batches: list[list[Share]] = []
+        for secret, dealer_id in zip(secrets, dealer_ids):
+            polynomial = self.deal_polynomial(secret, rng)
+            values = horner_eval_many(polynomial.coefficients, x_values, prime)
+            batches.append(
+                [
+                    Share(dealer_id=dealer_id, x=x, y=FieldElement(field, y))
+                    for x, y in zip(elements, values)
+                ]
+            )
+        return batches
 
     def reconstruct(self, shares: Sequence[Share]) -> FieldElement:
         """Reconstruct the secret from at least ``degree + 1`` shares."""

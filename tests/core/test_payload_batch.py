@@ -1,0 +1,82 @@
+"""Batched share protection must be bit-identical to the per-packet codec."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.payload import (
+    RealShareCodec,
+    batch_decrypt_shares,
+    batch_encrypt_shares,
+)
+from repro.field.prime_field import FieldElement, PrimeField
+
+aesbatch = pytest.importorskip("repro.crypto.aesbatch")
+if not aesbatch.HAVE_NUMPY:  # pragma: no cover
+    pytest.skip("numpy unavailable", allow_module_level=True)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro import fastpath
+
+    field = PrimeField()
+    nodes = list(range(10))
+    # The batch pipeline needs table-mode ciphers regardless of the
+    # session's REPRO_FASTPATH setting.
+    with fastpath.forced(True):
+        codecs = {n: RealShareCodec(n, nodes, b"bench-master-secret") for n in nodes}
+    rnd = random.Random(99)
+    entries = []
+    for _ in range(120):
+        src, dst = rnd.sample(nodes, 2)
+        entries.append((codecs[src], dst, rnd.randrange(field.prime)))
+    return field, codecs, entries
+
+
+def test_batch_encrypt_bit_identical(setup):
+    field, _, entries = setup
+    round_nonce = 0x1234_5678_9ABC
+    packets = batch_encrypt_shares(entries, round_nonce)
+    for (codec, dst, value), packet in zip(entries, packets):
+        reference = codec.encrypt_share(dst, FieldElement(field, value), round_nonce)
+        assert packet == reference
+
+
+def test_batch_decrypt_round_trips(setup):
+    field, codecs, entries = setup
+    round_nonce = 77
+    packets = batch_encrypt_shares(entries, round_nonce)
+    results = batch_decrypt_shares(
+        [(codecs[p.destination], p) for p in packets], field, round_nonce
+    )
+    for (codec, dst, value), result in zip(entries, results):
+        assert result is not None and result.value == value
+
+
+def test_batch_decrypt_agrees_with_scalar_on_tampered_packets(setup):
+    field, codecs, entries = setup
+    round_nonce = 31337
+    packets = batch_encrypt_shares(entries[:10], round_nonce)
+    tampered = [
+        dataclasses.replace(packets[0], tag=bytes(len(packets[0].tag))),
+        dataclasses.replace(packets[1], ciphertext=bytes(16)),
+        packets[2],
+    ]
+    results = batch_decrypt_shares(
+        [(codecs[p.destination], p) for p in tampered], field, round_nonce
+    )
+    assert results[0] is None  # forged tag
+    assert results[1] is None  # ciphertext no longer matches tag
+    assert results[2] is not None  # untouched packet still decrypts
+
+
+def test_wrong_destination_rejected(setup):
+    field, codecs, entries = setup
+    packets = batch_encrypt_shares(entries[:1], 5)
+    wrong = codecs[(packets[0].destination + 1) % 10]
+    with pytest.raises(Exception):
+        batch_decrypt_shares([(wrong, packets[0])], field, 5)

@@ -1,0 +1,201 @@
+"""The MiniCast fast loop vs. the readable reference loop.
+
+Two layers of evidence:
+
+* **exact** — on deterministic configurations (every link PRR quantizes
+  to 0 or 1) the fast loop consumes randomness in the same order as the
+  reference, so seeded runs must match field-for-field; and
+  ``force_reference=True`` must bypass the fast loop entirely.
+* **distributional** — on lossy configurations the fast loop spends
+  randomness differently (it samples only sub-slots a listener doesn't
+  know and folds stale deliveries into a closed-form draw), so seeded
+  runs differ but every outcome statistic must agree within sampling
+  noise across many seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro import fastpath
+from repro.ct.minicast import MiniCastRound, RadioOffPolicy, Requirement
+from repro.ct.slots import RoundSchedule
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.link import LinkTable
+from repro.phy.radio import NRF52840_154
+
+
+def deterministic_channel():
+    return ChannelModel(
+        ChannelParameters(
+            path_loss_exponent=4.0,
+            reference_loss_db=52.0,
+            shadowing_sigma_db=0.0,
+            noise_floor_dbm=-96.0,
+        )
+    )
+
+
+def make_pair(links, *, chain_length, ntx, num_slots=None, policy=RadioOffPolicy.ALWAYS_ON):
+    if num_slots is None:
+        schedule = RoundSchedule.plan(
+            chain_length=chain_length,
+            psdu_bytes=15,
+            ntx=ntx,
+            depth_hint=3,
+            timings=NRF52840_154,
+        )
+    else:
+        schedule = RoundSchedule(
+            chain_length=chain_length,
+            psdu_bytes=15,
+            ntx=ntx,
+            num_slots=num_slots,
+            timings=NRF52840_154,
+        )
+    with fastpath.forced(True):
+        fast = MiniCastRound(links, schedule, policy=policy)
+    with fastpath.forced(False):
+        reference = MiniCastRound(links, schedule, policy=policy)
+    return fast, reference
+
+
+def result_tuple(result):
+    return (
+        result.knowledge,
+        result.completion_slot,
+        result.tx_us,
+        result.rx_us,
+        result.radio_off_slot,
+        result.slots_run,
+        result.failures,
+    )
+
+
+class TestExactEquivalence:
+    """Strong-link networks: both loops draw identically, results match."""
+
+    @pytest.fixture
+    def dense_links(self):
+        # 1.4 m spacing keeps even the longest (9.8 m) link above the
+        # PRR saturation point, so every link quantizes to certainty and
+        # neither loop draws reception randomness — the draw sequences
+        # then align exactly.
+        positions = {i: (i * 1.4, 0.0) for i in range(8)}
+        links = LinkTable(positions, deterministic_channel(), 29)
+        from repro.sim.bitrandom import quantize_probability
+
+        assert all(
+            quantize_probability(links.prr(a, b)) in (0, 1024)
+            for a in range(8)
+            for b in range(8)
+            if a != b
+        ), "fixture must be reception-deterministic"
+        return links
+
+    @pytest.mark.parametrize(
+        "policy", [RadioOffPolicy.ALWAYS_ON, RadioOffPolicy.EARLY_OFF]
+    )
+    def test_seeded_runs_identical(self, dense_links, policy):
+        fast, reference = make_pair(
+            dense_links, chain_length=8, ntx=3, policy=policy
+        )
+        initial = {i: 1 << i for i in range(8)}
+        requirements = {i: Requirement.all_of(255) for i in range(8)}
+        for seed in range(40):
+            a = fast.run(
+                random.Random(seed),
+                initial,
+                requirements=requirements,
+                failures={2: 1},
+                arm_schedule={i: i // 3 for i in range(8)},
+            )
+            b = reference.run(
+                random.Random(seed),
+                initial,
+                requirements=requirements,
+                failures={2: 1},
+                arm_schedule={i: i // 3 for i in range(8)},
+            )
+            assert result_tuple(a) == result_tuple(b)
+
+    def test_force_reference_bypasses_fast_loop(self, dense_links):
+        schedule = RoundSchedule.plan(
+            chain_length=8, psdu_bytes=15, ntx=2, depth_hint=2, timings=NRF52840_154
+        )
+        with fastpath.forced(True):
+            forced = MiniCastRound(dense_links, schedule, force_reference=True)
+        with fastpath.forced(False):
+            reference = MiniCastRound(dense_links, schedule)
+        initial = {i: 1 << i for i in range(8)}
+        for seed in range(10):
+            a = forced.run(random.Random(seed), initial)
+            b = reference.run(random.Random(seed), initial)
+            assert result_tuple(a) == result_tuple(b)
+
+
+class TestDistributionalEquivalence:
+    """Transitional-link network: statistics agree across many seeds."""
+
+    @pytest.fixture(scope="class")
+    def lossy_links(self):
+        # All pairwise distances sit in the PRR transitional region for
+        # this channel (~13-14 m), so every reception is genuinely random.
+        positions = {0: (0, 0), 1: (13.5, 0), 2: (0, 13.8), 3: (13.2, 13.6), 4: (6.7, 6.9)}
+        return LinkTable(positions, deterministic_channel(), 29)
+
+    def test_outcome_statistics_match(self, lossy_links):
+        fast, reference = make_pair(
+            lossy_links, chain_length=5, ntx=3, num_slots=8
+        )
+        initial = {i: 1 << i for i in range(5)}
+        requirements = {i: Requirement.all_of(31) for i in range(5)}
+
+        def stats(round_, seed_base):
+            know_bits, tx_totals, completions = [], [], []
+            for seed in range(400):
+                result = round_.run(
+                    random.Random(seed_base + seed),
+                    initial,
+                    requirements=requirements,
+                )
+                know_bits.append(
+                    sum(v.bit_count() for v in result.knowledge.values())
+                )
+                tx_totals.append(sum(result.tx_us.values()))
+                completions.append(
+                    sum(
+                        1
+                        for v in result.completion_slot.values()
+                        if v is not None
+                    )
+                )
+            return (
+                statistics.mean(know_bits),
+                statistics.mean(tx_totals),
+                statistics.mean(completions),
+            )
+
+        fast_know, fast_tx, fast_complete = stats(fast, 0)
+        ref_know, ref_tx, ref_complete = stats(reference, 10_000)
+        assert fast_know == pytest.approx(ref_know, rel=0.05)
+        assert fast_tx == pytest.approx(ref_tx, rel=0.05)
+        assert fast_complete == pytest.approx(ref_complete, abs=0.4)
+
+    def test_invariants_hold_on_fast_path(self, lossy_links):
+        fast, _ = make_pair(lossy_links, chain_length=5, ntx=3, num_slots=8)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(100):
+            result = fast.run(random.Random(seed), initial, initiators=[0])
+            for node, view in result.knowledge.items():
+                # Knowledge only grows and stays within the chain.
+                assert view & initial.get(node, 0) == initial.get(node, 0)
+                assert view < (1 << 5)
+            # TX time respects the NTX budget.
+            packet_us = result.schedule.packet_slot_us
+            for node, tx in result.tx_us.items():
+                assert tx <= 3 * 5 * packet_us
+            assert 0 <= result.slots_run <= result.schedule.num_slots

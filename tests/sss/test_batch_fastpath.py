@@ -1,0 +1,111 @@
+"""Batched SSS entry points must be bit-identical to the scalar scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fastpath
+from repro.crypto.prng import AesCtrDrbg
+from repro.errors import ReconstructionError, SecretSharingError
+from repro.field.prime_field import MERSENNE_61, PrimeField
+from repro.sss.aggregation import reconstruct_from_sums, reconstruct_many_from_sums
+from repro.sss.scheme import ShamirScheme
+
+
+@pytest.fixture
+def field():
+    return PrimeField(MERSENNE_61)
+
+
+class TestSplitMany:
+    @given(
+        degree=st.integers(min_value=1, max_value=6),
+        num_secrets=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_to_sequential_scalar_split(self, degree, num_secrets, seed):
+        field = PrimeField(MERSENNE_61)
+        scheme = ShamirScheme(field, degree)
+        points = list(range(1, degree + 6))
+        secrets = [(seed + i * 7919) % 100_000 for i in range(num_secrets)]
+
+        rng_scalar = AesCtrDrbg.from_seed(seed)
+        scalar = [
+            scheme.split(secret, points, rng_scalar, dealer_id=i)
+            for i, secret in enumerate(secrets)
+        ]
+        rng_batched = AesCtrDrbg.from_seed(seed)
+        batched = scheme.split_many(secrets, points, rng_batched)
+
+        assert len(batched) == len(scalar)
+        for scalar_shares, batched_shares in zip(scalar, batched):
+            for a, b in zip(scalar_shares, batched_shares):
+                assert (a.dealer_id, a.x.value, a.y.value) == (
+                    b.dealer_id,
+                    b.x.value,
+                    b.y.value,
+                )
+
+    def test_custom_dealer_ids(self, field):
+        scheme = ShamirScheme(field, 2)
+        batches = scheme.split_many(
+            [5, 6], [1, 2, 3, 4], AesCtrDrbg.from_seed(b"ids"), dealer_ids=[17, 23]
+        )
+        assert [batch[0].dealer_id for batch in batches] == [17, 23]
+
+    def test_dealer_id_length_mismatch(self, field):
+        scheme = ShamirScheme(field, 1)
+        with pytest.raises(SecretSharingError):
+            scheme.split_many([1, 2], [1, 2], AesCtrDrbg.from_seed(b"x"), dealer_ids=[1])
+
+    def test_validation_mirrors_scalar(self, field):
+        scheme = ShamirScheme(field, 2)
+        rng = AesCtrDrbg.from_seed(b"v")
+        with pytest.raises(SecretSharingError):
+            scheme.split_many([1], [1, 1, 2], rng)
+        with pytest.raises(SecretSharingError):
+            scheme.split_many([1], [0, 1, 2], rng)
+        with pytest.raises(SecretSharingError):
+            scheme.split_many([1], [1, 2], rng)
+
+    def test_batched_shares_reconstruct(self, field):
+        scheme = ShamirScheme(field, 3)
+        points = list(range(1, 9))
+        batches = scheme.split_many(
+            [111, 222, 333], points, AesCtrDrbg.from_seed(b"rec")
+        )
+        for secret, shares in zip([111, 222, 333], batches):
+            assert scheme.reconstruct(shares[:4]).value == secret
+
+
+class TestBatchedReconstruction:
+    def test_matches_scalar_on_both_paths(self, field):
+        sums = [
+            {x: (x * 37 + i * 13) % field.prime for x in range(1, 10)}
+            for i in range(20)
+        ]
+        with fastpath.forced(False):
+            scalar = [reconstruct_from_sums(field, s, 8) for s in sums]
+        with fastpath.forced(True):
+            batched = reconstruct_many_from_sums(field, sums, 8)
+        assert [e.value for e in batched] == [e.value for e in scalar]
+
+    def test_threshold_enforced(self, field):
+        with pytest.raises(ReconstructionError):
+            reconstruct_many_from_sums(field, [{1: 5}], degree=2)
+
+    def test_roundtrip_through_scheme(self, field):
+        scheme = ShamirScheme(field, 2)
+        points = [1, 2, 3, 4, 5]
+        secrets = [10, 20, 30]
+        batches = scheme.split_many(secrets, points, AesCtrDrbg.from_seed(b"rt"))
+        # Sum the dealers' shares per point: classic additive aggregation.
+        sums = {
+            x: sum(batch[i].y.value for batch in batches) % field.prime
+            for i, x in enumerate(points)
+        }
+        [aggregate] = reconstruct_many_from_sums(field, [sums], 2)
+        assert aggregate.value == sum(secrets)
