@@ -1,0 +1,101 @@
+"""Perf-trajectory gate: diff two BENCH_core.json files, fail on regression.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json NEW.json [--tolerance 0.2]
+
+Every numeric entry whose key ends in ``speedup`` (anywhere in the JSON
+tree) is a tracked speedup.  The check fails — exit code 1 — when any
+tracked speedup present in *both* files drops by more than ``tolerance``
+(default 20%) relative to the baseline.  New keys are informational;
+removed keys are reported as failures (a silently dropped metric is how
+perf trajectories rot).
+
+Machine awareness: the ``campaign_parallel`` subtree scales with core
+count, so it is only compared when both files report the same
+``cpu_count``.  Everything else is a same-machine ratio (fast path vs
+reference, warm vs steady) and travels across machines well enough to
+gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def tracked_speedups(tree, prefix: str = "") -> dict[str, float]:
+    """Flatten ``{dotted.path: value}`` for every *speedup-suffixed key."""
+    found: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                found.update(tracked_speedups(value, path))
+            elif isinstance(value, (int, float)) and str(key).endswith("speedup"):
+                found[path] = float(value)
+    elif isinstance(tree, list):
+        for index, value in enumerate(tree):
+            found.update(tracked_speedups(value, f"{prefix}[{index}]"))
+    return found
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("new", type=pathlib.Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop per tracked speedup (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    new = json.loads(args.new.read_text())
+
+    base_speedups = tracked_speedups(baseline)
+    new_speedups = tracked_speedups(new)
+
+    skip_parallel = baseline.get("cpu_count") != new.get("cpu_count")
+    if skip_parallel:
+        print(
+            f"note: cpu_count differs (baseline {baseline.get('cpu_count')}, "
+            f"new {new.get('cpu_count')}); skipping campaign_parallel comparisons"
+        )
+
+    failures: list[str] = []
+    for path, base_value in sorted(base_speedups.items()):
+        if skip_parallel and path.startswith("campaign_parallel"):
+            continue
+        if path not in new_speedups:
+            failures.append(f"{path}: tracked speedup disappeared (was {base_value}x)")
+            continue
+        new_value = new_speedups[path]
+        floor = base_value * (1.0 - args.tolerance)
+        status = "ok"
+        if new_value < floor:
+            status = f"REGRESSION (floor {floor:.2f}x)"
+            failures.append(
+                f"{path}: {base_value}x -> {new_value}x "
+                f"(> {args.tolerance:.0%} drop)"
+            )
+        print(f"  {path}: {base_value}x -> {new_value}x  {status}")
+    for path in sorted(set(new_speedups) - set(base_speedups)):
+        print(f"  {path}: (new) {new_speedups[path]}x")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} tracked speedup(s) regressed > "
+              f"{args.tolerance:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: no tracked speedup regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

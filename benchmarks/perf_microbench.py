@@ -23,11 +23,31 @@ repository root so future PRs have a perf trajectory to compare against:
    way a long-running aggregation service would.  The steady-state ratio
    is the headline number the acceptance targets refer to (≥5× STUB,
    ≥10× REAL).
+4. **Campaign, parallel** — the same campaign fanned out over a
+   4-worker :class:`repro.analysis.campaign.CampaignExecutor` (warmed
+   pool, warm persisted commissioning cache) against the steady-state
+   serial run.  The ≥2× wall-time target only applies on machines with
+   ≥4 usable cores — the JSON records ``cpu_count`` so the regression
+   gate can tell environments apart.
+5. **Cold start** — fresh subprocesses run one REAL/STUB campaign with
+   the persisted commissioning cache disabled, cold (empty dir) and warm
+   (pre-populated dir).  The warm number is the cost of a freshly
+   spawned campaign worker; the target is within 2× of steady state.
+   (Each child imports numpy before the clock starts, so the numbers
+   isolate commissioning cost from interpreter/import cost.)
+
+The in-process campaign tiers (2+3) run with the disk cache disabled so
+"cold" keeps meaning "first time in any process state"; tier 5 measures
+the disk cache explicitly.
 
 Environment knobs:
 
 * ``REPRO_BENCH_ITERATIONS`` — campaign iterations per sweep point
   (default 2; CI smoke mode also uses 2).
+* ``REPRO_BENCH_PARALLEL_ITERATIONS`` — iterations per sweep point for
+  the parallel tier (default 8; larger units amortise IPC).
+* ``REPRO_BENCH_WORKERS`` — worker count for the parallel tier
+  (default 4, the acceptance configuration).
 """
 
 from __future__ import annotations
@@ -37,10 +57,13 @@ import os
 import pathlib
 import random
 import statistics
+import subprocess
 import sys
+import tempfile
 import time
 
-from repro import fastpath
+from repro import diskcache, fastpath
+from repro.analysis.campaign import CampaignExecutor
 from repro.analysis.experiments import run_figure1
 from repro.core.config import CryptoMode
 from repro.crypto.aes import AES128
@@ -88,10 +111,16 @@ def bench_aes() -> dict:
         from repro.crypto import aesbatch
 
         if aesbatch.HAVE_NUMPY:
-            ciphers = [fast] * 512
-            blocks = list(range(512))
+            # A 512-block batch runs ~1 ms, which makes the measured
+            # speedup flap by ±20% on a busy host — too noisy for the
+            # regression gate.  4096 blocks and more repeats keep the
+            # best-of wall time long enough to be stable.
+            n_batch = 4096
+            ciphers = [fast] * n_batch
+            blocks = list(range(n_batch))
             t_batch = (
-                _best_of(lambda: aesbatch.encrypt_blocks(ciphers, blocks)) / 512
+                _best_of(lambda: aesbatch.encrypt_blocks(ciphers, blocks), repeats=7)
+                / n_batch
             )
             result["batched_us_per_block"] = round(t_batch * 1e6, 2)
             result["batched_speedup"] = round(t_ref / t_batch, 2)
@@ -104,10 +133,13 @@ def bench_drbg() -> dict:
     n_bytes = 1 << 16
     with fastpath.forced(True):
         fast = AesCtrDrbg.from_seed(b"bench")
-        t_fast = _best_of(lambda: fast.random_bytes(n_bytes))
+        t_fast = _best_of(lambda: fast.random_bytes(n_bytes), repeats=5)
     with fastpath.forced(False):
         reference = AesCtrDrbg.from_seed(b"bench")
-        t_ref = _timed(lambda: reference.random_bytes(n_bytes))
+        # Best-of, like the other gated tiers: a single sample of the
+        # reference stream swings the tracked speedup past the CI gate's
+        # 20% tolerance on a busy host.
+        t_ref = _best_of(lambda: reference.random_bytes(n_bytes), repeats=5)
     return {
         "reference_mib_per_sec": round(n_bytes / t_ref / 2**20, 2),
         "fast_mib_per_sec": round(n_bytes / t_fast / 2**20, 2),
@@ -132,7 +164,10 @@ def bench_sss() -> dict:
     t_scalar = _best_of(split_scalar) / len(secrets)
     t_batched = _best_of(split_batched) / len(secrets)
 
-    sums = [{x: (x * 37 + i) % field.prime for x in points[:9]} for i in range(256)]
+    # 1024 sums keep the batched pass well above 1 ms per repeat — short
+    # timings made this speedup flap ±25% on a busy host, which is too
+    # noisy for the CI regression gate.
+    sums = [{x: (x * 37 + i) % field.prime for x in points[:9]} for i in range(1024)]
     with fastpath.forced(False):
         t_rec_scalar = (
             _best_of(lambda: [reconstruct_from_sums(field, s, 8) for s in sums])
@@ -140,7 +175,8 @@ def bench_sss() -> dict:
         )
     with fastpath.forced(True):
         t_rec_batched = (
-            _best_of(lambda: reconstruct_many_from_sums(field, sums, 8)) / len(sums)
+            _best_of(lambda: reconstruct_many_from_sums(field, sums, 8), repeats=7)
+            / len(sums)
         )
     return {
         "split_scalar_ops_per_sec": int(1.0 / t_scalar),
@@ -185,8 +221,134 @@ def bench_campaign(mode: CryptoMode, iterations: int) -> dict:
     }
 
 
+# -- tier 4: parallel campaign --------------------------------------------------
+
+
+def bench_campaign_parallel(iterations: int, workers: int) -> dict:
+    """Serial steady-state vs a warmed N-worker pool over a warm disk cache."""
+    spec = flocklab()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        diskcache.set_cache_dir(cache)
+        previous_enabled = diskcache.set_enabled(True)
+        try:
+            with fastpath.forced(True):
+
+                def campaign(executor=None):
+                    run_figure1(
+                        spec,
+                        iterations=iterations,
+                        seed=1,
+                        crypto_mode=CryptoMode.REAL,
+                        # Explicit workers=1 so a REPRO_WORKERS env setting
+                        # cannot leak parallelism into the serial baseline.
+                        workers=None if executor is not None else 1,
+                        executor=executor,
+                    )
+
+                campaign()  # warm the in-process pools AND the disk cache
+                serial_s = min(_timed(campaign), _timed(campaign))
+                with CampaignExecutor(workers=workers) as executor:
+                    start = time.perf_counter()
+                    executor.warm_up()
+                    pool_startup_s = time.perf_counter() - start
+                    # First parallel run: workers commission from the warm
+                    # disk cache.  Steady state: their in-memory pools hold.
+                    parallel_cold_s = _timed(lambda: campaign(executor))
+                    parallel_s = min(
+                        _timed(lambda: campaign(executor)),
+                        _timed(lambda: campaign(executor)),
+                    )
+        finally:
+            diskcache.set_cache_dir(None)
+            diskcache.set_enabled(previous_enabled)
+    return {
+        "iterations": iterations,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "pool_startup_s": round(pool_startup_s, 4),
+        "parallel_first_s": round(parallel_cold_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+# -- tier 5: cold start vs the persisted commissioning cache ---------------------
+
+_CHILD_SNIPPET = """
+import json, sys, time
+import repro.crypto.aesbatch  # numpy import paid before the clock starts
+from repro.analysis.experiments import run_figure1
+from repro.core.config import CryptoMode
+from repro.topology.testbeds import flocklab
+mode = CryptoMode.REAL if sys.argv[1] == "real" else CryptoMode.STUB
+start = time.perf_counter()
+run_figure1(flocklab(), iterations=int(sys.argv[2]), seed=1, crypto_mode=mode)
+print(json.dumps({"campaign_s": time.perf_counter() - start}))
+"""
+
+
+def _child_campaign_seconds(
+    mode: str, iterations: int, env: dict, repeats: int = 1
+) -> float:
+    """Best-of-N campaign wall time measured inside fresh subprocesses.
+
+    Cold start is a *per-process* property, so unlike the in-process cold
+    tiers it can be repeated — each repeat is a brand-new interpreter —
+    and the best-of keeps scheduler jitter on shared CI runners from
+    tripping the regression gate on a single unlucky 200 ms sample.
+    """
+    child_env = dict(os.environ)
+    child_env["REPRO_WORKERS"] = "1"
+    child_env.update(env)
+    src = str(REPO_ROOT / "src")
+    existing = child_env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        child_env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    samples = []
+    for _ in range(repeats):
+        output = subprocess.run(
+            [sys.executable, "-c", _CHILD_SNIPPET, mode, str(iterations)],
+            env=child_env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        samples.append(
+            json.loads(output.stdout.strip().splitlines()[-1])["campaign_s"]
+        )
+    return min(samples)
+
+
+def bench_cold_start(iterations: int) -> dict:
+    """Fresh-process campaign cost: no cache vs cold cache vs warm cache."""
+    result: dict = {"iterations": iterations}
+    for mode in ("stub", "real"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cold-") as cache:
+            no_cache = _child_campaign_seconds(
+                mode, iterations, {"REPRO_DISK_CACHE": "0"}, repeats=3
+            )
+            warm_env = {"REPRO_DISK_CACHE": "1", "REPRO_CACHE_DIR": cache}
+            first = _child_campaign_seconds(mode, iterations, warm_env)  # populates
+            warm = _child_campaign_seconds(mode, iterations, warm_env, repeats=3)
+        result[mode] = {
+            "no_cache_s": round(no_cache, 4),
+            "cache_populate_s": round(first, 4),
+            "warm_s": round(warm, 4),
+            "cache_speedup": round(no_cache / warm, 2),
+        }
+    return result
+
+
 def main() -> int:
     iterations = int(os.environ.get("REPRO_BENCH_ITERATIONS", "2"))
+    parallel_iterations = int(
+        os.environ.get("REPRO_BENCH_PARALLEL_ITERATIONS", "8")
+    )
+    parallel_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    # Tiers 2+3 measure in-process cold/steady semantics; keep the disk
+    # cache out of them (tier 5 measures it on purpose).
+    diskcache.set_enabled(False)
     print("== primitives ==")
     aes = bench_aes()
     print(f"  AES-128 block: {aes}")
@@ -201,18 +363,39 @@ def main() -> int:
     real = bench_campaign(CryptoMode.REAL, iterations)
     print(f"  REAL: {real}")
 
+    print("== campaign_parallel (REAL sweep, warmed pool + warm disk cache) ==")
+    parallel = bench_campaign_parallel(parallel_iterations, parallel_workers)
+    print(f"  {parallel}")
+
+    print("== cold start (fresh subprocesses, persisted commissioning cache) ==")
+    cold = bench_cold_start(iterations)
+    print(f"  STUB: {cold['stub']}")
+    print(f"  REAL: {cold['real']}")
+    cold["real"]["warm_vs_steady"] = round(
+        cold["real"]["warm_s"] / real["fast_steady_s"], 2
+    )
+    cold["stub"]["warm_vs_steady"] = round(
+        cold["stub"]["warm_s"] / stub["fast_steady_s"], 2
+    )
+
     results = {
-        "bench_version": 1,
+        "bench_version": 2,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
         "aes": aes,
         "drbg": drbg,
         "sss": sss,
         "figure1_stub": stub,
         "figure1_real": real,
+        "campaign_parallel": parallel,
+        "cold_start": cold,
         "targets": {
             "figure1_stub_steady_speedup_min": 5.0,
             "figure1_real_steady_speedup_min": 10.0,
+            "campaign_parallel_speedup_min": 2.0,
+            "campaign_parallel_min_cores": 4,
+            "cold_start_warm_vs_steady_max": 2.0,
         },
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
@@ -225,6 +408,26 @@ def main() -> int:
     if real["steady_speedup"] < 10.0:
         print(f"WARNING: REAL steady-state speedup {real['steady_speedup']}x < 10x target")
         ok = False
+    cores = os.cpu_count() or 1
+    if cores >= 4 and parallel["parallel_speedup"] < 2.0:
+        print(
+            f"WARNING: parallel speedup {parallel['parallel_speedup']}x < 2x "
+            f"target on {cores} cores"
+        )
+        ok = False
+    elif cores < 4:
+        print(
+            f"NOTE: {cores} core(s) available; the 4-worker >=2x wall-time "
+            "target needs >=4 cores and is recorded, not enforced, here"
+        )
+    for mode in ("stub", "real"):
+        ratio = cold[mode]["warm_vs_steady"]
+        if ratio > 2.0:
+            print(
+                f"WARNING: {mode.upper()} warm-cache cold start is "
+                f"{ratio}x steady state (> 2x target)"
+            )
+            ok = False
     print("targets met" if ok else "targets NOT met")
     if not ok and os.environ.get("REPRO_BENCH_STRICT", "0") == "1":
         # Lenient by default: shared CI runners jitter, and the JSON

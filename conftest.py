@@ -1,0 +1,27 @@
+"""Repo-wide pytest configuration (applies to tests/ and benchmarks/).
+
+The persisted commissioning cache (:mod:`repro.diskcache`) defaults to
+``~/.cache/repro``.  Test runs must not read artifacts left by earlier
+runs of *different* code (content keys make that safe in principle, but
+hermetic is better) nor litter the user's cache, so every session gets a
+private, empty cache directory unless the caller pinned one explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_commissioning_cache(tmp_path_factory):
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro-disk-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)

@@ -1,0 +1,360 @@
+"""Parallel campaign execution: seeded work units over worker processes.
+
+The paper's campaigns repeat every sweep point thousands of times; our
+reproduction's sweeps (`run_figure1`, the NTX-coverage curve, the degree
+sweep) decompose naturally into **independent seeded work units** —
+``(spec, size, variant, iteration chunk, seed)`` and friends — because
+every round's randomness is derived from the *absolute* iteration index
+via :func:`repro.sim.seeds.iteration_seeds`.  Chunking therefore cannot
+change results: a campaign fanned out over a ``ProcessPoolExecutor``
+merges back bit-identical to the serial loop.
+
+Execution model:
+
+* :class:`CampaignExecutor` owns an optional worker pool.  With
+  ``workers <= 1`` (the default when ``REPRO_WORKERS`` is unset — what
+  the test suite uses) units run serially in-process, in order.
+* With ``workers = N`` a ``spawn``-context pool runs units concurrently;
+  ``spawn`` is deliberate — workers must not inherit forked module state
+  (see the spawn-worker contract in :mod:`repro.fastpath`).  The parent's
+  *runtime* fast-path / disk-cache state is captured in a
+  :class:`WorkerState` and replayed by the pool initializer, because env
+  vars are inherited but runtime overrides are not.
+* Worker warm-up is cheap when the persisted commissioning cache is
+  populated: a worker's first unit loads link tables, bootstrap
+  schedules and codec key schedules from :mod:`repro.diskcache` instead
+  of re-running the reference bootstrap loop.
+
+Results come back in unit order (``ProcessPoolExecutor.map`` semantics),
+so merging is a deterministic regroup — no reordering, no racing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import diskcache, fastpath
+from repro.core.config import CryptoMode
+from repro.core.metrics import RoundMetrics
+from repro.errors import ConfigurationError
+from repro.topology.testbeds import TestbedSpec
+
+#: Environment knob consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Effective worker count: explicit argument > ``REPRO_WORKERS`` > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# -- worker process state ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerState:
+    """The parent's runtime switches, replayed in every spawn worker."""
+
+    fastpath_enabled: bool
+    disk_cache_enabled: bool
+    cache_dir: str
+
+
+def current_worker_state() -> WorkerState:
+    """Snapshot the state a worker must reproduce."""
+    return WorkerState(
+        fastpath_enabled=fastpath.enabled(),
+        disk_cache_enabled=diskcache.enabled(),
+        cache_dir=str(diskcache.cache_dir()),
+    )
+
+
+def apply_worker_state(state: WorkerState) -> None:
+    """Pool initializer body: align a fresh worker with its parent."""
+    fastpath.set_enabled(state.fastpath_enabled)
+    diskcache.set_enabled(state.disk_cache_enabled)
+    diskcache.set_cache_dir(state.cache_dir)
+
+
+def _warm_worker(_: int) -> bool:
+    """No-op unit that forces the heavy experiment imports in a worker."""
+    import repro.analysis.experiments  # noqa: F401
+
+    return True
+
+
+def _run_unit(unit: "CampaignUnit"):
+    return unit.run()
+
+
+# -- work units ----------------------------------------------------------------
+
+
+class CampaignUnit:
+    """Interface marker: a picklable, independently runnable work item."""
+
+    def run(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Figure1Unit(CampaignUnit):
+    """One iteration chunk of one (size, variant) Fig. 1 sweep point.
+
+    ``start``/``count`` select absolute iteration indices, so per-round
+    secrets and seeds are chunk-invariant (``iteration_seeds``): however
+    a campaign is sliced, round *i* of a sweep point is always the same
+    round.
+    """
+
+    spec: TestbedSpec
+    size: int
+    variant: str  # "s3" | "s4"
+    crypto_mode: CryptoMode
+    start: int
+    count: int
+    seed: int
+
+    def run(self) -> list[RoundMetrics]:
+        from repro.analysis.experiments import (
+            build_engines,
+            degree_for,
+            run_rounds,
+            subnetwork_spec,
+        )
+
+        sub = subnetwork_spec(self.spec, self.size)
+        s3, s4 = build_engines(
+            sub, crypto_mode=self.crypto_mode, degree=degree_for(self.size)
+        )
+        engine = s3 if self.variant == "s3" else s4
+        return run_rounds(
+            engine,
+            sub.topology.node_ids,
+            self.count,
+            self.seed,
+            start=self.start,
+        )
+
+
+@dataclass(frozen=True)
+class CoverageUnit(CampaignUnit):
+    """One NTX point of the coverage curve (probe rounds are per-NTX seeded).
+
+    ``prebuilt_links`` lets a serial caller share one link table across
+    every point of a curve: on the reference path there is no process
+    pool (and no disk cache) to deduplicate tables, and rebuilding the
+    O(n²) table per NTX would regress the old single-profile sweep.  It
+    is only set for in-process execution — a parallel worker builds or
+    disk-loads its own — and, as a ``compare=False`` field, it never
+    affects unit identity.
+    """
+
+    spec: TestbedSpec
+    ntx: int
+    iterations: int
+    seed: int
+    prebuilt_links: object | None = dataclasses.field(default=None, compare=False)
+
+    def run(self) -> dict[str, float]:
+        from repro.analysis.experiments import spec_timings
+        from repro.core.bootstrap import network_depth
+        from repro.ct.coverage import profile_coverage
+        from repro.ct.packet import sharing_psdu_bytes
+        from repro.phy.channel import ChannelModel
+        from repro.phy.link import cached_link_table
+
+        links = self.prebuilt_links
+        if links is None:
+            channel = ChannelModel(self.spec.channel)
+            frame = 6 + sharing_psdu_bytes()
+            links = cached_link_table(
+                self.spec.topology.positions, channel, frame
+            )
+        timings = spec_timings(self.spec)
+        disk_key = None
+        if fastpath.enabled() and diskcache.enabled():
+            disk_key = diskcache.content_key(
+                "coverage-row",
+                links.content_digest(),
+                timings,
+                self.ntx,
+                self.iterations,
+                self.seed,
+            )
+            stored = diskcache.load("coverage-row", disk_key)
+            if isinstance(stored, dict):
+                return stored
+        stats = profile_coverage(
+            links,
+            timings,
+            ntx_values=[self.ntx],
+            depth_hint=network_depth(links),
+            iterations=self.iterations,
+            seed=self.seed,
+        ).at(self.ntx)
+        row = {
+            "ntx": float(self.ntx),
+            "mean_reachable": stats.mean_reachable,
+            "mean_delivery": stats.mean_delivery,
+            "full_coverage_fraction": stats.full_coverage_fraction,
+        }
+        if disk_key is not None:
+            diskcache.store("coverage-row", disk_key, row)
+        return row
+
+
+@dataclass(frozen=True)
+class DegreeUnit(CampaignUnit):
+    """One polynomial degree of the S4 degree sweep."""
+
+    spec: TestbedSpec
+    degree: int
+    iterations: int
+    seed: int
+    crypto_mode: CryptoMode
+
+    def run(self) -> dict[str, float]:
+        from repro.analysis.experiments import build_engines, run_rounds
+        from repro.analysis.stats import summarize
+        from repro.sim.seeds import child_seed
+
+        _, s4 = build_engines(
+            self.spec, crypto_mode=self.crypto_mode, degree=self.degree
+        )
+        rounds = run_rounds(
+            s4,
+            self.spec.topology.node_ids,
+            self.iterations,
+            child_seed(self.seed, self.degree),
+        )
+        latencies = [
+            r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()
+        ]
+        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
+        return {
+            "degree": float(self.degree),
+            "latency_ms": summarize(latencies).mean if latencies else float("nan"),
+            "radio_ms": summarize(radio).mean,
+            "success": sum(r.success_fraction for r in rounds) / len(rounds),
+            "chain_length": float(rounds[0].chain_length_sharing),
+        }
+
+
+def plan_figure1_units(
+    spec: TestbedSpec,
+    sizes: Sequence[int],
+    iterations: int,
+    seed: int,
+    crypto_mode: CryptoMode,
+    workers: int,
+) -> list[Figure1Unit]:
+    """Decompose a Fig. 1 sweep into chunked (size, variant) units.
+
+    Serial execution keeps one unit per (size, variant); parallel
+    execution splits each point's iterations into ~``workers`` chunks so
+    the pool has enough units to balance.  Chunking never affects
+    results — only scheduling.
+    """
+    chunk = iterations if workers <= 1 else max(1, -(-iterations // workers))
+    units: list[Figure1Unit] = []
+    for size in sizes:
+        for variant in ("s3", "s4"):
+            start = 0
+            while start < iterations:
+                count = min(chunk, iterations - start)
+                units.append(
+                    Figure1Unit(
+                        spec=spec,
+                        size=size,
+                        variant=variant,
+                        crypto_mode=crypto_mode,
+                        start=start,
+                        count=count,
+                        seed=seed,
+                    )
+                )
+                start += count
+    return units
+
+
+# -- the executor --------------------------------------------------------------
+
+
+class CampaignExecutor:
+    """Runs campaign units — serially, or over a persistent worker pool.
+
+    The pool is created lazily on the first parallel ``run_units`` call
+    and reused until :meth:`close` (or context-manager exit), so a
+    long-running analysis session pays worker start-up once across many
+    sweeps.  Worker state is captured at pool creation; toggle
+    :mod:`repro.fastpath` *before* creating the executor, not mid-flight.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            # Spawn workers re-import the library from scratch, but the
+            # spawn preparation data carries the parent's sys.path, so a
+            # bare source checkout (PYTHONPATH=src) works without any
+            # environment surgery here.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=apply_worker_state,
+                initargs=(current_worker_state(),),
+            )
+        return self._pool
+
+    def run_units(self, units: Sequence[CampaignUnit]) -> list:
+        """Execute units, returning their results in unit order."""
+        if self.workers <= 1 or len(units) <= 1:
+            return [unit.run() for unit in units]
+        pool = self._ensure_pool()
+        return list(pool.map(_run_unit, units, chunksize=1))
+
+    def warm_up(self) -> None:
+        """Pay worker start-up (interpreter + imports) ahead of real units."""
+        if self.workers <= 1:
+            return
+        pool = self._ensure_pool()
+        list(pool.map(_warm_worker, range(self.workers), chunksize=1))
+
+    def close(self) -> None:
+        """Shut the pool down (no-op for serial executors)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_units(units: Sequence[CampaignUnit], workers: int | None = None) -> list:
+    """One-shot convenience: execute units with a temporary executor."""
+    with CampaignExecutor(workers=workers) as executor:
+        return executor.run_units(units)

@@ -24,12 +24,11 @@ from repro.core.config import CryptoMode, ProtocolConfig, S3Config, S4Config
 from repro.core.metrics import RoundMetrics
 from repro.core.s3 import S3Engine
 from repro.core.s4 import S4Engine
-from repro.ct.coverage import profile_coverage
 from repro.ct.packet import sharing_psdu_bytes
 from repro.errors import ConfigurationError, ProtocolError, ReconstructionError
 from repro.phy.channel import ChannelModel
 from repro.phy.link import cached_link_table
-from repro.sim.seeds import stable_seed
+from repro.sim.seeds import iteration_seeds, stable_seed
 from repro.topology.graph import Topology, connected_subset
 from repro.topology.testbeds import TestbedSpec
 
@@ -89,14 +88,24 @@ def round_secrets(node_ids: Sequence[int], iteration: int) -> dict[int, int]:
     }
 
 
-def run_rounds(engine, node_ids: Sequence[int], iterations: int, seed: int) -> list[RoundMetrics]:
-    """Run ``iterations`` aggregation rounds with fresh secrets each."""
+def run_rounds(
+    engine,
+    node_ids: Sequence[int],
+    iterations: int,
+    seed: int,
+    start: int = 0,
+) -> list[RoundMetrics]:
+    """Run aggregation rounds ``[start, start + iterations)``.
+
+    Secrets and round seeds are functions of the *absolute* iteration
+    index (:func:`repro.sim.seeds.iteration_seeds`), so a campaign chunked
+    across worker processes concatenates to exactly the serial stream.
+    """
     results = []
-    for iteration in range(iterations):
-        secrets = round_secrets(node_ids, iteration)
-        results.append(
-            engine.run(secrets, seed=stable_seed(seed, engine.variant_name, iteration))
-        )
+    seeds = iteration_seeds(seed, engine.variant_name, start, iterations)
+    for offset, round_seed in enumerate(seeds):
+        secrets = round_secrets(node_ids, start + offset)
+        results.append(engine.run(secrets, seed=round_seed))
     return results
 
 
@@ -145,37 +154,31 @@ class Figure1Result:
         return max(self.points, key=lambda p: p.num_nodes)
 
 
-def _collect_point(
-    spec: TestbedSpec,
+def _metrics_of_rounds(
+    rounds: Sequence[RoundMetrics], variant_label: str, size: int
+) -> tuple[list[float], list[float], float]:
+    latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
+    radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
+    success = sum(r.success_fraction for r in rounds) / len(rounds)
+    if not latencies:
+        raise ProtocolError(
+            f"{variant_label} never completed at n={size}; "
+            "configuration is broken"
+        )
+    return latencies, radio, success
+
+
+def _point_from_rounds(
     size: int,
-    iterations: int,
-    seed: int,
-    crypto_mode: CryptoMode,
+    s3_rounds: Sequence[RoundMetrics],
+    s4_rounds: Sequence[RoundMetrics],
 ) -> Figure1Point:
-    sub = subnetwork_spec(spec, size)
-    degree = degree_for(size)
-    s3, s4 = build_engines(sub, crypto_mode=crypto_mode, degree=degree)
-    nodes = sub.topology.node_ids
-
-    def metrics_of(engine) -> tuple[list[float], list[float], float]:
-        rounds = run_rounds(engine, nodes, iterations, seed)
-        latencies = [
-            r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()
-        ]
-        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
-        success = sum(r.success_fraction for r in rounds) / len(rounds)
-        if not latencies:
-            raise ProtocolError(
-                f"{engine.variant_name} never completed at n={size}; "
-                "configuration is broken"
-            )
-        return latencies, radio, success
-
-    s3_lat, s3_radio, s3_success = metrics_of(s3)
-    s4_lat, s4_radio, s4_success = metrics_of(s4)
+    """Fold the merged per-round streams of one sweep point into a point."""
+    s3_lat, s3_radio, s3_success = _metrics_of_rounds(s3_rounds, "S3", size)
+    s4_lat, s4_radio, s4_success = _metrics_of_rounds(s4_rounds, "S4", size)
     return Figure1Point(
         num_nodes=size,
-        degree=degree,
+        degree=degree_for(size),
         s3_latency_ms=summarize(s3_lat),
         s4_latency_ms=summarize(s4_lat),
         s3_radio_ms=summarize(s3_radio),
@@ -191,22 +194,54 @@ def run_figure1(
     seed: int = 1,
     crypto_mode: CryptoMode = CryptoMode.STUB,
     sizes: Sequence[int] | None = None,
+    workers: int | None = None,
+    executor=None,
 ) -> Figure1Result:
     """Reproduce Fig. 1 for one testbed.
 
     The paper repeats each point 2000 times on hardware; the default 30
     seeded simulation iterations give the same central tendency (the
     distributions are tightly concentrated — see the p5/p95 columns).
+
+    The sweep executes as independent seeded work units
+    (:mod:`repro.analysis.campaign`).  ``workers`` — or the
+    ``REPRO_WORKERS`` environment variable — fans them out over worker
+    processes; results are bit-identical to the serial path for the same
+    seeds, because per-round randomness depends only on the absolute
+    iteration index.  Pass an existing
+    :class:`~repro.analysis.campaign.CampaignExecutor` as ``executor`` to
+    amortise worker start-up across many campaigns.
     """
+    from repro.analysis import campaign
+
     if sizes is None:
         sizes = spec.source_sweep
-    points = tuple(
-        _collect_point(spec, size, iterations, seed, crypto_mode)
-        for size in sizes
-    )
-    return Figure1Result(
-        testbed=spec.name, points=points, iterations=iterations
-    )
+    sizes = tuple(sizes)
+
+    def collect(ex) -> Figure1Result:
+        units = campaign.plan_figure1_units(
+            spec, sizes, iterations, seed, crypto_mode, ex.workers
+        )
+        results = ex.run_units(units)
+        merged: dict[tuple[int, str], list[RoundMetrics]] = {
+            (size, variant): [] for size in sizes for variant in ("s3", "s4")
+        }
+        for unit, rounds in zip(units, results):
+            merged[(unit.size, unit.variant)].extend(rounds)
+        points = tuple(
+            _point_from_rounds(
+                size, merged[(size, "s3")], merged[(size, "s4")]
+            )
+            for size in sizes
+        )
+        return Figure1Result(
+            testbed=spec.name, points=points, iterations=iterations
+        )
+
+    if executor is not None:
+        return collect(executor)
+    with campaign.CampaignExecutor(workers=workers) as ex:
+        return collect(ex)
 
 
 # -- NTX coverage curve (claims C3 + C5) --------------------------------------
@@ -217,33 +252,41 @@ def run_ntx_coverage_curve(
     ntx_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10, 12),
     iterations: int = 20,
     seed: int = 3,
+    workers: int | None = None,
+    executor=None,
 ) -> list[dict[str, float]]:
-    """Mean reachability / full-coverage fraction as NTX grows (§III)."""
-    channel = ChannelModel(spec.channel)
-    frame = 6 + sharing_psdu_bytes()
-    links = cached_link_table(spec.topology.positions, channel, frame)
-    from repro.core.bootstrap import network_depth
+    """Mean reachability / full-coverage fraction as NTX grows (§III).
 
-    profile = profile_coverage(
-        links,
-        spec_timings(spec),
-        ntx_values=list(ntx_values),
-        depth_hint=network_depth(links),
-        iterations=iterations,
-        seed=seed,
-    )
-    rows = []
-    for ntx in sorted(profile.stats):
-        stats = profile.stats[ntx]
-        rows.append(
-            {
-                "ntx": float(ntx),
-                "mean_reachable": stats.mean_reachable,
-                "mean_delivery": stats.mean_delivery,
-                "full_coverage_fraction": stats.full_coverage_fraction,
-            }
-        )
-    return rows
+    Each NTX value is an independent work unit (probe randomness is
+    seeded per NTX), so the curve parallelises point-wise with results
+    identical to the serial sweep.
+    """
+    from repro.analysis import campaign
+
+    def collect(ex) -> list[dict[str, float]]:
+        prebuilt = None
+        if ex.workers <= 1:
+            # Serial execution shares one table across the whole curve —
+            # on the reference path nothing else deduplicates it.
+            channel = ChannelModel(spec.channel)
+            frame = 6 + sharing_psdu_bytes()
+            prebuilt = cached_link_table(spec.topology.positions, channel, frame)
+        units = [
+            campaign.CoverageUnit(
+                spec=spec,
+                ntx=int(ntx),
+                iterations=iterations,
+                seed=seed,
+                prebuilt_links=prebuilt,
+            )
+            for ntx in ntx_values
+        ]
+        return sorted(ex.run_units(units), key=lambda row: row["ntx"])
+
+    if executor is not None:
+        return collect(executor)
+    with campaign.CampaignExecutor(workers=workers) as ex:
+        return collect(ex)
 
 
 def spec_timings(spec: TestbedSpec):
@@ -262,34 +305,36 @@ def run_degree_sweep(
     iterations: int = 15,
     seed: int = 5,
     crypto_mode: CryptoMode = CryptoMode.STUB,
+    workers: int | None = None,
+    executor=None,
 ) -> list[dict[str, float]]:
     """S4 latency/radio-on vs polynomial degree at full network size.
 
     The paper's closing observation: "further improvement in the latency
     and radio-on time would be visible in S4 ... for an even lesser
-    degree of the polynomial used."
+    degree of the polynomial used."  Each degree is an independent seeded
+    work unit (:func:`repro.sim.seeds.child_seed` per degree), so the
+    sweep parallelises degree-wise.
     """
+    from repro.analysis import campaign
+
     n = len(spec.topology)
     if degrees is None:
         top = degree_for(n)
         degrees = sorted({max(1, top // 4), max(1, top // 2), top})
-    nodes = spec.topology.node_ids
-    rows = []
-    for degree in degrees:
-        _, s4 = build_engines(spec, crypto_mode=crypto_mode, degree=degree)
-        rounds = run_rounds(s4, nodes, iterations, stable_seed(seed, degree))
-        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
-        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
-        rows.append(
-            {
-                "degree": float(degree),
-                "latency_ms": summarize(latencies).mean if latencies else float("nan"),
-                "radio_ms": summarize(radio).mean,
-                "success": sum(r.success_fraction for r in rounds) / len(rounds),
-                "chain_length": float(rounds[0].chain_length_sharing),
-            }
+    units = [
+        campaign.DegreeUnit(
+            spec=spec,
+            degree=int(degree),
+            iterations=iterations,
+            seed=seed,
+            crypto_mode=crypto_mode,
         )
-    return rows
+        for degree in degrees
+    ]
+    if executor is not None:
+        return executor.run_units(units)
+    return campaign.run_units(units, workers=workers)
 
 
 # -- fault tolerance (ablation A1) ---------------------------------------------

@@ -58,6 +58,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="also write the result as JSON (figure1 only)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan sweep work units out over N worker processes "
+        "(default: $REPRO_WORKERS or serial; results are bit-identical "
+        "either way; applies to figure1/coverage/degrees)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persisted commissioning cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro; disable with "
+        "REPRO_DISK_CACHE=0)",
+    )
 
 
 def _crypto(args) -> CryptoMode:
@@ -71,6 +88,7 @@ def cmd_figure1(args) -> int:
         iterations=args.iterations or 30,
         seed=args.seed,
         crypto_mode=_crypto(args),
+        workers=args.workers,
     )
     if args.save:
         from repro.analysis.io import save_figure1
@@ -107,7 +125,10 @@ def cmd_figure1(args) -> int:
 def cmd_coverage(args) -> int:
     spec = testbed_by_name(args.testbed)
     rows = run_ntx_coverage_curve(
-        spec, iterations=args.iterations or 20, seed=args.seed
+        spec,
+        iterations=args.iterations or 20,
+        seed=args.seed,
+        workers=args.workers,
     )
     if args.csv:
         print(to_csv(rows), end="")
@@ -137,6 +158,7 @@ def cmd_degrees(args) -> int:
         iterations=args.iterations or 15,
         seed=args.seed,
         crypto_mode=_crypto(args),
+        workers=args.workers,
     )
     if args.csv:
         print(to_csv(rows), end="")
@@ -332,6 +354,10 @@ def main(argv: list[str] | None = None) -> int:
         _add_common(sub)
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)
+    if args.cache_dir:
+        from repro import diskcache
+
+        diskcache.set_cache_dir(args.cache_dir)
     return args.handler(args)
 
 

@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro import fastpath
+from repro import diskcache, fastpath
 from repro.crypto.prng import AesCtrDrbg
 from repro.ct.coverage import arm_offsets
 from repro.ct.minicast import (
@@ -233,6 +233,32 @@ class AggregationEngine:
             if pooled is not None:
                 self._codec_cache[node] = pooled
                 return pooled
+        # REAL codecs are worth persisting: provisioning expands two AES
+        # schedules per peer, and the pickled form carries the expanded
+        # key schedule words (see AES128.__getstate__), so a cold process
+        # reloads commissioning-time key material instead of re-deriving
+        # it — exactly how firmware ships provisioned keys.
+        disk_key = None
+        if (
+            pool_key is not None
+            and self._config.crypto_mode is CryptoMode.REAL
+            and diskcache.enabled()
+        ):
+            disk_key = diskcache.content_key(
+                "codec",
+                self._config.crypto_mode,
+                node,
+                self._topology.node_ids,
+                self._config.master_secret,
+                self._config.mac_tag_bytes,
+            )
+            stored = diskcache.load("codec", disk_key)
+            if isinstance(stored, RealShareCodec):
+                self._codec_cache[node] = stored
+                if len(_CODEC_POOL) >= _CODEC_POOL_MAX:
+                    _CODEC_POOL.clear()
+                _CODEC_POOL[pool_key] = stored
+                return stored
         if self._config.crypto_mode is CryptoMode.REAL:
             built = RealShareCodec(
                 node,
@@ -247,6 +273,8 @@ class AggregationEngine:
             if len(_CODEC_POOL) >= _CODEC_POOL_MAX:
                 _CODEC_POOL.clear()
             _CODEC_POOL[pool_key] = built
+        if disk_key is not None:
+            diskcache.store("codec", disk_key, built)
         return built
 
     # -- variant hooks -------------------------------------------------------------

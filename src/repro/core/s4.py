@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro import fastpath
+from repro import diskcache, fastpath
 from repro.ct.minicast import RadioOffPolicy
 from repro.ct.packet import ChainLayout, sharing_psdu_bytes
 from repro.ct.slots import RoundSchedule
@@ -124,6 +124,21 @@ class S4Engine(AggregationEngine):
             if shared is not None:
                 self._bootstrap_cache[key] = shared
                 return shared
+        # Persisted commissioning: the bootstrap is the dominant cold-start
+        # cost (it replays the reference MiniCast probe loop), and it is a
+        # pure function of the link table content plus the S4 parameters —
+        # exactly what the disk key hashes.  A hit is bit-identical to a
+        # fresh measurement because the stored object round-trips exactly.
+        disk_key = None
+        if shared_key is not None and diskcache.enabled():
+            disk_key = diskcache.content_key(
+                "s4-bootstrap", links.content_digest(), shared_key[1:]
+            )
+            stored = diskcache.load("s4-bootstrap", disk_key)
+            if isinstance(stored, S4Bootstrap):
+                self._bootstrap_cache[key] = stored
+                links.derived_cache[shared_key] = stored
+                return stored
         result = bootstrap_s4(
             links=links,
             timings=self.config.timings,
@@ -144,6 +159,8 @@ class S4Engine(AggregationEngine):
         self._bootstrap_cache[key] = result
         if shared_key is not None:
             links.derived_cache[shared_key] = result
+        if disk_key is not None:
+            diskcache.store("s4-bootstrap", disk_key, result)
         return result
 
     # -- variant hooks -----------------------------------------------------------

@@ -283,6 +283,30 @@ class AES128:
             self._dec_words = None
             self.encrypt_int = self._encrypt_int_reference
 
+    # Cipher objects are persisted by the commissioning disk cache (the
+    # pairwise key *schedules* are the artifact worth keeping), but the
+    # generated ``encrypt_int`` closure cannot be pickled — so state is
+    # the expanded schedule words and the closure is regenerated on load.
+    def __getstate__(self) -> dict:
+        return {
+            "use_tables": self._use_tables,
+            "enc_words": self._enc_words,
+            "dec_words": self._dec_words,
+            "round_keys": self._round_keys,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._use_tables = state["use_tables"]
+        self._enc_words = state["enc_words"]
+        self._dec_words = state["dec_words"]
+        self._round_keys = state["round_keys"]
+        if self._use_tables:
+            self.encrypt_int = _make_int_encryptor(
+                self._enc_words, _TE0, _TE1, _TE2, _TE3, _SBOX
+            )
+        else:
+            self.encrypt_int = self._encrypt_int_reference
+
     @staticmethod
     def _expand_key(key: bytes) -> list[list[int]]:
         """FIPS-197 key expansion: 11 round keys of 16 bytes each."""

@@ -1,0 +1,246 @@
+"""Persisted commissioning cache: deployment artifacts on disk.
+
+The process-wide pools (link tables, S4 bootstraps, codec key schedules)
+amortise commissioning *within* one process, which is why the first
+campaign in a process — and every freshly spawned campaign worker — still
+pays the full reference-fidelity bootstrap.  This module closes that gap:
+artifacts that are pure functions of the deployment description are
+persisted to a versioned on-disk cache, so a cold process (or a
+``ProcessPoolExecutor`` spawn worker) loads them instead of re-running
+the reference MiniCast probe loop.
+
+Layout and contract:
+
+* Directory: ``$REPRO_CACHE_DIR``, else ``~/.cache/repro``; overridable
+  at runtime with :func:`set_cache_dir` (the CLI's ``--cache-dir``).
+* One pickle file per entry, named ``<kind>-<content-hash>.pkl``.  The
+  content hash (:func:`content_key`) covers *everything* the artifact is
+  derived from — topology positions, channel parameters, radio timings,
+  protocol knobs — so a cache hit is bit-identical to a fresh build by
+  construction and entries can never go stale through code-external
+  changes.
+* Each file carries a header with :data:`CACHE_VERSION`; entries written
+  by an incompatible library version are ignored (and rebuilt), as are
+  corrupt or truncated files.  Writes are atomic (temp file +
+  ``os.replace``) so a crashed writer can at worst leave an ignorable
+  temp file behind.
+* The cache is an *optimisation*, never a correctness dependency: every
+  read/write failure degrades to recomputation.  It is active only when
+  the fast path is on (consumers gate on ``fastpath.enabled()``) and can
+  be switched off wholesale with ``REPRO_DISK_CACHE=0`` or
+  :func:`set_enabled`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pathlib
+import pickle
+import struct
+import tempfile
+from typing import Any, Callable
+
+#: Bump when the serialized form of any cached artifact changes shape.
+CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLED = "REPRO_DISK_CACHE"
+
+#: Soft cap on entries written per directory; counted once per process
+#: (plus our own writes) to keep ``store`` O(1) after the first call.
+MAX_ENTRIES = 8192
+
+_dir_override: pathlib.Path | None = None
+_enabled_override: bool | None = None
+_entry_budget: dict[str, int] = {}
+
+
+def cache_dir() -> pathlib.Path:
+    """The active cache directory (override > env > ``~/.cache/repro``)."""
+    if _dir_override is not None:
+        return _dir_override
+    env = os.environ.get(_ENV_DIR, "").strip()
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def set_cache_dir(path: str | os.PathLike | None) -> None:
+    """Override the cache directory (``None`` restores env/default)."""
+    global _dir_override
+    _dir_override = pathlib.Path(path) if path is not None else None
+
+
+def enabled() -> bool:
+    """Whether the on-disk cache is active."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(_ENV_ENABLED, "1").strip().lower() not in {
+        "0",
+        "false",
+        "off",
+        "no",
+    }
+
+
+def set_enabled(flag: bool | None) -> bool | None:
+    """Force the cache on/off (``None`` restores env); returns previous."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = flag if flag is None else bool(flag)
+    return previous
+
+
+# -- content hashing -----------------------------------------------------------
+
+
+def _encode(part: Any, update: Callable[[bytes], None]) -> None:
+    """Feed a canonical, type-tagged encoding of ``part`` to ``update``.
+
+    Supports the value shapes commissioning keys are built from: scalars,
+    bytes, containers, enums and (frozen) dataclasses such as
+    ``ChannelParameters`` / ``RadioTimings`` / ``CaptureModel``.  Floats
+    are encoded as IEEE-754 doubles, so the key is exact, not repr-lossy.
+    """
+    if part is None:
+        update(b"N")
+    elif isinstance(part, bool):
+        update(b"o" + bytes([part]))
+    elif isinstance(part, int):
+        update(b"i" + part.to_bytes((part.bit_length() + 8) // 8 + 1, "big", signed=True))
+    elif isinstance(part, float):
+        update(b"f" + struct.pack(">d", part))
+    elif isinstance(part, str):
+        encoded = part.encode("utf-8")
+        update(b"s" + len(encoded).to_bytes(4, "big") + encoded)
+    elif isinstance(part, bytes):
+        update(b"b" + len(part).to_bytes(4, "big") + part)
+    elif isinstance(part, enum.Enum):
+        update(b"E")
+        _encode(type(part).__qualname__, update)
+        _encode(part.value, update)
+    elif isinstance(part, (tuple, list)):
+        update(b"(" + len(part).to_bytes(4, "big"))
+        for item in part:
+            _encode(item, update)
+    elif isinstance(part, (set, frozenset)):
+        update(b"{" + len(part).to_bytes(4, "big"))
+        for item in sorted(part, key=_sort_key):
+            _encode(item, update)
+    elif isinstance(part, dict):
+        update(b"m" + len(part).to_bytes(4, "big"))
+        for key in sorted(part, key=_sort_key):
+            _encode(key, update)
+            _encode(part[key], update)
+    elif dataclasses.is_dataclass(part) and not isinstance(part, type):
+        update(b"D")
+        _encode(type(part).__qualname__, update)
+        for field in dataclasses.fields(part):
+            _encode(field.name, update)
+            _encode(getattr(part, field.name), update)
+    else:
+        raise TypeError(
+            f"cannot build a content key from {type(part).__name__!r}"
+        )
+
+
+def _sort_key(value: Any) -> bytes:
+    hasher = hashlib.sha256()
+    _encode(value, hasher.update)
+    return hasher.digest()
+
+
+def content_key(kind: str, *parts: Any) -> str:
+    """Stable hex digest identifying an artifact by its full provenance."""
+    hasher = hashlib.sha256()
+    _encode(kind, hasher.update)
+    for part in parts:
+        _encode(part, hasher.update)
+    return hasher.hexdigest()[:40]
+
+
+# -- load / store --------------------------------------------------------------
+
+
+def _entry_path(kind: str, key: str) -> pathlib.Path:
+    return cache_dir() / f"{kind}-{key}.pkl"
+
+
+def load(kind: str, key: str) -> Any | None:
+    """Fetch a cached artifact; ``None`` on miss, corruption or staleness.
+
+    Corrupt files (truncated pickles, wrong shapes) are deleted
+    best-effort so they are rebuilt cleanly; files written by a different
+    :data:`CACHE_VERSION` are left in place but ignored.
+    """
+    path = _entry_path(kind, key)
+    try:
+        with open(path, "rb") as handle:
+            header = pickle.load(handle)
+        if (
+            not isinstance(header, dict)
+            or header.get("kind") != kind
+            or header.get("key") != key
+        ):
+            raise ValueError("cache entry header mismatch")
+        if header.get("cache_version") != CACHE_VERSION:
+            return None  # stale library version: ignore, rebuild, overwrite
+        return header["payload"]
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(kind: str, key: str, payload: Any) -> bool:
+    """Persist an artifact atomically; best-effort, returns success."""
+    directory = cache_dir()
+    budget_key = str(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        if budget_key not in _entry_budget:
+            _entry_budget[budget_key] = MAX_ENTRIES - sum(
+                1 for _ in directory.glob("*.pkl")
+            )
+        if _entry_budget[budget_key] <= 0:
+            return False
+        header = {
+            "cache_version": CACHE_VERSION,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=directory, prefix=".tmp-", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, _entry_path(kind, key))
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        _entry_budget[budget_key] -= 1
+        return True
+    except Exception:
+        return False
+
+
+def fetch(kind: str, key: str, build: Callable[[], Any]) -> Any:
+    """``load`` or ``build()``-and-``store`` an artifact."""
+    cached = load(kind, key)
+    if cached is not None:
+        return cached
+    built = build()
+    store(kind, key, built)
+    return built

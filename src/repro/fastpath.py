@@ -21,6 +21,16 @@ in flight.  The flag itself is a plain module global guarded by the GIL;
 the context managers are not thread-safe against concurrent toggling (the
 microbenchmark is single-threaded) but *reading* the flag from worker
 threads is always safe.
+
+**Spawn-worker contract.**  Campaign workers are started with the
+``spawn`` method, so nothing in this module (or in the process-wide
+commissioning pools) may rely on forked state: every global here is
+re-initialised from the environment at import, and the pools start
+empty in each worker.  A parent that changed the flag at runtime (e.g.
+via :func:`forced`) ships its effective state explicitly — spawn workers
+inherit the parent's *environment*, not its module globals — via
+:class:`repro.analysis.campaign.WorkerState`, captured before the pool
+starts and replayed by the pool initializer.
 """
 
 from __future__ import annotations
@@ -63,3 +73,29 @@ def forced(flag: bool) -> Iterator[None]:
 def disabled() -> contextlib.AbstractContextManager[None]:
     """Run a block on the reference path (seed-equivalent behaviour)."""
     return forced(False)
+
+
+# -- multiprocessing support ---------------------------------------------------
+
+
+def clear_process_caches() -> None:
+    """Empty every process-wide commissioning pool.
+
+    Spawn workers never need this (their pools start empty by
+    construction); it exists for tests that must force a rebuild — e.g.
+    proving that a disk-cache hit is bit-identical to a fresh bootstrap —
+    and as the documented reset point if a long-lived service wants to
+    drop commissioning state.  Imports live inside the function to keep
+    this module dependency-free at import time.
+    """
+    from repro.core import protocol
+    from repro.crypto import prng
+    from repro.field import lagrange
+    from repro.phy import link
+
+    with link._TABLE_CACHE_LOCK:
+        link._TABLE_CACHE.clear()
+    protocol._CODEC_POOL.clear()
+    protocol._LAYOUT_POOL.clear()
+    prng._CIPHER_POOL.clear()
+    lagrange.SHARED_WEIGHTS.clear()

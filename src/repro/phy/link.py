@@ -110,6 +110,64 @@ class LinkTable:
                 else:
                     self._prr[(a, b)] = channel.prr(rssi, frame_bytes)
 
+    @classmethod
+    def from_precomputed(
+        cls,
+        node_ids: Sequence[int],
+        frame_bytes: int,
+        good_link_threshold: float,
+        rssi: Mapping[tuple[int, int], float],
+        prr: Mapping[tuple[int, int], float],
+    ) -> "LinkTable":
+        """Rehydrate a table from persisted pairwise figures.
+
+        Used by the commissioning disk cache: the stored RSSI/PRR maps
+        round-trip exactly (pickled floats), so the rebuilt table is
+        bit-identical to the one originally constructed — without paying
+        the BER-series channel evaluations again.
+        """
+        table = object.__new__(cls)
+        table._node_ids = tuple(node_ids)
+        table._frame_bytes = frame_bytes
+        table._good_link_threshold = good_link_threshold
+        table._rssi = dict(rssi)
+        table._prr = dict(prr)
+        table.derived_cache = {}
+        return table
+
+    def precomputed_state(self) -> dict:
+        """The persistable content of this table (see ``from_precomputed``)."""
+        return {
+            "node_ids": self._node_ids,
+            "frame_bytes": self._frame_bytes,
+            "good_link_threshold": self._good_link_threshold,
+            "rssi": self._rssi,
+            "prr": self._prr,
+        }
+
+    def content_digest(self) -> str:
+        """Content hash of the table's pairwise figures (memoised).
+
+        Artifacts derived from a table (bootstraps, coverage rows) key
+        their disk-cache entries on this digest: it is a pure function of
+        (positions, channel, frame, threshold), so equal deployments hash
+        equal and any change to the channel model changes every key.
+        """
+        cached = self.derived_cache.get("content_digest")
+        if cached is None:
+            from repro import diskcache
+
+            cached = diskcache.content_key(
+                "linktable-content",
+                self._node_ids,
+                self._frame_bytes,
+                self._good_link_threshold,
+                self._rssi,
+                self._prr,
+            )
+            self.derived_cache["content_digest"] = cached
+        return cached
+
     @property
     def node_ids(self) -> tuple[int, ...]:
         """All node ids in the table."""
@@ -221,6 +279,12 @@ def cached_link_table(
     identity is not hashable by value) and when the fast path is
     disabled.  The cache is cleared wholesale once it exceeds
     ``_TABLE_CACHE_MAX`` distinct keys.
+
+    On a process-local miss the persisted commissioning cache
+    (:mod:`repro.diskcache`) is consulted before construction, so a cold
+    process — a fresh CLI invocation, a spawned campaign worker — skips
+    the pairwise channel evaluations entirely when any previous process
+    already priced this deployment.
     """
     if interference is not None or not fastpath.enabled():
         return LinkTable(
@@ -240,7 +304,28 @@ def cached_link_table(
         table = _TABLE_CACHE.get(key)
     if table is not None:
         return table
-    table = LinkTable(positions, channel, frame_bytes, good_link_threshold)
+    from repro import diskcache
+
+    disk_key = None
+    if diskcache.enabled():
+        disk_key = diskcache.content_key("linktable", *key)
+        state = diskcache.load("linktable", disk_key)
+        if (
+            isinstance(state, dict)
+            and state.get("node_ids") == tuple(sorted(positions))
+            and state.get("frame_bytes") == frame_bytes
+        ):
+            table = LinkTable.from_precomputed(
+                state["node_ids"],
+                state["frame_bytes"],
+                state["good_link_threshold"],
+                state["rssi"],
+                state["prr"],
+            )
+    if table is None:
+        table = LinkTable(positions, channel, frame_bytes, good_link_threshold)
+        if disk_key is not None:
+            diskcache.store("linktable", disk_key, table.precomputed_state())
     with _TABLE_CACHE_LOCK:
         if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
             _TABLE_CACHE.clear()

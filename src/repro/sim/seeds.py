@@ -5,11 +5,19 @@
 experiments unreproducible across runs.  :func:`stable_seed` derives a
 64-bit seed from SHA-256 over a canonical encoding instead — same inputs,
 same stream, every process, every platform.
+
+:func:`child_seed` and :func:`iteration_seeds` build on it for campaign
+fan-out: a parent seed deterministically spawns labelled child seeds, and
+an iteration range maps to per-round seeds that depend only on the
+*absolute* iteration index — never on how iterations are chunked across
+workers.  A campaign sliced over a ``ProcessPoolExecutor`` therefore
+feeds every round exactly the seed the serial loop would have.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Sequence
 
 
 def stable_seed(*parts: int | float | str | bytes) -> int:
@@ -31,3 +39,43 @@ def stable_seed(*parts: int | float | str | bytes) -> int:
         hasher.update(len(encoded).to_bytes(4, "big"))
         hasher.update(encoded)
     return int.from_bytes(hasher.digest()[:8], "big")
+
+
+def child_seed(parent: int, *labels: int | float | str | bytes) -> int:
+    """Spawn a labelled child seed from a parent campaign seed.
+
+    Children with distinct labels get independent streams; the same
+    (parent, labels) pair yields the same child in every process.  This
+    is the one derivation rule both the serial experiment loops and the
+    parallel campaign workers use, which is what makes their round
+    streams identical.
+    """
+    return stable_seed(parent, *labels)
+
+
+def iteration_seeds(
+    seed: int,
+    label: int | float | str | bytes,
+    start: int,
+    count: int,
+) -> list[int]:
+    """Per-round seeds for absolute iterations ``[start, start + count)``.
+
+    Chunk-invariant by construction::
+
+        iteration_seeds(s, l, 0, 10)
+            == iteration_seeds(s, l, 0, 4) + iteration_seeds(s, l, 4, 6)
+
+    so a sweep point split into worker chunks runs bit-identical rounds
+    to the serial loop.
+    """
+    if start < 0 or count < 0:
+        raise ValueError(f"start/count must be >= 0, got {start}/{count}")
+    return [child_seed(seed, label, i) for i in range(start, start + count)]
+
+
+__all__: Sequence[str] = (
+    "stable_seed",
+    "child_seed",
+    "iteration_seeds",
+)

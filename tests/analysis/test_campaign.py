@@ -1,0 +1,200 @@
+"""Tests for the parallel campaign engine.
+
+The load-bearing property is the acceptance criterion: a campaign fanned
+out over spawn workers returns results **bit-identical** to the serial
+path for the same seeds.  One module-scoped 2-worker pool is shared by
+every parallel assertion so the suite pays spawn start-up once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.analysis import campaign
+from repro.analysis.campaign import (
+    CampaignExecutor,
+    CoverageUnit,
+    DegreeUnit,
+    Figure1Unit,
+    WorkerState,
+    plan_figure1_units,
+    resolve_workers,
+)
+from repro.analysis.experiments import (
+    run_degree_sweep,
+    run_figure1,
+    run_ntx_coverage_curve,
+)
+from repro.core.config import CryptoMode
+from repro.errors import ConfigurationError
+from repro.phy.channel import ChannelParameters
+from repro.topology.generators import grid
+from repro.topology.testbeds import TestbedSpec as BedSpec
+
+
+@pytest.fixture(scope="module")
+def mini_spec():
+    topology = grid(3, 3, spacing_m=7.0, jitter_m=0.5, seed=4)
+    channel = ChannelParameters(
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=1.0,
+        noise_floor_dbm=-96.0,
+        shadowing_seed=5,
+    )
+    return BedSpec(
+        topology=topology,
+        channel=channel,
+        sharing_ntx=4,
+        full_coverage_ntx=6,
+        source_sweep=(4, 9),
+        name="mini-par",
+        extras={"s4_sharing_ntx": 4, "s4_redundancy": 1},
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent 2-worker spawn pool for the whole module."""
+    with CampaignExecutor(workers=2) as executor:
+        executor.warm_up()
+        yield executor
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+
+class TestPlanning:
+    def test_serial_plan_one_unit_per_point_variant(self, mini_spec):
+        units = plan_figure1_units(
+            mini_spec, (4, 9), 6, 1, CryptoMode.STUB, workers=1
+        )
+        assert len(units) == 4  # 2 sizes x 2 variants
+        assert all(unit.count == 6 and unit.start == 0 for unit in units)
+
+    def test_parallel_plan_chunks_cover_iterations(self, mini_spec):
+        units = plan_figure1_units(
+            mini_spec, (4, 9), 7, 1, CryptoMode.STUB, workers=3
+        )
+        for size in (4, 9):
+            for variant in ("s3", "s4"):
+                chunks = [
+                    (unit.start, unit.count)
+                    for unit in units
+                    if unit.size == size and unit.variant == variant
+                ]
+                covered = sorted(
+                    i for start, count in chunks for i in range(start, start + count)
+                )
+                assert covered == list(range(7))
+
+    def test_plan_is_deterministic(self, mini_spec):
+        a = plan_figure1_units(mini_spec, (4,), 5, 1, CryptoMode.STUB, workers=2)
+        b = plan_figure1_units(mini_spec, (4,), 5, 1, CryptoMode.STUB, workers=2)
+        assert a == b
+
+
+class TestWorkerState:
+    def test_snapshot_matches_runtime(self):
+        state = campaign.current_worker_state()
+        assert state.fastpath_enabled == fastpath.enabled()
+
+    def test_apply_round_trip(self):
+        from repro import diskcache
+
+        original = campaign.current_worker_state()
+        try:
+            campaign.apply_worker_state(
+                WorkerState(
+                    fastpath_enabled=False,
+                    disk_cache_enabled=False,
+                    cache_dir=original.cache_dir,
+                )
+            )
+            assert not fastpath.enabled()
+            assert not diskcache.enabled()
+        finally:
+            # apply_worker_state pins runtime overrides (it targets fresh
+            # workers); in the parent, drop them back to env-driven.
+            fastpath.set_enabled(original.fastpath_enabled)
+            diskcache.set_enabled(None)
+            diskcache.set_cache_dir(None)
+        assert fastpath.enabled() == original.fastpath_enabled
+
+
+class TestSerialParallelIdentity:
+    """The acceptance criterion: parallel ≡ serial, bit for bit."""
+
+    def test_figure1(self, mini_spec, pool):
+        serial = run_figure1(mini_spec, iterations=3, seed=1)
+        parallel = run_figure1(mini_spec, iterations=3, seed=1, executor=pool)
+        assert parallel == serial
+
+    def test_figure1_chunking_invariant_serially(self, mini_spec):
+        # Chunked units merged in order == one whole-range unit, even
+        # without a pool: the decomposition itself must be lossless.
+        whole = Figure1Unit(mini_spec, 9, "s4", CryptoMode.STUB, 0, 4, 11).run()
+        split = (
+            Figure1Unit(mini_spec, 9, "s4", CryptoMode.STUB, 0, 1, 11).run()
+            + Figure1Unit(mini_spec, 9, "s4", CryptoMode.STUB, 1, 3, 11).run()
+        )
+        assert whole == split
+
+    def test_coverage_curve(self, mini_spec, pool):
+        serial = run_ntx_coverage_curve(mini_spec, ntx_values=(2, 4), iterations=3)
+        parallel = run_ntx_coverage_curve(
+            mini_spec, ntx_values=(2, 4), iterations=3, executor=pool
+        )
+        assert parallel == serial
+
+    def test_degree_sweep(self, mini_spec, pool):
+        serial = run_degree_sweep(mini_spec, iterations=2)
+        parallel = run_degree_sweep(mini_spec, iterations=2, executor=pool)
+        assert parallel == serial
+
+    def test_executor_reusable_across_campaigns(self, mini_spec, pool):
+        first = run_figure1(mini_spec, iterations=2, seed=3, executor=pool)
+        second = run_figure1(mini_spec, iterations=2, seed=3, executor=pool)
+        assert first == second
+
+
+class TestUnits:
+    def test_units_are_picklable(self, mini_spec):
+        # Topology has no value-equality, so compare behaviour: the
+        # pickled clone must produce the exact result of the original.
+        import pickle
+
+        for unit in (
+            Figure1Unit(mini_spec, 4, "s3", CryptoMode.STUB, 0, 2, 1),
+            CoverageUnit(mini_spec, 4, 3, 3),
+            DegreeUnit(mini_spec, 2, 2, 5, CryptoMode.STUB),
+        ):
+            clone = pickle.loads(pickle.dumps(unit))
+            assert clone.run() == unit.run()
+
+    def test_serial_executor_runs_inline(self, mini_spec):
+        executor = CampaignExecutor(workers=1)
+        results = executor.run_units(
+            [CoverageUnit(mini_spec, 4, 2, 3), CoverageUnit(mini_spec, 2, 2, 3)]
+        )
+        assert results[0]["ntx"] == 4.0 and results[1]["ntx"] == 2.0
+        assert executor._pool is None  # never started a pool
