@@ -35,6 +35,13 @@ repository root so future PRs have a perf trajectory to compare against:
    spawned campaign worker; the target is within 2× of steady state.
    (Each child imports numpy before the clock starts, so the numbers
    isolate commissioning cost from interpreter/import cost.)
+6. **Sharded campaign** — the same deployment aggregated as one flat
+   MPC domain vs. sliced into cells with a cross-cell round
+   (:mod:`repro.analysis.sharding`, MPC data path only).  Flat share
+   fan-out costs O(n·degree²) with degree = n/3; cells cut the degree
+   by the cell count, so the sharded form wins by construction — the
+   tracked ``sharded_speedup`` guards that scale-out advantage, and the
+   tier asserts the two forms produce bit-identical aggregates.
 
 The in-process campaign tiers (2+3) run with the disk cache disabled so
 "cold" keeps meaning "first time in any process state"; tier 5 measures
@@ -48,6 +55,8 @@ Environment knobs:
   the parallel tier (default 8; larger units amortise IPC).
 * ``REPRO_BENCH_WORKERS`` — worker count for the parallel tier
   (default 4, the acceptance configuration).
+* ``REPRO_BENCH_SHARDED_NODES`` / ``REPRO_BENCH_SHARDED_CELLS`` —
+  deployment size and cell count for the sharded tier (default 180 / 6).
 """
 
 from __future__ import annotations
@@ -55,8 +64,6 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import random
-import statistics
 import subprocess
 import sys
 import tempfile
@@ -273,6 +280,61 @@ def bench_campaign_parallel(iterations: int, workers: int) -> dict:
     }
 
 
+# -- tier 6: sharded cells vs one flat MPC domain --------------------------------
+
+
+def bench_sharded(iterations: int) -> dict:
+    """Flat single-domain aggregation vs sharded cells, same deployment.
+
+    Both forms run the MPC data path only (no radio schedule), so the
+    comparison isolates the share-algebra scaling: the flat domain deals
+    degree-(n/3) polynomials over n/3+1 collector points, the cells deal
+    degree-(n/3k) polynomials — the quadratic win sharding exists for.
+    """
+    from repro.analysis.sharding import run_sharded_campaign
+    from repro.topology.generators import grid
+
+    nodes = int(os.environ.get("REPRO_BENCH_SHARDED_NODES", "180"))
+    cells = int(os.environ.get("REPRO_BENCH_SHARDED_CELLS", "6"))
+    rounds = max(2, iterations)
+    columns = max(1, round(nodes**0.5))
+    topology = grid(columns, -(-nodes // columns), spacing_m=10.0, seed=7)
+
+    with fastpath.forced(True):
+        flat = run_sharded_campaign(
+            topology, cells=1, iterations=rounds, seed=1
+        )
+        # Same repeats on both sides: best-of takes a min, so asymmetric
+        # repeat counts would bias the tracked speedup.
+        flat_s = _best_of(
+            lambda: run_sharded_campaign(
+                topology, cells=1, iterations=rounds, seed=1
+            ),
+            repeats=3,
+        )
+        sharded = run_sharded_campaign(
+            topology, cells=cells, iterations=rounds, seed=1
+        )
+        sharded_s = _best_of(
+            lambda: run_sharded_campaign(
+                topology, cells=cells, iterations=rounds, seed=1
+            ),
+            repeats=3,
+        )
+    if not (flat.all_match and sharded.all_match):
+        raise RuntimeError("sharded bench: aggregates failed to reconstruct")
+    if flat.totals != sharded.totals:
+        raise RuntimeError("sharded bench: flat and sharded aggregates differ")
+    return {
+        "nodes": len(topology),
+        "cells": cells,
+        "iterations": rounds,
+        "flat_s": round(flat_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "sharded_speedup": round(flat_s / sharded_s, 2),
+    }
+
+
 # -- tier 5: cold start vs the persisted commissioning cache ---------------------
 
 _CHILD_SNIPPET = """
@@ -367,6 +429,10 @@ def main() -> int:
     parallel = bench_campaign_parallel(parallel_iterations, parallel_workers)
     print(f"  {parallel}")
 
+    print("== sharded campaign (flat MPC domain vs cells + cross-cell round) ==")
+    sharded = bench_sharded(iterations)
+    print(f"  {sharded}")
+
     print("== cold start (fresh subprocesses, persisted commissioning cache) ==")
     cold = bench_cold_start(iterations)
     print(f"  STUB: {cold['stub']}")
@@ -389,6 +455,7 @@ def main() -> int:
         "figure1_stub": stub,
         "figure1_real": real,
         "campaign_parallel": parallel,
+        "sharded_campaign": sharded,
         "cold_start": cold,
         "targets": {
             "figure1_stub_steady_speedup_min": 5.0,
@@ -396,6 +463,7 @@ def main() -> int:
             "campaign_parallel_speedup_min": 2.0,
             "campaign_parallel_min_cores": 4,
             "cold_start_warm_vs_steady_max": 2.0,
+            "sharded_campaign_speedup_min": 2.0,
         },
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
@@ -420,6 +488,12 @@ def main() -> int:
             f"NOTE: {cores} core(s) available; the 4-worker >=2x wall-time "
             "target needs >=4 cores and is recorded, not enforced, here"
         )
+    if sharded["sharded_speedup"] < 2.0:
+        print(
+            f"WARNING: sharded campaign speedup {sharded['sharded_speedup']}x "
+            "< 2x target"
+        )
+        ok = False
     for mode in ("stub", "real"):
         ratio = cold[mode]["warm_vs_steady"]
         if ratio > 2.0:

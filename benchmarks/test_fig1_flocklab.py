@@ -7,8 +7,7 @@ the network grows.
 
 from __future__ import annotations
 
-from benchmarks.conftest import bench_iterations
-from repro.analysis.experiments import run_figure1, subnetwork_spec, build_engines, round_secrets
+from repro.analysis.experiments import build_engines, round_secrets, subnetwork_spec
 from repro.core.config import CryptoMode
 from repro.topology.testbeds import flocklab
 

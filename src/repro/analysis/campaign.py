@@ -39,7 +39,7 @@ from typing import Sequence
 
 from repro import diskcache, fastpath
 from repro.core.config import CryptoMode
-from repro.core.metrics import RoundMetrics
+from repro.core.metrics import METRICS_MODES, RoundSummary
 from repro.errors import ConfigurationError
 from repro.topology.testbeds import TestbedSpec
 
@@ -121,6 +121,12 @@ class Figure1Unit(CampaignUnit):
     secrets and seeds are chunk-invariant (``iteration_seeds``): however
     a campaign is sliced, round *i* of a sweep point is always the same
     round.
+
+    ``metrics="summary"`` reduces each round to a streaming
+    :class:`~repro.core.metrics.RoundSummary` *inside the worker*, so the
+    IPC payload per round is a fixed handful of scalars instead of the
+    dense per-node mapping — the flat-wire contract sharded campaigns
+    rely on.  The experiment harness accepts either form.
     """
 
     spec: TestbedSpec
@@ -130,8 +136,9 @@ class Figure1Unit(CampaignUnit):
     start: int
     count: int
     seed: int
+    metrics: str = "full"  # "full" | "summary"
 
-    def run(self) -> list[RoundMetrics]:
+    def run(self) -> list:
         from repro.analysis.experiments import (
             build_engines,
             degree_for,
@@ -144,13 +151,16 @@ class Figure1Unit(CampaignUnit):
             sub, crypto_mode=self.crypto_mode, degree=degree_for(self.size)
         )
         engine = s3 if self.variant == "s3" else s4
-        return run_rounds(
+        rounds = run_rounds(
             engine,
             sub.topology.node_ids,
             self.count,
             self.seed,
             start=self.start,
         )
+        if self.metrics == "summary":
+            return [RoundSummary.from_metrics(metrics) for metrics in rounds]
+        return rounds
 
 
 @dataclass(frozen=True)
@@ -257,6 +267,24 @@ class DegreeUnit(CampaignUnit):
         }
 
 
+def unit_cost(unit: Figure1Unit) -> int:
+    """Cost-model one Fig. 1 unit: sharing-chain length × iterations.
+
+    S3 relays every share through every node (chain ∝ n·s); S4 routes
+    shares to its ``degree + 1 + redundancy`` collectors only (chain ∝
+    m·s).  The absolute scale is irrelevant — only the *ordering* feeds
+    the longest-first schedule — so the model ignores per-slot constants.
+    """
+    from repro.analysis.experiments import degree_for
+
+    if unit.variant == "s3":
+        chain = unit.size * unit.size
+    else:
+        redundancy = unit.spec.extras.get("s4_redundancy", 1)
+        chain = unit.size * (degree_for(unit.size) + 1 + redundancy)
+    return chain * unit.count
+
+
 def plan_figure1_units(
     spec: TestbedSpec,
     sizes: Sequence[int],
@@ -264,14 +292,24 @@ def plan_figure1_units(
     seed: int,
     crypto_mode: CryptoMode,
     workers: int,
+    metrics: str = "full",
 ) -> list[Figure1Unit]:
     """Decompose a Fig. 1 sweep into chunked (size, variant) units.
 
     Serial execution keeps one unit per (size, variant); parallel
     execution splits each point's iterations into ~``workers`` chunks so
-    the pool has enough units to balance.  Chunking never affects
-    results — only scheduling.
+    the pool has enough units to balance.  Units are scheduled
+    **longest-first** under :func:`unit_cost`, so the big sweep points
+    (n=45 D-Cube) start immediately instead of straggling behind a queue
+    of cheap ones.  Neither chunking nor ordering affects results — the
+    executor returns results in unit order and the caller regroups by
+    (size, variant), with chunks of one point kept in ascending ``start``
+    order by the cost tie-break.
     """
+    if metrics not in METRICS_MODES:
+        raise ConfigurationError(
+            f"metrics must be one of {METRICS_MODES}, got {metrics!r}"
+        )
     chunk = iterations if workers <= 1 else max(1, -(-iterations // workers))
     units: list[Figure1Unit] = []
     for size in sizes:
@@ -288,9 +326,15 @@ def plan_figure1_units(
                         start=start,
                         count=count,
                         seed=seed,
+                        metrics=metrics,
                     )
                 )
                 start += count
+    # Equal-cost ties (the full-size chunks of one point) fall back to
+    # (size, variant, start), which keeps each point's chunks in
+    # ascending iteration order; a point's short tail chunk costs less
+    # and lands after its full chunks, so merged streams stay ordered.
+    units.sort(key=lambda u: (-unit_cost(u), u.size, u.variant, u.start))
     return units
 
 

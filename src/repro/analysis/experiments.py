@@ -155,9 +155,11 @@ class Figure1Result:
 
 
 def _metrics_of_rounds(
-    rounds: Sequence[RoundMetrics], variant_label: str, size: int
+    rounds: Sequence, variant_label: str, size: int
 ) -> tuple[list[float], list[float], float]:
-    latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
+    # Works on dense RoundMetrics and streaming RoundSummary rounds
+    # alike: both expose has_latency / max_latency_us / mean_radio_on_us.
+    latencies = [r.max_latency_us / 1000.0 for r in rounds if r.has_latency]
     radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
     success = sum(r.success_fraction for r in rounds) / len(rounds)
     if not latencies:
@@ -170,8 +172,8 @@ def _metrics_of_rounds(
 
 def _point_from_rounds(
     size: int,
-    s3_rounds: Sequence[RoundMetrics],
-    s4_rounds: Sequence[RoundMetrics],
+    s3_rounds: Sequence,
+    s4_rounds: Sequence,
 ) -> Figure1Point:
     """Fold the merged per-round streams of one sweep point into a point."""
     s3_lat, s3_radio, s3_success = _metrics_of_rounds(s3_rounds, "S3", size)
@@ -196,6 +198,7 @@ def run_figure1(
     sizes: Sequence[int] | None = None,
     workers: int | None = None,
     executor=None,
+    metrics: str = "full",
 ) -> Figure1Result:
     """Reproduce Fig. 1 for one testbed.
 
@@ -211,6 +214,11 @@ def run_figure1(
     iteration index.  Pass an existing
     :class:`~repro.analysis.campaign.CampaignExecutor` as ``executor`` to
     amortise worker start-up across many campaigns.
+
+    ``metrics="summary"`` makes workers stream reduced
+    :class:`~repro.core.metrics.RoundSummary` rounds instead of dense
+    per-node maps; the resulting :class:`Figure1Result` is identical (its
+    statistics only consume the shared summary API).
     """
     from repro.analysis import campaign
 
@@ -220,10 +228,10 @@ def run_figure1(
 
     def collect(ex) -> Figure1Result:
         units = campaign.plan_figure1_units(
-            spec, sizes, iterations, seed, crypto_mode, ex.workers
+            spec, sizes, iterations, seed, crypto_mode, ex.workers, metrics=metrics
         )
         results = ex.run_units(units)
-        merged: dict[tuple[int, str], list[RoundMetrics]] = {
+        merged: dict[tuple[int, str], list] = {
             (size, variant): [] for size in sizes for variant in ("s3", "s4")
         }
         for unit, rounds in zip(units, results):

@@ -10,6 +10,7 @@ Commands mirror the experiment index in DESIGN.md:
 * ``interference`` — robustness under D-Cube jamming levels (extension E1).
 * ``lifetime``  — battery lifetime projection (extension E2).
 * ``privacy``   — coalition experiment on a real-crypto round.
+* ``sharded``   — scale-out: MPC cells + cross-cell aggregation round.
 """
 
 from __future__ import annotations
@@ -75,6 +76,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_CACHE_DIR or ~/.cache/repro; disable with "
         "REPRO_DISK_CACHE=0)",
     )
+    parser.add_argument(
+        "--metrics",
+        choices=["full", "summary"],
+        default="full",
+        help="per-round metrics payload workers return: dense per-node "
+        "('full') or streaming scalars ('summary'; identical results, "
+        "flat IPC — applies to figure1/sharded)",
+    )
 
 
 def _crypto(args) -> CryptoMode:
@@ -89,6 +98,7 @@ def cmd_figure1(args) -> int:
         seed=args.seed,
         crypto_mode=_crypto(args),
         workers=args.workers,
+        metrics=args.metrics,
     )
     if args.save:
         from repro.analysis.io import save_figure1
@@ -332,6 +342,65 @@ def cmd_privacy(args) -> int:
     return 0
 
 
+def cmd_sharded(args) -> int:
+    from repro.analysis.sharding import run_sharded_campaign
+
+    spec = testbed_by_name(args.testbed)
+    iterations = args.iterations or 10
+    result = run_sharded_campaign(
+        spec,
+        cells=args.cells,
+        iterations=iterations,
+        seed=args.seed,
+        metrics=args.metrics,
+        crypto_mode=_crypto(args),
+        workers=args.workers,
+    )
+    rows = []
+    for cell in result.cells:
+        success = sum(r.success_fraction for r in cell.rounds) / len(cell.rounds)
+        rows.append(
+            {
+                "cell": cell.index,
+                "nodes": len(cell.node_ids),
+                "reconstructed_rounds": sum(
+                    1 for value in cell.sums if value is not None
+                ),
+                "matched_rounds": sum(
+                    1 for a, b in zip(cell.sums, cell.expected) if a == b
+                ),
+                "success_fraction": round(success, 4),
+            }
+        )
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(
+            format_table(
+                ["cell", "nodes", "rounds ok", "rounds match", "success"],
+                [
+                    [
+                        r["cell"],
+                        r["nodes"],
+                        f"{r['reconstructed_rounds']}/{iterations}",
+                        f"{r['matched_rounds']}/{iterations}",
+                        f"{r['success_fraction']:.2f}",
+                    ]
+                    for r in rows
+                ],
+                title=f"Sharded campaign — {spec.name}: "
+                f"{result.num_nodes} nodes in {result.num_cells} MPC cells "
+                f"({args.metrics} metrics)",
+            )
+        )
+        print(
+            f"\nCross-cell aggregate (degree {result.cross_degree}) matches "
+            f"the flat deployment sum in {result.matched_rounds}/"
+            f"{iterations} rounds."
+        )
+    return 0 if result.all_match else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -349,9 +418,18 @@ def main(argv: list[str] | None = None) -> int:
         ("interference", cmd_interference, "jamming-level robustness (extension)"),
         ("lifetime", cmd_lifetime, "battery lifetime projection (extension)"),
         ("privacy", cmd_privacy, "coalition privacy experiment"),
+        ("sharded", cmd_sharded, "sharded MPC cells + cross-cell aggregation"),
     ):
         sub = subparsers.add_parser(name, help=doc)
         _add_common(sub)
+        if name == "sharded":
+            sub.add_argument(
+                "--cells",
+                type=int,
+                default=4,
+                metavar="K",
+                help="number of MPC cells to partition the deployment into",
+            )
         sub.set_defaults(handler=handler)
     args = parser.parse_args(argv)
     if args.cache_dir:

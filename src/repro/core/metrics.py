@@ -11,10 +11,21 @@ The paper's two metrics:
 :class:`RoundMetrics` carries both per node, plus correctness
 book-keeping (did the node reconstruct, did it get the right value, whose
 secrets are inside), and offers the summary statistics the figures plot.
+
+:class:`RoundSummary` is the *streaming* form of the same round: every
+aggregate the figures (and the cross-cell aggregation layer) consume —
+correctness counts, durations, slot counts, failure counts — with the
+dense ``per_node`` mapping dropped.  A sharded campaign returning
+summaries keeps worker IPC flat in deployment size: the payload per
+round is a fixed handful of scalars however many nodes a cell holds.
+Both classes answer the same summary questions (``success_fraction``,
+``all_correct``, ``max_latency_us``, ``mean_radio_on_us``, ...), so
+:func:`summarize_rounds` and the experiment harness accept either form.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -102,6 +113,11 @@ class RoundMetrics:
         ]
 
     @property
+    def has_latency(self) -> bool:
+        """True when at least one node completed (latency is defined)."""
+        return any(m.latency_us is not None for m in self.per_node.values())
+
+    @property
     def max_latency_us(self) -> int:
         """Network latency: when the *last* node obtained the aggregate."""
         latencies = self.latencies_us()
@@ -134,17 +150,133 @@ class RoundMetrics:
         return self.sharing_duration_us + self.reconstruction_duration_us
 
 
-def summarize_rounds(rounds: Iterable[RoundMetrics]) -> dict[str, float]:
+#: Accepted per-round metrics payload modes for campaign work units.
+METRICS_MODES = ("full", "summary")
+
+
+def consensus_aggregate(metrics: RoundMetrics) -> int | None:
+    """The most common reconstructed aggregate among correct nodes.
+
+    The single consensus rule shared by :meth:`RoundSummary.from_metrics`
+    and the sharded campaign's cell sums — tweak it here or the two views
+    of a round would silently diverge.
+    """
+    counter = Counter(
+        m.aggregate
+        for m in metrics.per_node.values()
+        if m.correct and m.aggregate is not None
+    )
+    return counter.most_common(1)[0][0] if counter else None
+
+
+@dataclass(frozen=True, slots=True)
+class RoundSummary:
+    """Streaming (reduced) outcome of one aggregation round.
+
+    The wire format of a sharded campaign: every field is a scalar, so a
+    cell of any size serialises to the same flat payload.  Built from a
+    full :class:`RoundMetrics` with :meth:`from_metrics`; by construction
+    the shared summary API (``success_fraction``, ``all_correct``,
+    ``max_latency_us``, ``mean_radio_on_us``, ...) answers identically on
+    both forms for the same round.
+
+    Attributes:
+        num_nodes: participating node count.
+        completed_count: nodes that obtained an aggregate.
+        correct_count: nodes whose aggregate equals the true sum.
+        all_correct: every node reconstructed the true aggregate of all
+            sources (the consistency bit the figures report).
+        expected_aggregate: the true sum over all sources.
+        aggregate: consensus reconstructed value — the most common
+            aggregate among correct nodes (``None`` if no node was
+            correct).  This is what the cross-cell round deals onward.
+        num_sources: how many nodes sourced a secret.
+        max_latency_us / mean_latency_us: the paper's latency metric over
+            completing nodes (``None`` when no node completed).
+        mean_radio_on_us / max_radio_on_us: the paper's energy proxy.
+        sharing_duration_us / reconstruction_duration_us: phase durations.
+        sharing_slots / reconstruction_slots: schedule slot counts.
+        chain_length_sharing / chain_length_reconstruction: chain lengths.
+        failure_count: injected node failures during the round.
+    """
+
+    num_nodes: int
+    completed_count: int
+    correct_count: int
+    all_correct: bool
+    expected_aggregate: int
+    aggregate: int | None
+    num_sources: int
+    max_latency_us: int | None
+    mean_latency_us: float | None
+    mean_radio_on_us: float
+    max_radio_on_us: int
+    sharing_duration_us: int
+    reconstruction_duration_us: int
+    sharing_slots: int
+    reconstruction_slots: int
+    chain_length_sharing: int
+    chain_length_reconstruction: int
+    failure_count: int
+
+    @classmethod
+    def from_metrics(cls, metrics: RoundMetrics) -> "RoundSummary":
+        """Reduce a dense round to its streaming summary."""
+        latencies = metrics.latencies_us()
+        return cls(
+            num_nodes=len(metrics.per_node),
+            completed_count=len(latencies),
+            correct_count=sum(1 for m in metrics.per_node.values() if m.correct),
+            all_correct=metrics.all_correct,
+            expected_aggregate=metrics.expected_aggregate,
+            aggregate=consensus_aggregate(metrics),
+            num_sources=len(metrics.sources),
+            max_latency_us=max(latencies) if latencies else None,
+            mean_latency_us=(
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            mean_radio_on_us=metrics.mean_radio_on_us,
+            max_radio_on_us=metrics.max_radio_on_us,
+            sharing_duration_us=metrics.sharing_duration_us,
+            reconstruction_duration_us=metrics.reconstruction_duration_us,
+            sharing_slots=metrics.sharing_slots,
+            reconstruction_slots=metrics.reconstruction_slots,
+            chain_length_sharing=metrics.chain_length_sharing,
+            chain_length_reconstruction=metrics.chain_length_reconstruction,
+            failure_count=len(metrics.failures),
+        )
+
+    @property
+    def has_latency(self) -> bool:
+        """True when at least one node completed (latency is defined)."""
+        return self.completed_count > 0
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of nodes that reconstructed a correct aggregate."""
+        return self.correct_count / self.num_nodes
+
+    @property
+    def total_schedule_us(self) -> int:
+        """End-to-end scheduled duration of the round."""
+        return self.sharing_duration_us + self.reconstruction_duration_us
+
+
+def summarize_rounds(
+    rounds: Iterable["RoundMetrics | RoundSummary"],
+) -> dict[str, float]:
     """Mean-of-rounds summary used by the experiment harness.
 
     Latency figures are means over rounds of the per-round maximum (the
     network is done when its slowest node is), radio-on figures are means
     of per-round means; both in milliseconds to match the paper's axes.
+    Accepts full :class:`RoundMetrics` and streaming :class:`RoundSummary`
+    rounds interchangeably (even mixed).
     """
     rounds = list(rounds)
     if not rounds:
         raise ProtocolError("cannot summarize zero rounds")
-    completed = [r for r in rounds if r.latencies_us()]
+    completed = [r for r in rounds if r.has_latency]
     summary = {
         "rounds": float(len(rounds)),
         "completed_rounds": float(len(completed)),

@@ -29,6 +29,15 @@ Layout and contract:
   the fast path is on (consumers gate on ``fastpath.enabled()``) and can
   be switched off wholesale with ``REPRO_DISK_CACHE=0`` or
   :func:`set_enabled`.
+* Lifecycle: long-running campaign services accumulate entries for
+  deployments they will never see again, so :func:`sweep` applies an
+  LRU / max-age policy — entries untouched for
+  ``REPRO_CACHE_MAX_AGE_DAYS`` are dropped, and the newest
+  ``REPRO_CACHE_MAX_ENTRIES`` survive when the directory outgrows its
+  cap.  Recency is file mtime: :func:`load` touches entries it hits, so
+  "old" means *unused*, not merely *written long ago*.  The sweep runs
+  automatically the first time a process writes to a directory and can
+  be invoked explicitly by maintenance jobs.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ import pathlib
 import pickle
 import struct
 import tempfile
+import time
 from typing import Any, Callable
 
 #: Bump when the serialized form of any cached artifact changes shape.
@@ -48,14 +58,40 @@ CACHE_VERSION = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLED = "REPRO_DISK_CACHE"
+_ENV_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
+_ENV_MAX_AGE_DAYS = "REPRO_CACHE_MAX_AGE_DAYS"
 
-#: Soft cap on entries written per directory; counted once per process
-#: (plus our own writes) to keep ``store`` O(1) after the first call.
+#: Default cap on live entries per directory (override with
+#: ``REPRO_CACHE_MAX_ENTRIES``); also bounds writes per process.
 MAX_ENTRIES = 8192
 
 _dir_override: pathlib.Path | None = None
 _enabled_override: bool | None = None
 _entry_budget: dict[str, int] = {}
+
+
+def max_entries() -> int:
+    """LRU capacity per cache directory (env override > default)."""
+    raw = os.environ.get(_ENV_MAX_ENTRIES, "").strip()
+    if not raw:
+        return MAX_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        return MAX_ENTRIES
+    return max(1, value)
+
+
+def max_age_days() -> float | None:
+    """Expiry age for unused entries, or ``None`` when age never expires."""
+    raw = os.environ.get(_ENV_MAX_AGE_DAYS, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def cache_dir() -> pathlib.Path:
@@ -162,6 +198,72 @@ def content_key(kind: str, *parts: Any) -> str:
     return hasher.hexdigest()[:40]
 
 
+# -- lifecycle -----------------------------------------------------------------
+
+
+def sweep(
+    directory: str | os.PathLike | None = None, *, now: float | None = None
+) -> dict[str, int]:
+    """Apply the LRU / max-age policy to a cache directory.
+
+    Two passes, both best-effort (a vanished or unremovable file is
+    somebody else's concurrent sweep, not an error):
+
+    1. **max-age** — entries whose mtime is older than
+       ``REPRO_CACHE_MAX_AGE_DAYS`` are deleted (off by default).
+    2. **LRU cap** — if more than ``REPRO_CACHE_MAX_ENTRIES`` entries
+       remain, the oldest-by-mtime overflow is deleted.  ``load`` touches
+       entries on every hit, so mtime order is recency-of-use order.
+
+    Returns ``{"expired": ..., "evicted": ..., "kept": ...}`` counts.
+    """
+    root = pathlib.Path(directory) if directory is not None else cache_dir()
+    expired = evicted = 0
+    entries = []
+    try:
+        paths = list(root.glob("*.pkl"))
+    except OSError:
+        return {"expired": 0, "evicted": 0, "kept": 0}
+    for path in paths:
+        # Per-file best-effort: a concurrent sweep (or writer) may unlink
+        # files mid-scan; skipping one must not abort the whole pass.
+        try:
+            entries.append((path, path.stat().st_mtime))
+        except OSError:
+            continue
+    now = time.time() if now is None else now
+    age_limit = max_age_days()
+    if age_limit is not None:
+        cutoff = now - age_limit * 86400.0
+        fresh = []
+        for path, mtime in entries:
+            if mtime < cutoff:
+                try:
+                    path.unlink()
+                    expired += 1
+                    continue
+                except OSError:
+                    pass
+            fresh.append((path, mtime))
+        entries = fresh
+    overflow = len(entries) - max_entries()
+    if overflow > 0:
+        entries.sort(key=lambda item: item[1])
+        survivors = []
+        for path, mtime in entries:
+            if overflow > 0:
+                try:
+                    path.unlink()
+                    evicted += 1
+                    overflow -= 1
+                    continue
+                except OSError:
+                    pass
+            survivors.append((path, mtime))
+        entries = survivors
+    return {"expired": expired, "evicted": evicted, "kept": len(entries)}
+
+
 # -- load / store --------------------------------------------------------------
 
 
@@ -188,6 +290,10 @@ def load(kind: str, key: str) -> Any | None:
             raise ValueError("cache entry header mismatch")
         if header.get("cache_version") != CACHE_VERSION:
             return None  # stale library version: ignore, rebuild, overwrite
+        try:
+            os.utime(path)  # touch: a hit is a use, for the LRU sweep
+        except OSError:
+            pass
         return header["payload"]
     except FileNotFoundError:
         return None
@@ -206,9 +312,10 @@ def store(kind: str, key: str, payload: Any) -> bool:
     try:
         directory.mkdir(parents=True, exist_ok=True)
         if budget_key not in _entry_budget:
-            _entry_budget[budget_key] = MAX_ENTRIES - sum(
-                1 for _ in directory.glob("*.pkl")
-            )
+            # First write into this directory this process: run the
+            # lifecycle sweep, then budget the remaining headroom.
+            swept = sweep(directory)
+            _entry_budget[budget_key] = max_entries() - swept["kept"]
         if _entry_budget[budget_key] <= 0:
             return False
         header = {

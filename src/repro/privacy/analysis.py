@@ -24,7 +24,6 @@ from repro.crypto.prng import AesCtrDrbg
 from repro.errors import SecretSharingError
 from repro.field.polynomial import Polynomial
 from repro.field.prime_field import PrimeField
-from repro.sss.scheme import ShamirScheme
 
 
 def _coalition_view_distribution(

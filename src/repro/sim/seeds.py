@@ -74,8 +74,24 @@ def iteration_seeds(
     return [child_seed(seed, label, i) for i in range(start, start + count)]
 
 
+def cell_seeds(seed: int, cells: int) -> tuple[int, ...]:
+    """Per-cell campaign seeds for a sharded deployment.
+
+    Cell ``i`` of a sharded campaign always runs under
+    ``child_seed(seed, "cell", i)`` — this is the one derivation rule the
+    cell units and any serial re-execution share, so a cell's round
+    stream is independent of which worker ran it and of how many other
+    cells exist.  Distinct cells get independent streams; the same
+    (seed, index) pair yields the same cell seed in every process.
+    """
+    if cells < 1:
+        raise ValueError(f"cells must be >= 1, got {cells}")
+    return tuple(child_seed(seed, "cell", index) for index in range(cells))
+
+
 __all__: Sequence[str] = (
     "stable_seed",
     "child_seed",
     "iteration_seeds",
+    "cell_seeds",
 )

@@ -112,6 +112,37 @@ class TestPlanning:
         b = plan_figure1_units(mini_spec, (4,), 5, 1, CryptoMode.STUB, workers=2)
         assert a == b
 
+    def test_plan_rejects_unknown_metrics_mode(self, mini_spec):
+        with pytest.raises(ConfigurationError):
+            plan_figure1_units(
+                mini_spec, (4,), 2, 1, CryptoMode.STUB, workers=1, metrics="dense"
+            )
+
+    def test_plan_schedules_longest_first(self, mini_spec):
+        # The straggler fix: the big sweep point's expensive S3 chunks
+        # must lead the queue, costed as chain length x iterations.
+        units = plan_figure1_units(
+            mini_spec, (4, 9), 7, 1, CryptoMode.STUB, workers=3
+        )
+        costs = [campaign.unit_cost(unit) for unit in units]
+        assert costs == sorted(costs, reverse=True)
+        assert units[0].size == 9 and units[0].variant == "s3"
+
+    def test_plan_keeps_chunks_in_iteration_order(self, mini_spec):
+        # Longest-first must not scramble a point's chunk order: the
+        # merged round stream relies on ascending starts per point.
+        units = plan_figure1_units(
+            mini_spec, (4, 9), 7, 1, CryptoMode.STUB, workers=3
+        )
+        for size in (4, 9):
+            for variant in ("s3", "s4"):
+                starts = [
+                    unit.start
+                    for unit in units
+                    if unit.size == size and unit.variant == variant
+                ]
+                assert starts == sorted(starts)
+
 
 class TestWorkerState:
     def test_snapshot_matches_runtime(self):

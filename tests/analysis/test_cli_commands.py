@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cli import main
 
@@ -66,3 +65,44 @@ class TestLifetimeCommand:
         assert main(["lifetime", "--testbed", "flocklab", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert "lifetime" in out and "S4 extends network lifetime" in out
+
+
+class TestShardedCommand:
+    def test_table_and_exit_code(self, capsys):
+        assert (
+            main(
+                [
+                    "sharded",
+                    "--testbed",
+                    "flocklab",
+                    "--cells",
+                    "4",
+                    "--iterations",
+                    "2",
+                    "--metrics",
+                    "summary",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 MPC cells" in out
+        assert "matches" in out and "2/2 rounds" in out
+
+    def test_csv(self, capsys):
+        assert (
+            main(
+                [
+                    "sharded",
+                    "--testbed",
+                    "flocklab",
+                    "--cells",
+                    "4",
+                    "--iterations",
+                    "2",
+                    "--csv",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("cell,")

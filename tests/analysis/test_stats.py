@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.analysis.stats import (
     StatsError,
-    SummaryStats,
     mean,
     median,
     percentile,

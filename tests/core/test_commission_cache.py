@@ -241,3 +241,79 @@ class TestBootstrapPersistence:
             clone = pickle.loads(pickle.dumps(cipher))
             assert clone.encrypt_block(block) == cipher.encrypt_block(block)
             assert clone.decrypt_block(clone.encrypt_block(block)) == block
+
+
+class TestLifecycleSweep:
+    """The LRU / max-age lifecycle policy (ROADMAP "cache lifecycle")."""
+
+    def _populate(self, count: int) -> list[str]:
+        keys = [diskcache.content_key("life", i) for i in range(count)]
+        for key in keys:
+            assert diskcache.store("life", key, {"k": key})
+        return keys
+
+    def test_old_entries_evicted_fresh_survive(self, cache_dir, monkeypatch):
+        import os
+        import time
+
+        keys = self._populate(6)
+        now = time.time()
+        stale = now - 45 * 86400.0
+        for key in keys[:4]:
+            (path,) = cache_dir.glob(f"life-{key}.pkl")
+            os.utime(path, (stale, stale))
+        monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "30")
+        swept = diskcache.sweep()
+        assert swept == {"expired": 4, "evicted": 0, "kept": 2}
+        for key in keys[:4]:
+            assert diskcache.load("life", key) is None
+        for key in keys[4:]:
+            assert diskcache.load("life", key) == {"k": key}
+
+    def test_lru_cap_keeps_most_recently_used(self, cache_dir, monkeypatch):
+        import os
+        import time
+
+        keys = self._populate(5)
+        # Spread mtimes a minute apart, oldest first, then "use" the
+        # oldest entry via load() — the touch must rescue it.
+        base = time.time() - 3600
+        for offset, key in enumerate(keys):
+            (path,) = cache_dir.glob(f"life-{key}.pkl")
+            os.utime(path, (base + 60 * offset, base + 60 * offset))
+        assert diskcache.load("life", keys[0]) == {"k": keys[0]}
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "3")
+        swept = diskcache.sweep()
+        assert swept == {"expired": 0, "evicted": 2, "kept": 3}
+        survivors = {
+            key for key in keys if diskcache.load("life", key) is not None
+        }
+        assert survivors == {keys[0], keys[3], keys[4]}
+
+    def test_store_triggers_sweep_on_first_directory_use(
+        self, cache_dir, monkeypatch
+    ):
+        import os
+        import time
+
+        keys = self._populate(3)
+        stale = time.time() - 90 * 86400.0
+        for key in keys:
+            (path,) = cache_dir.glob(f"life-{key}.pkl")
+            os.utime(path, (stale, stale))
+        monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "7")
+        # Forget this process already budgeted the directory, as a fresh
+        # campaign service would on start-up.
+        monkeypatch.setattr(diskcache, "_entry_budget", {})
+        fresh = diskcache.content_key("life", "fresh")
+        assert diskcache.store("life", fresh, "new")
+        assert diskcache.load("life", fresh) == "new"
+        for key in keys:
+            assert diskcache.load("life", key) is None
+
+    def test_sweep_unconfigured_is_a_no_op(self, cache_dir):
+        keys = self._populate(4)
+        swept = diskcache.sweep()
+        assert swept == {"expired": 0, "evicted": 0, "kept": 4}
+        for key in keys:
+            assert diskcache.load("life", key) == {"k": key}

@@ -5,8 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.ct.coverage import (
-    CoverageProfile,
-    CoverageStats,
     arm_offsets,
     elect_collectors,
     profile_coverage,

@@ -34,6 +34,7 @@ class TestExamplesExist:
             "fault_tolerant_sensing.py",
             "ntx_tuning.py",
             "deployment_lifetime.py",
+            "sharded_campaign.py",
         }
         found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert expected <= found
@@ -55,6 +56,28 @@ class TestNtxTuning:
         out = capsys.readouterr().out
         assert "coverage vs NTX" in out
         assert "elected" in out
+
+
+class TestShardedCampaign:
+    def test_runs_to_completion_at_small_scale(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sharded.json"
+        module = load_example("sharded_campaign")
+        exit_code = module.main(
+            [
+                "--nodes", "200",
+                "--cells", "8",
+                "--iterations", "2",
+                "--out", str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bit for bit" in out
+        record = json.loads(out_path.read_text())
+        assert record["all_match"] is True
+        assert record["nodes"] == 200 and record["cells"] == 8
 
 
 class TestOthersImportable:

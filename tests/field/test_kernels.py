@@ -17,7 +17,7 @@ from repro.field.lagrange import (
 )
 from repro.field.modular import mod_inverse
 from repro.field.polynomial import Polynomial
-from repro.field.prime_field import MERSENNE_61, FieldElement, PrimeField
+from repro.field.prime_field import MERSENNE_61, PrimeField
 
 residues = st.integers(min_value=0, max_value=MERSENNE_61 - 1)
 
