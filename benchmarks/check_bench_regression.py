@@ -16,6 +16,12 @@ count, so it is only compared when both files report the same
 ``cpu_count``.  Everything else is a same-machine ratio (fast path vs
 reference, warm vs steady) and travels across machines well enough to
 gate on.
+
+Besides the pairwise diff, the gate enforces the *absolute* floors the
+NEW file carries in its ``targets`` block (``drbg_bulk_speedup_min``,
+``figure1_*_steady_speedup_min``, ...), each relaxed by the same
+tolerance so shared-runner jitter cannot flake a healthy build.  All
+enforced quantities are same-machine ratios.
 """
 
 from __future__ import annotations
@@ -40,6 +46,76 @@ def tracked_speedups(tree, prefix: str = "") -> dict[str, float]:
         for index, value in enumerate(tree):
             found.update(tracked_speedups(value, f"{prefix}[{index}]"))
     return found
+
+
+def target_failures(new: dict, tolerance: float) -> list[str]:
+    """Check the NEW file's ``targets`` floors (tolerance-relaxed).
+
+    Targets whose tier is absent are skipped (older files), as is the
+    core-count-dependent parallel target on machines below its minimum.
+    """
+    targets = new.get("targets", {})
+    failures: list[str] = []
+
+    def check_min(label: str, value, floor):
+        relaxed = floor * (1.0 - tolerance)
+        status = "ok" if value >= relaxed else f"BELOW TARGET (floor {floor}x)"
+        print(f"  target {label}: {value}x >= {floor}x  {status}")
+        if value < relaxed:
+            failures.append(f"{label}: {value}x < {floor}x target")
+
+    floor = targets.get("figure1_stub_steady_speedup_min")
+    if floor is not None and "figure1_stub" in new:
+        check_min("figure1_stub.steady_speedup", new["figure1_stub"]["steady_speedup"], floor)
+    floor = targets.get("figure1_real_steady_speedup_min")
+    if floor is not None and "figure1_real" in new:
+        check_min("figure1_real.steady_speedup", new["figure1_real"]["steady_speedup"], floor)
+    floor = targets.get("sharded_campaign_speedup_min")
+    if floor is not None and "sharded_campaign" in new:
+        check_min(
+            "sharded_campaign.sharded_speedup",
+            new["sharded_campaign"]["sharded_speedup"],
+            floor,
+        )
+    floor = targets.get("drbg_bulk_speedup_min")
+    if floor is not None and "drbg_bulk" in new:
+        check_min("drbg_bulk.bulk_speedup", new["drbg_bulk"]["bulk_speedup"], floor)
+    floor = targets.get("minicast_mask_sampler_speedup_min")
+    if floor is not None and "mask_sampler_speedup" in new.get("minicast_vector", {}):
+        check_min(
+            "minicast_vector.mask_sampler_speedup",
+            new["minicast_vector"]["mask_sampler_speedup"],
+            floor,
+        )
+    floor = targets.get("campaign_parallel_speedup_min")
+    min_cores = targets.get("campaign_parallel_min_cores", 4)
+    cores = new.get("cpu_count") or 1
+    if floor is not None and "campaign_parallel" in new:
+        if cores >= min_cores:
+            check_min(
+                "campaign_parallel.parallel_speedup",
+                new["campaign_parallel"]["parallel_speedup"],
+                floor,
+            )
+        else:
+            print(
+                f"  target campaign_parallel: skipped ({cores} < "
+                f"{min_cores} cores)"
+            )
+    ceiling = targets.get("cold_start_warm_vs_steady_max")
+    if ceiling is not None and "cold_start" in new:
+        for mode in ("stub", "real"):
+            value = new["cold_start"].get(mode, {}).get("warm_vs_steady")
+            if value is None:
+                continue
+            relaxed = ceiling * (1.0 + tolerance)
+            status = "ok" if value <= relaxed else f"ABOVE TARGET (cap {ceiling}x)"
+            print(f"  target cold_start.{mode}.warm_vs_steady: {value}x <= {ceiling}x  {status}")
+            if value > relaxed:
+                failures.append(
+                    f"cold_start.{mode}.warm_vs_steady: {value}x > {ceiling}x target"
+                )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,13 +163,28 @@ def main(argv: list[str] | None = None) -> int:
     for path in sorted(set(new_speedups) - set(base_speedups)):
         print(f"  {path}: (new) {new_speedups[path]}x")
 
-    if failures:
-        print(f"\nFAIL: {len(failures)} tracked speedup(s) regressed > "
-              f"{args.tolerance:.0%}:")
-        for failure in failures:
-            print(f"  - {failure}")
+    target_misses = target_failures(new, args.tolerance)
+
+    if failures or target_misses:
+        if failures:
+            print(
+                f"\nFAIL: {len(failures)} tracked speedup(s) regressed > "
+                f"{args.tolerance:.0%}:"
+            )
+            for failure in failures:
+                print(f"  - {failure}")
+        if target_misses:
+            print(
+                f"\nFAIL: {len(target_misses)} absolute target floor(s) "
+                "missed (tolerance-relaxed):"
+            )
+            for miss in target_misses:
+                print(f"  - {miss}")
         return 1
-    print(f"\nOK: no tracked speedup regressed more than {args.tolerance:.0%}")
+    print(
+        f"\nOK: no tracked speedup regressed more than {args.tolerance:.0%} "
+        "and every absolute target floor held"
+    )
     return 0
 
 

@@ -43,6 +43,15 @@ repository root so future PRs have a perf trajectory to compare against:
    tracked ``sharded_speedup`` guards that scale-out advantage, and the
    tier asserts the two forms produce bit-identical aggregates.
 
+7. **DRBG bulk** — whole-buffer keystream and batched dealer-fork
+   prefill: scalar T-table refills vs the ``REPRO_VECTOR`` aesbatch
+   lane kernel, bit-identical output, kernel-only comparison.
+8. **minicast_vector** — the scalar bitmask slot loop vs the
+   array-formulated ``_run_vector`` loop on a 144-node grid (sparse and
+   wide chains), plus the batched Bernoulli mask sampler vs the scalar
+   one.  The loop ratios are honest (< 1 on CPython — big-int masks are
+   already bit-parallel); the sampler ratio is the tracked win.
+
 The in-process campaign tiers (2+3) run with the disk cache disabled so
 "cold" keeps meaning "first time in any process state"; tier 5 measures
 the disk cache explicitly.
@@ -138,7 +147,7 @@ def bench_aes() -> dict:
 
 def bench_drbg() -> dict:
     n_bytes = 1 << 16
-    with fastpath.forced(True):
+    with fastpath.forced(True), fastpath.forced_vector(False):
         fast = AesCtrDrbg.from_seed(b"bench")
         t_fast = _best_of(lambda: fast.random_bytes(n_bytes), repeats=5)
     with fastpath.forced(False):
@@ -152,6 +161,142 @@ def bench_drbg() -> dict:
         "fast_mib_per_sec": round(n_bytes / t_fast / 2**20, 2),
         "speedup": round(t_ref / t_fast, 2),
     }
+
+
+def bench_drbg_bulk() -> dict:
+    """Bulk keystream: scalar T-table refills vs the aesbatch lane kernel.
+
+    Both sides run the batched fast path (geometric refills, pooled
+    ciphers); the only difference is ``REPRO_VECTOR``, i.e. whether big
+    refills go through :func:`repro.crypto.aesbatch.ctr_keystream`.  The
+    output stream is bit-identical either way, so the tracked ratio is a
+    pure kernel comparison.  Also times the batched dealer-fork prefill
+    (``fork_many`` + ``prefill_many``) against sequential scalar forks —
+    the protocol's per-round dealing pattern.
+    """
+    n_bytes = 1 << 20
+    with fastpath.forced(True), fastpath.forced_vector(False):
+        scalar = AesCtrDrbg.from_seed(b"bulk-bench")
+        t_scalar = _best_of(lambda: scalar.random_bytes(n_bytes), repeats=3)
+    with fastpath.forced(True), fastpath.forced_vector(True):
+        lane = AesCtrDrbg.from_seed(b"bulk-bench")
+        t_lane = _best_of(lambda: lane.random_bytes(n_bytes), repeats=3)
+
+    forks = 64
+    blocks_bytes = 96
+
+    def forks_scalar():
+        with fastpath.forced(True), fastpath.forced_vector(False):
+            parent = AesCtrDrbg.from_seed(b"fork-bench")
+            children = [parent.fork(f"dealer-{i}") for i in range(forks)]
+            for child in children:
+                child.random_bytes(blocks_bytes)
+
+    def forks_lane():
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            parent = AesCtrDrbg.from_seed(b"fork-bench")
+            children = parent.fork_many([f"dealer-{i}" for i in range(forks)])
+            AesCtrDrbg.prefill_many(children, blocks_bytes)
+            for child in children:
+                child.random_bytes(blocks_bytes)
+
+    t_forks_scalar = _best_of(forks_scalar, repeats=5)
+    t_forks_lane = _best_of(forks_lane, repeats=5)
+    return {
+        "scalar_mib_per_sec": round(n_bytes / t_scalar / 2**20, 2),
+        "lane_mib_per_sec": round(n_bytes / t_lane / 2**20, 2),
+        "bulk_speedup": round(t_scalar / t_lane, 2),
+        "fork_batch_speedup": round(t_forks_scalar / t_forks_lane, 2),
+    }
+
+
+def bench_minicast_vector(iterations: int) -> dict:
+    """Scalar bitmask loop vs the array-formulated vector loop.
+
+    One lossy mid-size round (sparse chain) and one wide-chain round, on
+    the same grid deployment, each run with ``vector=False`` and
+    ``vector=True``.  The tracked ratios are honest: the bitmask loop's
+    big-int masks are already bit-parallel, so the vector loop trails it
+    on CPython (see ``VECTOR_MIN_NODES``) — the tier exists to keep that
+    trade-off measured so a faster future kernel can flip the default on
+    data.  The mask *sampler* itself, the vector loop's building block,
+    is also tracked and does win (one batched draw per receiver set).
+    """
+    import random
+
+    from repro.ct.minicast import MiniCastRound
+    from repro.ct.slots import RoundSchedule
+    from repro.phy.channel import ChannelModel, ChannelParameters
+    from repro.phy.link import LinkTable
+    from repro.phy.radio import NRF52840_154
+    from repro.sim import maskbatch
+    from repro.sim.bitrandom import random_bitmask_quantized
+    from repro.topology.generators import grid
+
+    channel = ChannelModel(
+        ChannelParameters(
+            path_loss_exponent=4.0,
+            reference_loss_db=52.0,
+            shadowing_sigma_db=0.0,
+            noise_floor_dbm=-96.0,
+        )
+    )
+    topology = grid(12, 12, spacing_m=9.0, seed=3)
+    links = LinkTable(topology.positions, channel, 29)
+    n = len(links.node_ids)
+    reps = max(2, iterations)
+    result: dict = {"nodes": n}
+    for label, chain_mult in (("sparse", 2), ("wide", 16)):
+        chain = chain_mult * n
+        schedule = RoundSchedule(
+            chain_length=chain,
+            psdu_bytes=15,
+            ntx=4,
+            num_slots=16,
+            timings=NRF52840_154,
+        )
+        initial = {
+            node: ((1 << chain_mult) - 1) << (chain_mult * i)
+            for i, node in enumerate(links.node_ids)
+        }
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            flat = MiniCastRound(links, schedule, vector=False)
+            vector = MiniCastRound(links, schedule, vector=True)
+
+        def run_round(round_):
+            for seed in range(reps):
+                round_.run(random.Random(seed), initial)
+
+        t_flat = _best_of(lambda: run_round(flat), repeats=3) / reps
+        t_vector = _best_of(lambda: run_round(vector), repeats=3) / reps
+        result[label] = {
+            "chain_bits": chain,
+            "flat_ms": round(t_flat * 1e3, 3),
+            "vector_ms": round(t_vector * 1e3, 3),
+            "vector_loop_speedup": round(t_flat / t_vector, 2),
+        }
+
+    # The maskbatch sampler vs the scalar sampler, at the vector loop's
+    # working shape: one Bernoulli mask per receiver of a slot.
+    if maskbatch.HAVE_NUMPY:
+        receivers, nbits, prec = 512, 2048, 10
+        quantized = [300 + (i * 37) % 600 for i in range(receivers)]
+        gen = maskbatch.generator_from(random.Random(5))
+        q_arr = maskbatch._np.asarray(quantized, dtype=maskbatch._np.int64)
+        t_vec = _best_of(
+            lambda: maskbatch.bernoulli_mask_matrix(gen, q_arr, nbits, prec),
+            repeats=7,
+        )
+        rng = random.Random(5)
+        t_scalar = _best_of(
+            lambda: [
+                random_bitmask_quantized(rng, nbits, q, prec)
+                for q in quantized
+            ],
+            repeats=5,
+        )
+        result["mask_sampler_speedup"] = round(t_scalar / t_vec, 2)
+    return result
 
 
 def bench_sss() -> dict:
@@ -416,8 +561,14 @@ def main() -> int:
     print(f"  AES-128 block: {aes}")
     drbg = bench_drbg()
     print(f"  AES-CTR DRBG:  {drbg}")
+    drbg_bulk = bench_drbg_bulk()
+    print(f"  DRBG bulk:     {drbg_bulk}")
     sss = bench_sss()
     print(f"  Shamir SSS:    {sss}")
+
+    print("== minicast_vector (bitmask loop vs array loop) ==")
+    minicast_vector = bench_minicast_vector(iterations)
+    print(f"  {minicast_vector}")
 
     print("== run_figure1 campaigns (FlockLab sweep) ==")
     stub = bench_campaign(CryptoMode.STUB, iterations)
@@ -451,7 +602,9 @@ def main() -> int:
         "cpu_count": os.cpu_count(),
         "aes": aes,
         "drbg": drbg,
+        "drbg_bulk": drbg_bulk,
         "sss": sss,
+        "minicast_vector": minicast_vector,
         "figure1_stub": stub,
         "figure1_real": real,
         "campaign_parallel": parallel,
@@ -462,46 +615,81 @@ def main() -> int:
             "figure1_real_steady_speedup_min": 10.0,
             "campaign_parallel_speedup_min": 2.0,
             "campaign_parallel_min_cores": 4,
-            "cold_start_warm_vs_steady_max": 2.0,
+            # 3.0 since PR 4: steady state now amortises the per-round
+            # dealt-share pool and round-constant caches, which a fresh
+            # process legitimately lacks — the warm cold start itself
+            # kept improving (see cold_start.*.warm_s), only the
+            # denominator got faster.
+            "cold_start_warm_vs_steady_max": 3.0,
             "sharded_campaign_speedup_min": 2.0,
+            "drbg_bulk_speedup_min": 5.0,
+            "minicast_mask_sampler_speedup_min": 2.0,
         },
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
 
+    # Console warnings read the SAME thresholds the JSON carries (and the
+    # regression gate enforces) — one source of truth, no drift.
+    targets = results["targets"]
     ok = True
-    if stub["steady_speedup"] < 5.0:
-        print(f"WARNING: STUB steady-state speedup {stub['steady_speedup']}x < 5x target")
-        ok = False
-    if real["steady_speedup"] < 10.0:
-        print(f"WARNING: REAL steady-state speedup {real['steady_speedup']}x < 10x target")
-        ok = False
+
+    def check_min(label: str, value, floor) -> None:
+        nonlocal ok
+        if value < floor:
+            print(f"WARNING: {label} {value}x < {floor}x target")
+            ok = False
+
+    check_min(
+        "STUB steady-state speedup",
+        stub["steady_speedup"],
+        targets["figure1_stub_steady_speedup_min"],
+    )
+    check_min(
+        "REAL steady-state speedup",
+        real["steady_speedup"],
+        targets["figure1_real_steady_speedup_min"],
+    )
     cores = os.cpu_count() or 1
-    if cores >= 4 and parallel["parallel_speedup"] < 2.0:
-        print(
-            f"WARNING: parallel speedup {parallel['parallel_speedup']}x < 2x "
-            f"target on {cores} cores"
+    if cores >= targets["campaign_parallel_min_cores"]:
+        check_min(
+            f"parallel speedup on {cores} cores",
+            parallel["parallel_speedup"],
+            targets["campaign_parallel_speedup_min"],
         )
-        ok = False
-    elif cores < 4:
+    else:
         print(
-            f"NOTE: {cores} core(s) available; the 4-worker >=2x wall-time "
-            "target needs >=4 cores and is recorded, not enforced, here"
+            f"NOTE: {cores} core(s) available; the 4-worker "
+            f">={targets['campaign_parallel_speedup_min']}x wall-time target "
+            f"needs >={targets['campaign_parallel_min_cores']} cores and is "
+            "recorded, not enforced, here"
         )
-    if sharded["sharded_speedup"] < 2.0:
-        print(
-            f"WARNING: sharded campaign speedup {sharded['sharded_speedup']}x "
-            "< 2x target"
-        )
-        ok = False
+    check_min(
+        "sharded campaign speedup",
+        sharded["sharded_speedup"],
+        targets["sharded_campaign_speedup_min"],
+    )
+    cold_cap = targets["cold_start_warm_vs_steady_max"]
     for mode in ("stub", "real"):
         ratio = cold[mode]["warm_vs_steady"]
-        if ratio > 2.0:
+        if ratio > cold_cap:
             print(
                 f"WARNING: {mode.upper()} warm-cache cold start is "
-                f"{ratio}x steady state (> 2x target)"
+                f"{ratio}x steady state (> {cold_cap}x target)"
             )
             ok = False
+    check_min(
+        "DRBG bulk lane speedup",
+        drbg_bulk["bulk_speedup"],
+        targets["drbg_bulk_speedup_min"],
+    )
+    sampler = minicast_vector.get("mask_sampler_speedup")
+    if sampler is not None:
+        check_min(
+            "mask sampler speedup",
+            sampler,
+            targets["minicast_mask_sampler_speedup_min"],
+        )
     print("targets met" if ok else "targets NOT met")
     if not ok and os.environ.get("REPRO_BENCH_STRICT", "0") == "1":
         # Lenient by default: shared CI runners jitter, and the JSON

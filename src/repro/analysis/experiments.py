@@ -21,7 +21,7 @@ from typing import Sequence
 
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.config import CryptoMode, ProtocolConfig, S3Config, S4Config
-from repro.core.metrics import RoundMetrics
+from repro.core.metrics import METRICS_MODES, RoundMetrics, RoundSummary
 from repro.core.s3 import S3Engine
 from repro.core.s4 import S4Engine
 from repro.ct.packet import sharing_psdu_bytes
@@ -94,18 +94,33 @@ def run_rounds(
     iterations: int,
     seed: int,
     start: int = 0,
-) -> list[RoundMetrics]:
+    metrics: str = "full",
+) -> list["RoundMetrics | RoundSummary"]:
     """Run aggregation rounds ``[start, start + iterations)``.
 
     Secrets and round seeds are functions of the *absolute* iteration
     index (:func:`repro.sim.seeds.iteration_seeds`), so a campaign chunked
     across worker processes concatenates to exactly the serial stream.
+
+    ``metrics="summary"`` reduces every round to the streaming
+    :class:`~repro.core.metrics.RoundSummary` wire format *as it is
+    produced*, so the accumulated list holds a fixed handful of scalars
+    per round however large the deployment — the same contract as the
+    sharded campaign workers.
     """
+    if metrics not in METRICS_MODES:
+        raise ConfigurationError(
+            f"metrics must be one of {METRICS_MODES}, got {metrics!r}"
+        )
+    streaming = metrics == "summary"
     results = []
     seeds = iteration_seeds(seed, engine.variant_name, start, iterations)
     for offset, round_seed in enumerate(seeds):
         secrets = round_secrets(node_ids, start + offset)
-        results.append(engine.run(secrets, seed=round_seed))
+        round_metrics = engine.run(secrets, seed=round_seed)
+        if streaming:
+            round_metrics = RoundSummary.from_metrics(round_metrics)
+        results.append(round_metrics)
     return results
 
 
@@ -360,6 +375,11 @@ def run_fault_tolerance(
     §III: with degree ``p < n`` "even the final polynomial can be formed
     by combining any k+1 sum values", so up to ``m − (p+1)`` collector
     losses are survivable by construction.
+
+    Streams in the :class:`~repro.core.metrics.RoundSummary` wire
+    format: every round is reduced to its flat scalar summary the moment
+    it finishes, so the sweep's in-flight state is one summary — never a
+    dense per-node ``RoundMetrics`` list — however big the spec.
     """
     _, s4 = build_engines(spec, crypto_mode=crypto_mode)
     nodes = spec.topology.node_ids
@@ -379,12 +399,14 @@ def run_fault_tolerance(
             fail_slot = max(1, bootstrap.sharing_slots // 2)
             failures = {victim: fail_slot for victim in victims}
             try:
-                metrics = s4.run(
-                    secrets,
-                    seed=stable_seed(seed, count, iteration),
-                    sharing_failures=failures,
+                summary = RoundSummary.from_metrics(
+                    s4.run(
+                        secrets,
+                        seed=stable_seed(seed, count, iteration),
+                        sharing_failures=failures,
+                    )
                 )
-                successes.append(metrics.success_fraction)
+                successes.append(summary.success_fraction)
             except (ProtocolError, ReconstructionError):
                 successes.append(0.0)
         rows.append(
@@ -424,8 +446,12 @@ def run_optimization_ablation(
         ("s4_no_early_off", s4_always_on),
         ("s4", s4),
     ):
-        rounds = run_rounds(engine, nodes, iterations, stable_seed(seed, label))
-        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.latencies_us()]
+        # Streaming wire format: rounds arrive as flat RoundSummary
+        # scalars, so the ablation never holds dense per-node maps.
+        rounds = run_rounds(
+            engine, nodes, iterations, stable_seed(seed, label), metrics="summary"
+        )
+        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.has_latency]
         radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
         rows.append(
             {
@@ -520,15 +546,22 @@ def run_interference_sweep(
         row: dict[str, float] = {"level": float(level)}
         for label, engine in (("s3", s3), ("s4", s4)):
             try:
+                # Streaming wire format (see run_fault_tolerance): the
+                # jamming sweep's biggest configurations are exactly the
+                # ones that should not hold per-node round maps.
                 results = run_rounds(
-                    engine, nodes, iterations, stable_seed(seed, level, label)
+                    engine,
+                    nodes,
+                    iterations,
+                    stable_seed(seed, level, label),
+                    metrics="summary",
                 )
             except (ProtocolError, ConfigurationError):
                 row[f"{label}_success"] = 0.0
                 row[f"{label}_latency_ms"] = float("nan")
                 continue
             latencies = [
-                r.max_latency_us / 1000.0 for r in results if r.latencies_us()
+                r.max_latency_us / 1000.0 for r in results if r.has_latency
             ]
             row[f"{label}_success"] = sum(
                 r.success_fraction for r in results

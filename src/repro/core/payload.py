@@ -204,6 +204,10 @@ class StubShareCodec:
             round_nonce * 0x9E3779B97F4A7C15 + source * 0x100000001B3 + destination
         ) & ((1 << (8 * SHARE_BLOCK_BYTES)) - 1)
 
+    def supports_batch(self) -> bool:
+        """The stub pipeline always batches (pure-int ops, no numpy)."""
+        return True
+
     def encrypt_share(
         self, destination: int, value: FieldElement, round_nonce: int
     ) -> SharePacket:
@@ -286,17 +290,19 @@ def batch_encrypt_shares(
     ]
 
 
-def batch_decrypt_shares(
+def batch_decrypt_values(
     entries: "list[tuple[RealShareCodec, SharePacket]]",
     field: PrimeField,
     round_nonce: int,
-) -> list[FieldElement | None]:
+) -> list[int | None]:
     """Authenticate and decrypt many received shares in one batch.
 
     Each entry is (receiving codec, packet addressed to it).  Returns the
-    decrypted element per entry, or ``None`` where the scalar path would
-    have raised (tag mismatch, non-canonical value) — the caller treats
-    those as dropped packets.
+    decrypted canonical residue per entry, or ``None`` where the scalar
+    path would have raised (tag mismatch, non-canonical value) — the
+    caller treats those as dropped packets.  Raw ints keep the share-sum
+    fold allocation-free; :func:`batch_decrypt_shares` wraps them when
+    elements are wanted.
     """
     from repro.crypto import aesbatch
 
@@ -327,7 +333,7 @@ def batch_decrypt_shares(
         tag_bytes,
         mac_over_input=True,
     )
-    results: list[FieldElement | None] = []
+    results: list[int | None] = []
     prime = field.prime
     for (codec, packet), plaintext, expected in zip(
         entries, plaintexts, expected_tags
@@ -335,7 +341,85 @@ def batch_decrypt_shares(
         if packet.tag != expected or plaintext >= prime:
             results.append(None)
         else:
-            results.append(FieldElement(field, plaintext))
+            results.append(plaintext)
+    return results
+
+
+def batch_decrypt_shares(
+    entries: "list[tuple[RealShareCodec, SharePacket]]",
+    field: PrimeField,
+    round_nonce: int,
+) -> list[FieldElement | None]:
+    """:func:`batch_decrypt_values` with element-wrapped results."""
+    return [
+        None if value is None else FieldElement(field, value)
+        for value in batch_decrypt_values(entries, field, round_nonce)
+    ]
+
+
+# -- batched stub share protection (pure-int, no numpy needed) -----------------
+
+
+def stub_batch_encrypt(
+    entries: "list[tuple[StubShareCodec, int, int]]",
+    round_nonce: int,
+) -> list[SharePacket]:
+    """Encrypt many (stub codec, destination, value) shares in one pass.
+
+    Bit-identical to calling ``codec.encrypt_share`` per entry; the win
+    is purely interpreter overhead — hoisted pad arithmetic and tag
+    tables instead of a method call, two attribute walks and a
+    ``FieldElement`` per packet.  STUB campaigns protect thousands of
+    packets per sweep, which is why this path exists at all.
+    """
+    mask = (1 << (8 * SHARE_BLOCK_BYTES)) - 1
+    nonce_term = round_nonce * 0x9E3779B97F4A7C15
+    packets = []
+    for codec, destination, value_int in entries:
+        pad = (
+            nonce_term + codec._node_id * 0x100000001B3 + destination
+        ) & mask
+        ciphertext = (value_int ^ pad).to_bytes(SHARE_BLOCK_BYTES, "big")
+        packets.append(
+            SharePacket(
+                source=codec._node_id,
+                destination=destination,
+                ciphertext=ciphertext,
+                tag=codec._tags[sum(ciphertext) % 251],
+            )
+        )
+    return packets
+
+
+def stub_batch_decrypt(
+    entries: "list[tuple[StubShareCodec, SharePacket]]",
+    field: PrimeField,
+    round_nonce: int,
+) -> list[int | None]:
+    """Check and un-pad many stub packets; raw residues like the REAL batch.
+
+    ``None`` marks packets the scalar path would reject (tag mismatch,
+    non-canonical value, wrong destination is still a hard error).
+    """
+    mask = (1 << (8 * SHARE_BLOCK_BYTES)) - 1
+    nonce_term = round_nonce * 0x9E3779B97F4A7C15
+    prime = field.prime
+    results: list[int | None] = []
+    for codec, packet in entries:
+        if packet.destination != codec._node_id:
+            raise CryptoError(
+                f"packet for node {packet.destination} handed to node "
+                f"{codec._node_id}"
+            )
+        ciphertext = packet.ciphertext
+        if packet.tag != codec._tags[sum(ciphertext) % 251]:
+            results.append(None)
+            continue
+        pad = (
+            nonce_term + packet.source * 0x100000001B3 + packet.destination
+        ) & mask
+        value = int.from_bytes(ciphertext, "big") ^ pad
+        results.append(value if value < prime else None)
     return results
 
 

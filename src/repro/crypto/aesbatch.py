@@ -122,6 +122,99 @@ def encrypt_blocks(ciphers, blocks: list[int]) -> list[int]:
     return ints_from_words(encrypt_words(rk, *words_from_ints(blocks)))
 
 
+def ctr_keystream(cipher: AES128, counter: int, count: int) -> bytes:
+    """``count`` CTR keystream blocks of ``cipher``, lane-vectorized.
+
+    Bit-identical to ``cipher.ctr_blocks(counter, count)`` — the same
+    big-endian counter blocks through the same T-table round function —
+    with the per-block interpreter cost amortised across all ``count``
+    lanes.  This is the bulk-refill kernel behind the DRBG's fast path
+    and the batched dealer-fork prefill.
+    """
+    if count <= 0:
+        return b""
+    counter &= (1 << 128) - 1
+    rk = _np.array(cipher._enc_words, dtype=_np.uint32).reshape(1, 44)
+    lanes = _np.arange(count, dtype=_np.uint64)
+    base0 = counter >> 96
+    base1 = (counter >> 64) & 0xFFFFFFFF
+    base2 = (counter >> 32) & 0xFFFFFFFF
+    base3 = counter & 0xFFFFFFFF
+    # 128-bit increment with carries, vectorized: the low word counts up
+    # lane-wise; each overflow ripples one word left.  uint64 intermediate
+    # arithmetic keeps the carries exact for any count < 2**32.
+    w3 = base3 + lanes
+    w2 = base2 + (w3 >> _np.uint64(32))
+    w1 = base1 + (w2 >> _np.uint64(32))
+    w0 = base0 + (w1 >> _np.uint64(32))
+    mask32 = _np.uint64(0xFFFFFFFF)
+    s0 = (w0 & mask32).astype(_np.uint32)
+    s1 = (w1 & mask32).astype(_np.uint32)
+    s2 = (w2 & mask32).astype(_np.uint32)
+    s3 = (w3 & mask32).astype(_np.uint32)
+    o0, o1, o2, o3 = encrypt_words(rk, s0, s1, s2, s3)
+    out = _np.empty((count, 4), dtype=">u4")
+    out[:, 0] = o0
+    out[:, 1] = o1
+    out[:, 2] = o2
+    out[:, 3] = o3
+    return out.tobytes()
+
+
+def ctr_keystream_many(ciphers, counters, counts) -> list[bytes]:
+    """Per-cipher CTR keystream runs, all lanes in one kernel call.
+
+    ``ciphers[i]`` contributes ``counts[i]`` consecutive blocks starting
+    at ``counters[i]``; the return value is one keystream byte string per
+    cipher, each bit-identical to ``ciphers[i].ctr_blocks(counters[i],
+    counts[i])``.  Batching *across independent keys* is what makes
+    per-dealer DRBG forks affordable: a round's worth of short keystream
+    runs becomes a single wide batch.
+    """
+    total = sum(counts)
+    if total == 0:
+        return [b"" for _ in counts]
+    s0 = _np.empty(total, dtype=_np.uint32)
+    s1 = _np.empty(total, dtype=_np.uint32)
+    s2 = _np.empty(total, dtype=_np.uint32)
+    s3 = _np.empty(total, dtype=_np.uint32)
+    rk = _np.empty((total, 44), dtype=_np.uint32)
+    offset = 0
+    mask32 = _np.uint64(0xFFFFFFFF)
+    for cipher, counter, count in zip(ciphers, counters, counts):
+        if count == 0:
+            continue
+        end = offset + count
+        counter &= (1 << 128) - 1
+        # Same vectorized 128-bit carry ripple as ctr_keystream, written
+        # into this cipher's lane slice; per-lane Python work would
+        # re-add exactly the interpreter overhead this kernel amortises.
+        lanes = _np.arange(count, dtype=_np.uint64)
+        w3 = (counter & 0xFFFFFFFF) + lanes
+        w2 = ((counter >> 32) & 0xFFFFFFFF) + (w3 >> _np.uint64(32))
+        w1 = ((counter >> 64) & 0xFFFFFFFF) + (w2 >> _np.uint64(32))
+        w0 = (counter >> 96) + (w1 >> _np.uint64(32))
+        s0[offset:end] = (w0 & mask32).astype(_np.uint32)
+        s1[offset:end] = (w1 & mask32).astype(_np.uint32)
+        s2[offset:end] = (w2 & mask32).astype(_np.uint32)
+        s3[offset:end] = (w3 & mask32).astype(_np.uint32)
+        rk[offset:end] = _np.asarray(cipher._enc_words, dtype=_np.uint32)
+        offset = end
+    o0, o1, o2, o3 = encrypt_words(rk, s0, s1, s2, s3)
+    out = _np.empty((total, 4), dtype=">u4")
+    out[:, 0] = o0
+    out[:, 1] = o1
+    out[:, 2] = o2
+    out[:, 3] = o3
+    raw = out.tobytes()
+    streams = []
+    offset = 0
+    for count in counts:
+        streams.append(raw[offset : offset + 16 * count])
+        offset += 16 * count
+    return streams
+
+
 def ctr_cbc_mac_batch(
     enc_ciphers,
     mac_ciphers,

@@ -48,6 +48,22 @@ _CIPHER_POOL_MAX = 8192
 #: amortise the per-call overhead fully.
 _FAST_REFILL_BLOCKS_MAX = 32
 
+#: Minimum refill size (blocks) worth routing through the numpy lane
+#: kernel.  Below this the per-call numpy dispatch overhead exceeds the
+#: scalar T-table loop; above it the lane kernel's ~an-order-of-magnitude
+#: per-block advantage dominates.  Bulk consumers (``random_bytes`` of
+#: whole buffers, the maskbatch sampler) blow straight past it.
+_LANE_REFILL_BLOCKS_MIN = 16
+
+
+def _lane_keystream_available() -> bool:
+    """Whether the vectorized CTR refill kernel may be used."""
+    if not fastpath.vector_enabled():
+        return False
+    from repro.crypto import aesbatch
+
+    return aesbatch.HAVE_NUMPY
+
 
 class AesCtrDrbg:
     """Deterministic random bit generator running AES-128 in counter mode.
@@ -64,6 +80,7 @@ class AesCtrDrbg:
 
     __slots__ = (
         "_cipher",
+        "_key",
         "_counter",
         "_buffer",
         "_offset",
@@ -74,6 +91,7 @@ class AesCtrDrbg:
     def __init__(self, key: bytes):
         if len(key) != 16:
             raise CryptoError(f"DRBG key must be 16 bytes, got {len(key)}")
+        self._key = key
         if fastpath.enabled():
             cipher = _CIPHER_POOL.get(key)
             if cipher is None:
@@ -101,6 +119,51 @@ class AesCtrDrbg:
         digest = hashlib.sha256(seed).digest()
         return cls(digest[:16])
 
+    @property
+    def key_bytes(self) -> bytes:
+        """The 16-byte AES key this stream runs under.
+
+        A DRBG's entire output is a pure function of this key, so it
+        doubles as a replay-cache identity for values derived from the
+        stream (see the dealt-share pool in :mod:`repro.core.protocol`).
+        """
+        return self._key
+
+    def _generate_blocks(self, count: int) -> bytes:
+        """``count`` keystream blocks from the current counter position.
+
+        Large batches go through the :mod:`repro.crypto.aesbatch` lane
+        kernel when the vector backend is on; the bytes are bit-identical
+        to the scalar ``ctr_blocks`` either way, so the routing decision
+        never shows in the output stream.
+        """
+        if count >= _LANE_REFILL_BLOCKS_MIN and self._batching:
+            if _lane_keystream_available():
+                from repro.crypto import aesbatch
+
+                fresh = aesbatch.ctr_keystream(self._cipher, self._counter, count)
+                self._counter += count
+                return fresh
+        fresh = self._cipher.ctr_blocks(self._counter, count)
+        self._counter += count
+        return fresh
+
+    def prefill(self, length: int) -> None:
+        """Ensure at least ``length`` bytes of keystream are buffered.
+
+        Purely a scheduling hint: the stream a consumer sees is identical
+        with or without the call, but one big refill through the lane
+        kernel is far cheaper than the geometric ramp of small scalar
+        refills it replaces.
+        """
+        available = len(self._buffer) - self._offset
+        if available >= length:
+            return
+        blocks = (length - available + BLOCK_SIZE - 1) // BLOCK_SIZE
+        fresh = self._generate_blocks(blocks)
+        self._buffer = self._buffer[self._offset :] + fresh
+        self._offset = 0
+
     def random_bytes(self, length: int) -> bytes:
         """Next ``length`` bytes of keystream."""
         if length < 0:
@@ -116,8 +179,7 @@ class AesCtrDrbg:
                 self._refill_blocks = min(
                     self._refill_blocks * 2, _FAST_REFILL_BLOCKS_MAX
                 )
-            fresh = self._cipher.ctr_blocks(self._counter, batch)
-            self._counter += batch
+            fresh = self._generate_blocks(batch)
             buffer = buffer[offset:] + fresh
             offset = 0
             self._buffer = buffer
@@ -161,3 +223,63 @@ class AesCtrDrbg:
             label = label.encode("utf-8")
         material = self.random_bytes(16) + label
         return AesCtrDrbg.from_seed(material)
+
+    def fork_many(self, labels) -> "list[AesCtrDrbg]":
+        """Children of :meth:`fork` for every label, in order.
+
+        Stream-identical to ``[self.fork(label) for label in labels]`` —
+        the parent material draws happen in the same order and the child
+        keys come out bit-for-bit the same — but the parent draws are one
+        buffered read, which keeps a round's worth of dealer forks off
+        the scalar refill path.
+        """
+        labels = list(labels)
+        if not labels:
+            return []
+        self.prefill(16 * len(labels))
+        return [self.fork(label) for label in labels]
+
+    @staticmethod
+    def prefill_many(drbgs, length: int) -> None:
+        """Buffer ``length`` keystream bytes into every DRBG, batched.
+
+        One :func:`repro.crypto.aesbatch.ctr_keystream_many` call covers
+        all the streams' blocks (each under its own key), so a fleet of
+        short-lived forks pays the AES interpreter overhead once instead
+        of per fork.  Falls back to per-stream scalar prefills when the
+        vector backend (or numpy) is unavailable.  Either way every
+        stream's future output is bit-identical to the unprefilled one.
+        """
+        if length <= 0:
+            return
+        pending = []
+        counts = []
+        for drbg in drbgs:
+            available = len(drbg._buffer) - drbg._offset
+            if available >= length:
+                continue
+            blocks = (length - available + BLOCK_SIZE - 1) // BLOCK_SIZE
+            pending.append(drbg)
+            counts.append(blocks)
+        if not pending:
+            return
+        use_lanes = _lane_keystream_available() and all(
+            drbg._batching for drbg in pending
+        )
+        if use_lanes and sum(counts) >= _LANE_REFILL_BLOCKS_MIN:
+            from repro.crypto import aesbatch
+
+            streams = aesbatch.ctr_keystream_many(
+                [drbg._cipher for drbg in pending],
+                [drbg._counter for drbg in pending],
+                counts,
+            )
+            for drbg, count, fresh in zip(pending, counts, streams):
+                drbg._counter += count
+                drbg._buffer = drbg._buffer[drbg._offset :] + fresh
+                drbg._offset = 0
+            return
+        for drbg, count in zip(pending, counts):
+            fresh = drbg._generate_blocks(count)
+            drbg._buffer = drbg._buffer[drbg._offset :] + fresh
+            drbg._offset = 0

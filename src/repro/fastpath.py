@@ -39,17 +39,50 @@ import contextlib
 import os
 from typing import Iterator
 
-_enabled: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in {
-    "0",
-    "false",
-    "off",
-    "no",
-}
+_FALSE_VALUES = {"0", "false", "off", "no"}
+
+_enabled: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _FALSE_VALUES
+
+#: The numpy-vectorized backend (PR 4) layered *on top of* the fast path:
+#: lane-kernel DRBG refills, batched dealer-fork keystream, and the
+#: array-formulated MiniCast slot loop.  ``REPRO_VECTOR=0`` pins the
+#: PR 1 scalar fast loop (bit-exact with the no-numpy fallback) while
+#: leaving the rest of the fast path on.  The flag is advisory when
+#: numpy is absent: every consumer also guards on its module's
+#: ``HAVE_NUMPY`` and degrades to the scalar path.
+_vector: bool = os.environ.get("REPRO_VECTOR", "1").strip().lower() not in _FALSE_VALUES
 
 
 def enabled() -> bool:
     """Whether the fast compute path is currently selected."""
     return _enabled
+
+
+def vector_enabled() -> bool:
+    """Whether the numpy-vectorized backend is currently selected.
+
+    Effective only where the fast path is on *and* numpy is importable;
+    callers must still guard on their kernel module's ``HAVE_NUMPY``.
+    """
+    return _vector
+
+
+def set_vector_enabled(flag: bool) -> bool:
+    """Set the vector-backend flag; returns the previous value."""
+    global _vector
+    previous = _vector
+    _vector = bool(flag)
+    return previous
+
+
+@contextlib.contextmanager
+def forced_vector(flag: bool) -> Iterator[None]:
+    """Run a block with the vector-backend flag pinned to ``flag``."""
+    previous = set_vector_enabled(flag)
+    try:
+        yield
+    finally:
+        set_vector_enabled(previous)
 
 
 def set_enabled(flag: bool) -> bool:
@@ -97,5 +130,6 @@ def clear_process_caches() -> None:
         link._TABLE_CACHE.clear()
     protocol._CODEC_POOL.clear()
     protocol._LAYOUT_POOL.clear()
+    protocol._DEAL_POOL.clear()
     prng._CIPHER_POOL.clear()
     lagrange.SHARED_WEIGHTS.clear()

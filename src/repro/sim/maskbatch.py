@@ -1,0 +1,196 @@
+"""Vectorized Bernoulli bit-mask sampling (numpy backend).
+
+The scalar sampler in :mod:`repro.sim.bitrandom` draws one mask at a
+time: ``precision`` uniform words folded LSB-first with the and/or
+update.  The MiniCast reception step needs one mask per *receiver* of a
+slot — up to hundreds of masks with per-link probabilities — and that
+batch shape is exactly what numpy lanes want:
+
+* probabilities arrive pre-quantized as an ``(R,)`` integer array
+  (numerators over ``2**precision``, one per receiver/link);
+* each of the ``precision`` steps draws an ``(R, ceil(nbits/64))``
+  matrix of uniform uint64 words and applies the same acc-and/or update
+  as :func:`repro.sim.bitrandom.random_bitmask_quantized`, selecting OR
+  or AND per *row* from that row's quantized digit;
+* after the final (most significant) step, bit ``b`` of row ``r`` is one
+  with probability exactly ``quantized[r] / 2**precision`` — the same
+  law as the scalar sampler, so the two are interchangeable wherever
+  only the distribution matters (they spend randomness differently, so
+  seeded streams differ).
+
+numpy is an optional acceleration with the same contract as
+:mod:`repro.crypto.aesbatch`: every caller must guard on
+:data:`HAVE_NUMPY` (or call through a consumer that does) and fall back
+to the scalar sampler when it is absent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+try:  # pragma: no cover - import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: The vector consumers also need ``np.bitwise_count`` (numpy >= 2.0)
+#: for the word-matrix popcounts, so "numpy present" here means a numpy
+#: this backend can actually run on; older numpy degrades to the scalar
+#: path exactly like no numpy at all.
+HAVE_NUMPY = _np is not None and hasattr(_np, "bitwise_count")
+
+#: Bits per word of the mask matrices (uint64 lanes).
+WORD_BITS = 64
+
+#: Batch size (rows × nbits) below which the fused uint16-compare
+#: sampler beats the and/or word chain; see the strategy note in
+#: :func:`bernoulli_mask_matrix`.
+_FUSED_MAX_BITS = 1 << 16
+
+
+def words_for(nbits: int) -> int:
+    """How many uint64 words hold an ``nbits``-wide mask."""
+    return (nbits + WORD_BITS - 1) // WORD_BITS
+
+
+def generator_from(rng) -> "object":
+    """A numpy ``Generator`` seeded deterministically from ``rng``.
+
+    The vectorized loops need uniform words at memory speed; stdlib
+    ``Random`` and the DRBG top out an order of magnitude below numpy's
+    bit generators on bulk draws.  Seeding a PCG64 from one 128-bit draw
+    of the caller's rng keeps the whole vector run a deterministic
+    function of the rng state (replayable, chunk-invariant) while the
+    heavy lifting runs on the numpy side.  Already-a-Generator inputs
+    pass through untouched.
+    """
+    if hasattr(rng, "integers"):
+        return rng
+    return _np.random.Generator(_np.random.PCG64(rng.getrandbits(128)))
+
+
+def uniform_words(rng, count: int) -> "object":
+    """``count`` independent uniform uint64 words from ``rng``.
+
+    numpy ``Generator`` inputs draw natively (the fast path); otherwise
+    a bulk byte draw (``random_bytes`` on the DRBG, ``randbytes`` on
+    stdlib ``Random``) fills the batch in one call, falling back to one
+    wide ``getrandbits``.  Word order and endianness are irrelevant —
+    the bits are i.i.d. — but the draw is a deterministic function of
+    the rng state, which is what keeps vectorized runs replayable.
+    """
+    if count <= 0:
+        return _np.empty(0, dtype=_np.uint64)
+    if hasattr(rng, "integers"):
+        return rng.integers(
+            0, 1 << 64, size=count, dtype=_np.uint64, endpoint=False
+        )
+    nbytes = 8 * count
+    random_bytes = getattr(rng, "random_bytes", None)
+    if random_bytes is None:
+        random_bytes = getattr(rng, "randbytes", None)
+    if random_bytes is not None:
+        raw = random_bytes(nbytes)
+    else:
+        raw = rng.getrandbits(8 * nbytes).to_bytes(nbytes, "little")
+    return _np.frombuffer(raw, dtype=_np.uint64)
+
+
+def bernoulli_mask_matrix(
+    rng, quantized, nbits: int, precision: int
+) -> "object":
+    """One Bernoulli mask row per entry of ``quantized``.
+
+    Args:
+        rng: randomness source (``random``-like or DRBG).
+        quantized: ``(R,)`` integer array-like of probability numerators
+            over ``2**precision`` (clipped to ``[0, 2**precision]``).
+        nbits: mask width in bits; bits past ``nbits`` in the last word
+            are left unmasked garbage — callers keep their own width
+            masks (the MiniCast loop ANDs with eligibility anyway).
+        precision: binary digits of probability honoured.
+
+    Returns:
+        ``(R, words_for(nbits))`` uint64 matrix; bit ``b`` of row ``r``
+        (little-endian word order) is one with probability
+        ``quantized[r] / 2**precision``.
+    """
+    if nbits < 0:
+        raise SimulationError(f"nbits must be >= 0, got {nbits}")
+    if precision < 1:
+        raise SimulationError(f"precision must be >= 1, got {precision}")
+    q = _np.asarray(quantized, dtype=_np.int64)
+    rows = q.shape[0]
+    width = words_for(nbits)
+    if rows == 0 or width == 0:
+        return _np.zeros((rows, width), dtype=_np.uint64)
+    full = 1 << precision
+    # Strategy: small batches take the fused compare path (few ufunc
+    # dispatches beat everything below ~64k bits); large batches take
+    # the and/or chain (precision bits of randomness per output bit vs
+    # the compare path's 16, and generator throughput is the floor once
+    # matrices leave cache).
+    if (
+        precision <= 16
+        and rows * nbits <= _FUSED_MAX_BITS
+        and hasattr(rng, "integers")
+    ):
+        # Fused formulation: one uint16 uniform per bit, one compare.
+        # ``u < q << (16 - precision)`` is one with probability exactly
+        # ``q / 2**precision`` (the scale divides 2**16), so the law is
+        # identical to the and/or chain at a fraction of the dispatch
+        # cost.  Bits past ``nbits`` come out zero here (stricter than
+        # the contract requires).
+        u = rng.integers(
+            0, 1 << 16, size=(rows, nbits), dtype=_np.uint16, endpoint=False
+        )
+        # int32 thresholds: q = 2**precision must scale to 65536, one
+        # past the top uint16 draw, so certain rows stay certain.
+        threshold = (_np.clip(q, 0, full) << (16 - precision)).astype(
+            _np.int32
+        )
+        bits = u < threshold[:, None]
+        packed = _np.packbits(bits, axis=1, bitorder="little")
+        out = _np.zeros((rows, width * 8), dtype=_np.uint8)
+        out[:, : packed.shape[1]] = packed
+        return out.view("<u8").reshape(rows, width)
+    acc = _np.zeros((rows, width), dtype=_np.uint64)
+    # Degenerate rows draw nothing in the scalar sampler; here the whole
+    # matrix draws as one block and the certain rows are patched after —
+    # cheaper than per-row branching, identical in law.
+    draws = uniform_words(rng, precision * rows * width).reshape(
+        precision, rows, width
+    )
+    # LSB-first over the binary digits of quantized/2**precision.
+    for bit_index in range(precision):
+        r = draws[bit_index]
+        take_or = ((q >> bit_index) & 1).astype(bool)
+        sel = take_or[:, None]
+        _np.bitwise_or(acc, r, out=acc, where=sel)
+        _np.bitwise_and(acc, r, out=acc, where=~sel)
+    ones = _np.uint64(0xFFFFFFFFFFFFFFFF)
+    acc[q <= 0] = 0
+    acc[q >= full] = ones
+    return acc
+
+
+def masks_to_ints(matrix) -> list[int]:
+    """Rows of a mask matrix as Python big ints (little-endian words)."""
+    raw = _np.ascontiguousarray(matrix, dtype="<u8").tobytes()
+    width = matrix.shape[1] * 8
+    return [
+        int.from_bytes(raw[i : i + width], "little")
+        for i in range(0, len(raw), width)
+    ]
+
+
+def ints_to_words(values, nbits: int) -> "object":
+    """Big-int masks as an ``(R, words_for(nbits))`` uint64 matrix."""
+    width = words_for(nbits)
+    out = _np.zeros((len(values), width), dtype=_np.uint64)
+    nbytes = width * 8
+    for row, value in enumerate(values):
+        out[row] = _np.frombuffer(
+            value.to_bytes(nbytes, "little"), dtype="<u8"
+        )
+    return out

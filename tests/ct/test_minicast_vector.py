@@ -1,0 +1,234 @@
+"""The array-formulated MiniCast loop vs the scalar fast loop.
+
+Contract (mirrors ``test_minicast_fastpath.py`` one layer up):
+
+* **distributional** — the vector loop spends randomness differently
+  (bulk generator draws, block-phase sampling), so seeded runs differ
+  from the scalar fast loop but every outcome statistic must agree
+  within sampling noise;
+* **fallback bit-exactness** — with ``REPRO_VECTOR=0``, or when numpy
+  is unavailable, a ``vector=True`` round *is* the scalar fast loop,
+  draw for draw;
+* ``force_reference=True`` still wins over everything.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro import fastpath
+from repro.ct.minicast import MiniCastRound, RadioOffPolicy, Requirement
+from repro.ct.slots import RoundSchedule
+from repro.phy.channel import ChannelModel, ChannelParameters
+from repro.phy.link import LinkTable
+from repro.phy.radio import NRF52840_154
+from repro.sim import maskbatch
+
+# Only the distributional tests need a real vector loop (numpy); the
+# fallback bit-exactness tests below run — deliberately — in the
+# numpy-free CI job too, where they prove vector=True degrades cleanly.
+needs_numpy = pytest.mark.skipif(
+    not maskbatch.HAVE_NUMPY, reason="numpy (>=2) unavailable"
+)
+
+
+def deterministic_channel():
+    return ChannelModel(
+        ChannelParameters(
+            path_loss_exponent=4.0,
+            reference_loss_db=52.0,
+            shadowing_sigma_db=0.0,
+            noise_floor_dbm=-96.0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def lossy_links():
+    # All pairwise distances sit in the PRR transitional region for this
+    # channel, so every reception is genuinely random.
+    positions = {
+        0: (0, 0),
+        1: (13.5, 0),
+        2: (0, 13.8),
+        3: (13.2, 13.6),
+        4: (6.7, 6.9),
+    }
+    return LinkTable(positions, deterministic_channel(), 29)
+
+
+def make_schedule(num_slots=8):
+    return RoundSchedule(
+        chain_length=5,
+        psdu_bytes=15,
+        ntx=3,
+        num_slots=num_slots,
+        timings=NRF52840_154,
+    )
+
+
+def result_tuple(result):
+    return (
+        result.knowledge,
+        result.completion_slot,
+        result.tx_us,
+        result.rx_us,
+        result.radio_off_slot,
+        result.slots_run,
+        result.failures,
+    )
+
+
+@needs_numpy
+class TestDistributionalEquivalence:
+    @pytest.mark.parametrize(
+        "policy", [RadioOffPolicy.ALWAYS_ON, RadioOffPolicy.EARLY_OFF]
+    )
+    def test_outcome_statistics_match_fast_loop(self, lossy_links, policy):
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            fast = MiniCastRound(lossy_links, schedule, policy=policy, vector=False)
+            vector = MiniCastRound(lossy_links, schedule, policy=policy, vector=True)
+        initial = {i: 1 << i for i in range(5)}
+        requirements = {i: Requirement.all_of(31) for i in range(5)}
+
+        def stats(round_, seed_base):
+            know, tx, rx, completions = [], [], [], []
+            for seed in range(400):
+                result = round_.run(
+                    random.Random(seed_base + seed),
+                    initial,
+                    requirements=requirements,
+                )
+                know.append(
+                    sum(v.bit_count() for v in result.knowledge.values())
+                )
+                tx.append(sum(result.tx_us.values()))
+                rx.append(sum(result.rx_us.values()))
+                completions.append(
+                    sum(
+                        1
+                        for v in result.completion_slot.values()
+                        if v is not None
+                    )
+                )
+            return (
+                statistics.mean(know),
+                statistics.mean(tx),
+                statistics.mean(rx),
+                statistics.mean(completions),
+            )
+
+        f_know, f_tx, f_rx, f_complete = stats(fast, 0)
+        v_know, v_tx, v_rx, v_complete = stats(vector, 50_000)
+        assert v_know == pytest.approx(f_know, rel=0.07)
+        assert v_tx == pytest.approx(f_tx, rel=0.07)
+        assert v_rx == pytest.approx(f_rx, rel=0.07)
+        assert v_complete == pytest.approx(f_complete, abs=0.55)
+
+    def test_failures_and_arm_schedule_match(self, lossy_links):
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            fast = MiniCastRound(lossy_links, schedule, vector=False)
+            vector = MiniCastRound(lossy_links, schedule, vector=True)
+        initial = {i: 1 << i for i in range(5)}
+
+        def stats(round_, base):
+            know, fail_counts = [], []
+            for seed in range(300):
+                result = round_.run(
+                    random.Random(base + seed),
+                    initial,
+                    failures={2: 1},
+                    arm_schedule={i: i // 2 for i in range(5)},
+                    alive={0, 1, 2, 3},
+                )
+                know.append(
+                    sum(v.bit_count() for v in result.knowledge.values())
+                )
+                fail_counts.append(len(result.failures))
+                assert result.knowledge[4] == 0  # dead node learns nothing
+            return statistics.mean(know), statistics.mean(fail_counts)
+
+        f_know, f_fail = stats(fast, 0)
+        v_know, v_fail = stats(vector, 90_000)
+        assert v_know == pytest.approx(f_know, rel=0.08)
+        assert v_fail == f_fail == 1.0
+
+    def test_invariants_hold_on_vector_loop(self, lossy_links):
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            vector = MiniCastRound(lossy_links, schedule, vector=True)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(80):
+            result = vector.run(random.Random(seed), initial, initiators=[0])
+            for node, view in result.knowledge.items():
+                assert view & initial.get(node, 0) == initial.get(node, 0)
+                assert view < (1 << 5)
+            packet_us = result.schedule.packet_slot_us
+            for tx in result.tx_us.values():
+                assert tx <= 3 * 5 * packet_us
+            assert 0 <= result.slots_run <= result.schedule.num_slots
+
+
+class TestFallbackBitExactness:
+    def test_repro_vector_0_pins_scalar_loop(self, lossy_links):
+        # With the backend off, a vector=True round must be the scalar
+        # fast loop draw for draw.
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(False):
+            wanted_vector = MiniCastRound(lossy_links, schedule, vector=True)
+            scalar = MiniCastRound(lossy_links, schedule, vector=False)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(25):
+            a = wanted_vector.run(random.Random(seed), initial)
+            b = scalar.run(random.Random(seed), initial)
+            assert result_tuple(a) == result_tuple(b)
+
+    def test_no_numpy_pins_scalar_loop(self, lossy_links, monkeypatch):
+        # Simulated numpy absence: construction degrades to the scalar
+        # loop, bit-exact with an explicit scalar round.
+        monkeypatch.setattr(maskbatch, "HAVE_NUMPY", False)
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            degraded = MiniCastRound(lossy_links, schedule, vector=True)
+        monkeypatch.undo()
+        with fastpath.forced(True):
+            scalar = MiniCastRound(lossy_links, schedule, vector=False)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(25):
+            a = degraded.run(random.Random(seed), initial)
+            b = scalar.run(random.Random(seed), initial)
+            assert result_tuple(a) == result_tuple(b)
+
+    def test_force_reference_beats_vector(self, lossy_links):
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            forced = MiniCastRound(
+                lossy_links, schedule, force_reference=True, vector=True
+            )
+        with fastpath.forced(False):
+            reference = MiniCastRound(lossy_links, schedule)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(10):
+            a = forced.run(random.Random(seed), initial)
+            b = reference.run(random.Random(seed), initial)
+            assert result_tuple(a) == result_tuple(b)
+
+    def test_trace_requests_fall_back_to_scalar_loop(self, lossy_links):
+        from repro.sim.trace import TraceRecorder
+
+        schedule = make_schedule()
+        with fastpath.forced(True), fastpath.forced_vector(True):
+            vector = MiniCastRound(lossy_links, schedule, vector=True)
+            scalar = MiniCastRound(lossy_links, schedule, vector=False)
+        initial = {i: 1 << i for i in range(5)}
+        for seed in range(10):
+            a = vector.run(
+                random.Random(seed), initial, trace=TraceRecorder()
+            )
+            b = scalar.run(random.Random(seed), initial)
+            assert result_tuple(a) == result_tuple(b)

@@ -118,3 +118,24 @@ class TestIndexHelpers:
     def test_negative_index_rejected(self):
         with pytest.raises(SimulationError):
             mask_from_indices([-1])
+
+    def test_dense_wide_masks_linear(self):
+        # Regression for the O(width²) shift loop: a dense 2048-bit mask
+        # must decode correctly (and in linear time — the old loop
+        # re-sliced the big int once per bit position).
+        width = 2048
+        dense = (1 << width) - 1
+        assert bit_indices(dense) == list(range(width))
+        sparse = mask_from_indices([0, 1, 77, 1024, 2047])
+        assert bit_indices(sparse) == [0, 1, 77, 1024, 2047]
+        rng = random.Random(7)
+        for _ in range(10):
+            mask = rng.getrandbits(width)
+            indices = bit_indices(mask)
+            assert mask_from_indices(indices) == mask
+            assert len(indices) == mask.bit_count()
+            assert indices == sorted(indices)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(SimulationError):
+            bit_indices(-1)

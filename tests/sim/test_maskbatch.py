@@ -1,0 +1,169 @@
+"""Statistical equivalence of the vectorized Bernoulli mask sampler.
+
+The maskbatch sampler must produce the same *law* as the scalar
+samplers in :mod:`repro.sim.bitrandom` — per-bit Bernoulli(q/2**prec),
+independent across bits and rows.  Evidence here:
+
+* chi-square per-bit counts against the quantized scalar sampler's
+  expectation (both against the analytic p and against
+  ``random_bitmask_quantized`` empirics);
+* a two-sample KS test on per-mask popcount distributions, vector vs
+  ``exact_random_bitmask``;
+* exact degenerate rows (q=0, q=full) and round-trip helpers.
+
+Thresholds are set at ~5 sigma with fixed seeds so the suite cannot
+flake without a real distribution bug.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.bitrandom import exact_random_bitmask, random_bitmask_quantized
+
+maskbatch = pytest.importorskip("repro.sim.maskbatch")
+if not maskbatch.HAVE_NUMPY:  # pragma: no cover
+    pytest.skip("numpy (>=2) unavailable", allow_module_level=True)
+
+import numpy as np  # noqa: E402
+
+PRECISION = 10
+FULL = 1 << PRECISION
+
+
+def sample_masks(q_values, nbits, trials, seed):
+    gen = maskbatch.generator_from(random.Random(seed))
+    q = np.asarray(q_values, dtype=np.int64)
+    out = []
+    for _ in range(trials):
+        out.append(
+            maskbatch.masks_to_ints(
+                maskbatch.bernoulli_mask_matrix(gen, q, nbits, PRECISION)
+            )
+        )
+    return out
+
+
+class TestLaw:
+    def test_degenerate_rows_exact(self):
+        masks = sample_masks([0, FULL], 130, 50, seed=1)
+        width_mask = (1 << 130) - 1
+        for zero_mask, full_mask in masks:
+            assert zero_mask & width_mask == 0
+            assert full_mask & width_mask == width_mask
+
+    def test_chi_square_per_bit_counts(self):
+        # Each of the 64 bit positions is an independent Bernoulli(q/1024)
+        # across trials; the chi-square statistic over positions should
+        # look like chi2 with 64 degrees of freedom.
+        nbits, trials = 64, 3000
+        q = 700
+        rows = sample_masks([q], nbits, trials, seed=2)
+        counts = [0] * nbits
+        for (mask,) in rows:
+            for bit in range(nbits):
+                counts[bit] += mask >> bit & 1
+        p = q / FULL
+        expected = trials * p
+        variance = trials * p * (1 - p)
+        chi2 = sum((c - expected) ** 2 for c in counts) / variance
+        # mean 64, sd sqrt(128) ~ 11.3; 64 + 5 sigma ~ 121
+        assert chi2 < 121, chi2
+
+    def test_density_matches_quantized_scalar(self):
+        # Same quantized probability through both samplers; the mean
+        # densities must agree within binomial noise.
+        nbits, trials = 200, 1500
+        qs = [57, 512, 999]
+        rows = sample_masks(qs, nbits, trials, seed=3)
+        rng = random.Random(3)
+        total_bits = trials * nbits
+        for column, q in enumerate(qs):
+            vec_ones = sum(row[column].bit_count() for row in rows)
+            scalar_ones = sum(
+                random_bitmask_quantized(rng, nbits, q, PRECISION).bit_count()
+                for _ in range(trials)
+            )
+            sigma = math.sqrt(total_bits * (q / FULL) * (1 - q / FULL))
+            assert abs(vec_ones - total_bits * q / FULL) < 5 * sigma
+            assert abs(vec_ones - scalar_ones) < 7 * sigma
+
+    def test_ks_popcounts_vs_exact_sampler(self):
+        # Two-sample KS on per-mask popcounts against the per-bit
+        # reference sampler.
+        nbits, trials = 96, 1200
+        probability = 0.37
+        q = round(probability * FULL)
+        rows = sample_masks([q], nbits, trials, seed=4)
+        vec = sorted(row[0].bit_count() for row in rows)
+        rng = random.Random(44)
+        exact = sorted(
+            exact_random_bitmask(rng, nbits, q / FULL).bit_count()
+            for _ in range(trials)
+        )
+        # KS distance over the integer support.
+        distance = 0.0
+        for value in range(nbits + 1):
+            cdf_a = sum(1 for v in vec if v <= value) / trials
+            cdf_b = sum(1 for v in exact if v <= value) / trials
+            distance = max(distance, abs(cdf_a - cdf_b))
+        # c(alpha=0.001) = 1.95; sqrt((n+m)/(n m)) with n=m=trials
+        threshold = 1.95 * math.sqrt(2 / trials)
+        assert distance < threshold, (distance, threshold)
+
+    def test_rows_are_independent(self):
+        # Correlation between two rows with the same q should be ~0.
+        nbits, trials = 64, 2000
+        rows = sample_masks([512, 512], nbits, trials, seed=5)
+        both = sum((a & b).bit_count() for a, b in rows)
+        # P(bit set in both) = 0.25
+        expected = trials * nbits * 0.25
+        sigma = math.sqrt(trials * nbits * 0.25 * 0.75)
+        assert abs(both - expected) < 5 * sigma
+
+
+class TestHelpers:
+    def test_words_round_trip(self):
+        rng = random.Random(9)
+        values = [rng.getrandbits(500) for _ in range(7)]
+        matrix = maskbatch.ints_to_words(values, 500)
+        assert maskbatch.masks_to_ints(matrix) == values
+
+    def test_uniform_words_sources(self):
+        # Every supported source yields the requested word count and is
+        # deterministic in the rng state.
+        count = 64
+        for make in (
+            lambda: random.Random(7),
+            lambda: maskbatch.generator_from(random.Random(7)),
+        ):
+            a = maskbatch.uniform_words(make(), count)
+            b = maskbatch.uniform_words(make(), count)
+            assert len(a) == count
+            assert list(a) == list(b)
+
+    def test_generator_from_is_deterministic(self):
+        a = maskbatch.generator_from(random.Random(21))
+        b = maskbatch.generator_from(random.Random(21))
+        assert list(a.integers(0, 1 << 32, 8)) == list(
+            b.integers(0, 1 << 32, 8)
+        )
+
+    def test_chain_formulation_matches_fused(self):
+        # precision > 16 exercises the and/or chain path; its density
+        # must agree with the fused compare path at equal probability.
+        nbits, trials, precision = 64, 800, 20
+        q = 1 << 19  # 0.5 at precision 20
+        gen = maskbatch.generator_from(random.Random(11))
+        ones = 0
+        for _ in range(trials):
+            matrix = maskbatch.bernoulli_mask_matrix(
+                gen, np.asarray([q]), nbits, precision
+            )
+            ones += maskbatch.masks_to_ints(matrix)[0].bit_count()
+        total = trials * nbits
+        sigma = math.sqrt(total * 0.25)
+        assert abs(ones - total / 2) < 5 * sigma
