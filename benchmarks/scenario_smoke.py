@@ -1,0 +1,89 @@
+"""CI smoke: enumerate the scenario registry and run *everything*.
+
+For every registered scenario this script materialises the scenario's
+minimal-size smoke spec to a JSON file, drives it through the real CLI
+path (``repro run <name> --spec <file> --save <record>``), and collects
+the uniform result records plus a manifest into one output directory —
+the artifact CI uploads.  A scenario that fails to run, or whose
+acceptance check fails (non-zero exit), fails the whole smoke.
+
+Run:  PYTHONPATH=src python benchmarks/scenario_smoke.py --out-dir scenario-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.analysis.io import load_record
+from repro.cli import main as cli_main
+from repro.scenarios import registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="scenario-smoke",
+        help="where spec files, result records and the manifest land",
+    )
+    args = parser.parse_args(argv)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest = []
+    failures = []
+    for name in registry.names():
+        entry = registry.get(name)
+        spec = entry.smoke_spec()
+        spec_path = out_dir / f"{name}.spec.json"
+        spec_path.write_text(
+            json.dumps({"scenario": name, **spec.to_dict()}, indent=2) + "\n"
+        )
+        record_path = out_dir / f"{name}.json"
+        start = time.perf_counter()
+        code = cli_main(
+            ["run", name, "--spec", str(spec_path), "--save", str(record_path)]
+        )
+        elapsed = time.perf_counter() - start
+        row = {
+            "scenario": name,
+            "exit_code": code,
+            "elapsed_s": round(elapsed, 3),
+            "spec": str(spec_path.name),
+            "record": str(record_path.name),
+        }
+        if code == 0:
+            record = load_record(record_path)
+            row["ok"] = record["ok"]
+            row["backend"] = record["backend"]
+        else:
+            failures.append(name)
+        manifest.append(row)
+        status = "ok" if code == 0 else f"FAILED (exit {code})"
+        print(f"{name:14s} {elapsed:6.2f}s  {status}")
+
+    manifest_path = out_dir / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(
+            {"scenarios": manifest, "total": len(manifest), "failed": failures},
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"\n{len(manifest) - len(failures)}/{len(manifest)} scenarios passed; "
+        f"records in {out_dir}/"
+    )
+    if failures:
+        print(f"failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

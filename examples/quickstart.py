@@ -5,57 +5,54 @@ the paper's scalable protocol (S4) once and show that every node obtains
 the *sum* of all readings without any node (or eavesdropper) seeing an
 individual value.
 
+This is the Scenario API in its smallest form: a declarative
+:class:`~repro.scenarios.spec.QuickstartSpec` describes the experiment,
+one :class:`~repro.scenarios.session.Session` runs it, and the uniform
+result envelope carries a JSON-ready payload.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CryptoMode, ProtocolConfig, S4Config, S4Engine
-from repro.phy.channel import ChannelParameters
-from repro.topology.generators import grid
+from repro.scenarios import QuickstartSpec, Session
 
 
 def main() -> None:
-    # A 4x2 office-grid deployment, ~7 m between motes.
-    topology = grid(4, 2, spacing_m=7.0, jitter_m=0.5, seed=1)
-
-    # Indoor 2.4 GHz channel (log-distance path loss + mild shadowing).
-    channel = ChannelParameters(
-        path_loss_exponent=4.0,
-        reference_loss_db=52.0,
-        shadowing_sigma_db=1.0,
+    # A 4x2 office-grid deployment, ~7 m between motes, degree-2
+    # polynomials: any 2 colluding nodes learn nothing; any 3 per-point
+    # sums reconstruct the aggregate.
+    spec = QuickstartSpec(
+        columns=4,
+        rows=2,
+        spacing_m=7.0,
+        jitter_m=0.5,
+        topology_seed=1,
+        degree=2,
+        crypto_mode="real",
+        seed=2024,
     )
 
-    # Degree-2 polynomials: any 2 colluding nodes learn nothing; any 3
-    # per-point sums reconstruct the aggregate.
-    config = S4Config(
-        base=ProtocolConfig(degree=2, crypto_mode=CryptoMode.REAL),
-        sharing_ntx=5,
-        reconstruction_ntx=6,
-        collector_redundancy=1,
-        bootstrap_iterations=8,
-    )
-    engine = S4Engine(topology, channel, config)
+    with Session() as session:
+        result = session.run(spec)
+    payload = result.payload
 
-    # Each node's private reading (e.g. room occupancy).
-    readings = {node: 3 + (node * 7) % 11 for node in topology.node_ids}
+    readings = dict(payload["readings"])
     print("private readings:", readings)
-    print("true sum        :", sum(readings.values()))
-
-    metrics = engine.run(readings, seed=2024)
+    print("true sum        :", payload["true_sum"])
 
     print("\nper-node outcome:")
-    for node, m in sorted(metrics.per_node.items()):
-        latency = f"{m.latency_us / 1000:.0f} ms" if m.latency_us else "never"
+    for row in payload["per_node"]:
+        latency = f"{row['latency_ms']:.0f} ms" if row["latency_ms"] else "never"
         print(
-            f"  node {node}: aggregate={m.aggregate}  "
-            f"latency={latency}  radio-on={m.radio_on_us / 1000:.0f} ms"
+            f"  node {row['node']}: aggregate={row['aggregate']}  "
+            f"latency={latency}  radio-on={row['radio_ms']:.0f} ms"
         )
 
-    assert metrics.all_correct, "every node should hold the exact sum"
+    assert payload["all_correct"], "every node should hold the exact sum"
     print(
-        f"\nall {len(metrics.per_node)} nodes agree on the sum "
-        f"{metrics.expected_aggregate} — and none ever saw a raw reading."
+        f"\nall {payload['num_nodes']} nodes agree on the sum "
+        f"{payload['expected_aggregate']} — and none ever saw a raw reading."
     )
 
 

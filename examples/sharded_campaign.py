@@ -1,11 +1,12 @@
 """Sharded scale-out: a 10,000-node deployment as MPC cells.
 
 No single broadcast domain carries ten thousand dealers — chain lengths,
-link tables and share fan-out all grow super-linearly.  This example runs
-the hierarchical composition from ``repro.analysis.sharding`` instead:
+link tables and share fan-out all grow super-linearly.  This example
+runs the ``sharded_grid`` scenario through the unified Scenario API
+instead:
 
-* the deployment (a 100x100 jittered grid) is sliced into 200 spatially
-  contiguous cells of 50 nodes (``repro.topology.cells``);
+* the deployment (a jittered grid) is sliced into spatially contiguous
+  cells (``repro.topology.cells``);
 * every cell runs the paper's share algebra independently — batched
   Shamir splits over its ``degree + 1`` collector points, per-point
   sums, batched reconstruction — as one seeded work unit;
@@ -22,10 +23,8 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 
-from repro.analysis.sharding import flat_expected_sums, run_sharded_campaign
-from repro.topology.generators import grid
+from repro.scenarios import GridShardedSpec, Session
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,50 +37,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", metavar="PATH", default=None)
     args = parser.parse_args(argv)
 
-    columns = max(1, round(args.nodes**0.5))
-    rows = -(-args.nodes // columns)
-    full = grid(columns, rows, spacing_m=10.0, jitter_m=1.0, seed=7)
-    if len(full) < args.nodes:
-        raise SystemExit(f"grid too small for {args.nodes} nodes")
-    # Trim the generated grid to exactly --nodes positions.
-    from repro.topology.graph import Topology
-
-    keep = full.node_ids[: args.nodes]
-    topology = Topology(
-        {node: full.position(node) for node in keep},
-        name=f"sharded-demo-{args.nodes}",
-    )
-    print(
-        f"deployment: {args.nodes} nodes ({columns}x{rows} grid), "
-        f"{args.cells} MPC cells, {args.iterations} rounds"
-    )
-
-    start = time.perf_counter()
-    result = run_sharded_campaign(
-        topology,
+    spec = GridShardedSpec(
+        nodes=args.nodes,
         cells=args.cells,
         iterations=args.iterations,
         seed=args.seed,
-        workers=args.workers,
     )
-    elapsed = time.perf_counter() - start
+    with Session(workers=args.workers) as session:
+        result = session.run(spec)
+    payload = result.payload
 
-    sizes = [len(cell.node_ids) for cell in result.cells]
     print(
-        f"cells: {result.num_cells} "
-        f"({min(sizes)}-{max(sizes)} nodes each), "
-        f"cross-cell degree {result.cross_degree}"
+        f"deployment: {payload['nodes']} nodes "
+        f"({payload['columns']}x{payload['rows']} grid), "
+        f"{payload['num_cells']} MPC cells, {payload['iterations']} rounds"
     )
-    for label, total, expected in zip(
-        range(args.iterations), result.totals, result.expected
+    sizes = payload["cell_sizes"]
+    print(
+        f"cells: {payload['num_cells']} "
+        f"({min(sizes)}-{max(sizes)} nodes each), "
+        f"cross-cell degree {payload['cross_degree']}"
+    )
+    for label, (total, expected) in enumerate(
+        zip(payload["totals"], payload["expected"])
     ):
         marker = "ok" if total == expected else "MISMATCH"
         print(f"  round {label}: aggregate={total}  expected={expected}  {marker}")
-    print(f"ran in {elapsed:.2f} s")
+    print(f"ran in {result.elapsed_s:.2f} s")
 
-    flat = flat_expected_sums(topology.node_ids, args.iterations)
-    assert result.totals == flat, "sharded aggregate must equal the flat sum"
-    assert result.all_match
+    assert payload["matches_flat"], "sharded aggregate must equal the flat sum"
+    assert payload["all_match"]
     print(
         f"\nall {args.iterations} cross-cell aggregates equal the flat "
         f"{args.nodes}-node deployment sums, bit for bit — and no cell "
@@ -90,15 +75,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.out:
         record = {
-            "nodes": args.nodes,
-            "cells": result.num_cells,
-            "iterations": args.iterations,
-            "seed": args.seed,
-            "cross_degree": result.cross_degree,
-            "elapsed_s": round(elapsed, 4),
-            "totals": list(result.totals),
-            "expected": list(result.expected),
-            "all_match": result.all_match,
+            "nodes": payload["nodes"],
+            "cells": payload["num_cells"],
+            "iterations": payload["iterations"],
+            "seed": payload["seed"],
+            "cross_degree": payload["cross_degree"],
+            "elapsed_s": round(result.elapsed_s, 4),
+            "totals": list(payload["totals"]),
+            "expected": list(payload["expected"]),
+            "all_match": payload["all_match"],
             "cell_sizes": sizes,
         }
         with open(args.out, "w", encoding="utf-8") as handle:

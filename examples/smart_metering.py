@@ -1,92 +1,71 @@
 """Smart metering: the paper's motivating scenario, end to end.
 
 A utility wants the total consumption of a neighbourhood every period,
-but individual household readings are sensitive.  We run periodic S4
-rounds on the FlockLab testbed model, then demonstrate the privacy
-guarantee with an actual colluding coalition: collectors up to the
-collusion threshold learn *nothing*, one more breaks it (so the
-threshold is exactly what Shamir promises).
+but individual household readings are sensitive.  Two scenario runs
+cover the whole story through the unified Scenario API:
+
+* ``metering`` — periodic S4 billing rounds on the FlockLab testbed
+  model, folding a billing-window total (a head-end re-runs a round
+  that did not converge; the retry costs latency, never privacy);
+* ``privacy`` — an actual colluding coalition on a real-crypto round:
+  collectors up to the collusion threshold learn *nothing*, one more
+  breaks it (so the threshold is exactly what Shamir promises).
 
 Run:  python examples/smart_metering.py
 """
 
 from __future__ import annotations
 
-from repro import CryptoMode, S4Config, S4Engine, flocklab
-from repro.privacy.analysis import run_protocol_coalition_experiment
+from repro.scenarios import MeteringSpec, PrivacySpec, Session
 
 
 def main() -> None:
-    spec = flocklab()
-    engine = S4Engine.for_testbed(
-        spec, S4Config.for_testbed(spec, CryptoMode.REAL)
-    )
-    nodes = spec.topology.node_ids
+    with Session() as session:
+        billing = session.run(
+            MeteringSpec(
+                testbed="flocklab",
+                periods=3,
+                seed=9_000,
+                crypto_mode="real",
+                base_load_wh=180,
+            )
+        )
+        coalition = session.run(PrivacySpec(testbed="flocklab", seed=77))
+
+    window = billing.payload
     print(
-        f"testbed: {spec.name} ({len(nodes)} meters), "
-        f"polynomial degree {spec.polynomial_degree} "
-        f"(≤{spec.polynomial_degree} colluders learn nothing)"
+        f"testbed: {billing.deployment} — billing window of "
+        f"{len(window['periods'])} periods (real AES data path)"
+    )
+    for row in window["periods"]:
+        retries = f" (after {row['retries']} retry)" if row["retries"] else ""
+        print(
+            f"period {row['period']}: true total {row['true_total_wh']} Wh, "
+            f"aggregated {row['aggregate_wh']} Wh, "
+            f"network latency {row['latency_ms']:.0f} ms, "
+            f"mean radio-on {row['mean_radio_ms']:.0f} ms{retries}"
+        )
+    assert window["all_correct"], "every period must aggregate exactly"
+    print(
+        f"window total: {window['window_total_wh']} Wh — the utility bills "
+        "on totals, never on household readings."
     )
 
-    # --- billing periods ---------------------------------------------------
-    # A real metering head-end re-runs a round that did not converge (a
-    # few percent of rounds at the paper's aggressive low-NTX settings);
-    # the retry costs one more round of latency, never privacy.
-    collected = 0
-    period = 0
-    attempt = 0
-    while collected < 3:
-        readings = {
-            node: 180 + (node * 37 + period * 101) % 400 for node in nodes
-        }
-        metrics = engine.run(readings, seed=9_000 + period * 13 + attempt)
-        total = sum(readings.values())
-        sample = metrics.per_node[nodes[0]]
-        if metrics.all_correct:
-            print(
-                f"period {period}: true total {total} Wh, "
-                f"aggregated {sample.aggregate} Wh, "
-                f"network latency {metrics.max_latency_us / 1000:.0f} ms, "
-                f"mean radio-on {metrics.mean_radio_on_us / 1000:.0f} ms"
-                + (f" (after {attempt} retry)" if attempt else "")
-            )
-            collected += 1
-            period += 1
-            attempt = 0
-        else:
-            print(
-                f"period {period}: round did not converge "
-                f"({metrics.success_fraction:.0%} of nodes reconstructed) "
-                "— re-running"
-            )
-            attempt += 1
-            assert attempt <= 3, "round keeps failing; configuration broken"
-
-
-    # --- the privacy experiment -------------------------------------------------
-    readings = {node: 180 + (node * 37) % 400 for node in nodes}
-    degree = engine.config.degree
-    collectors = list(engine.bootstrap_for(nodes).collectors)
-
-    below = run_protocol_coalition_experiment(
-        engine, readings, collectors[:degree], seed=77
-    )
-    above = run_protocol_coalition_experiment(
-        engine, readings, collectors[: degree + 1], seed=77
-    )
-
+    # --- the privacy experiment ---------------------------------------------
+    below = coalition.payload["below"]
+    above = coalition.payload["above"]
     print(
         f"\ncoalition of {below['coalition_size']} colluding collectors "
-        f"(= threshold): recovered {len(below['recovered_secrets'])} "
+        f"(= threshold): recovered {below['recovered_count']} "
         "household readings"
     )
     print(
         f"coalition of {above['coalition_size']} colluding collectors "
-        f"(threshold + 1): recovered {len(above['recovered_secrets'])} "
+        f"(threshold + 1): recovered {above['recovered_count']} "
         "household readings"
     )
-    assert not below["recovered_secrets"], "below-threshold coalition must fail"
-    assert len(above["recovered_secrets"]) == len(readings), (
+    assert below["recovered_count"] == 0, "below-threshold coalition must fail"
+    assert above["recovered_count"] == coalition.payload["num_nodes"], (
         "above-threshold coalition recovers everything — the bound is tight"
     )
     print(

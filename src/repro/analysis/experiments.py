@@ -11,6 +11,18 @@ Also here: the NTX-coverage curve (§III's non-linearity / claim C3+C5),
 the degree sweep (the paper's closing remark, claim C4), fault-tolerance
 (§III's resilience argument, ablation A1) and the optimization split
 (ablation A2).
+
+Since the Scenario API landed (:mod:`repro.scenarios`), every ``run_*``
+function here is a **thin back-compat wrapper**: it builds the
+scenario's declarative spec and delegates to
+:meth:`repro.scenarios.session.Session.run`, passing the caller's live
+:class:`~repro.topology.testbeds.TestbedSpec` through as the deployment
+override.  Results are bit-identical to the registry path —
+``tests/scenarios/test_session.py`` pins that equivalence for STUB and
+REAL crypto.  What stays in this module is the shared experiment
+*vocabulary* the scenarios and campaign units build on: sub-deployment
+carving, engine construction, per-round secrets/seeds, and the Fig. 1
+result dataclasses.
 """
 
 from __future__ import annotations
@@ -25,10 +37,10 @@ from repro.core.metrics import METRICS_MODES, RoundMetrics, RoundSummary
 from repro.core.s3 import S3Engine
 from repro.core.s4 import S4Engine
 from repro.ct.packet import sharing_psdu_bytes
-from repro.errors import ConfigurationError, ProtocolError, ReconstructionError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.phy.channel import ChannelModel
 from repro.phy.link import cached_link_table
-from repro.sim.seeds import iteration_seeds, stable_seed
+from repro.sim.seeds import iteration_seeds
 from repro.topology.graph import Topology, connected_subset
 from repro.topology.testbeds import TestbedSpec
 
@@ -205,262 +217,11 @@ def _point_from_rounds(
     )
 
 
-def run_figure1(
-    spec: TestbedSpec,
-    iterations: int = 30,
-    seed: int = 1,
-    crypto_mode: CryptoMode = CryptoMode.STUB,
-    sizes: Sequence[int] | None = None,
-    workers: int | None = None,
-    executor=None,
-    metrics: str = "full",
-) -> Figure1Result:
-    """Reproduce Fig. 1 for one testbed.
-
-    The paper repeats each point 2000 times on hardware; the default 30
-    seeded simulation iterations give the same central tendency (the
-    distributions are tightly concentrated — see the p5/p95 columns).
-
-    The sweep executes as independent seeded work units
-    (:mod:`repro.analysis.campaign`).  ``workers`` — or the
-    ``REPRO_WORKERS`` environment variable — fans them out over worker
-    processes; results are bit-identical to the serial path for the same
-    seeds, because per-round randomness depends only on the absolute
-    iteration index.  Pass an existing
-    :class:`~repro.analysis.campaign.CampaignExecutor` as ``executor`` to
-    amortise worker start-up across many campaigns.
-
-    ``metrics="summary"`` makes workers stream reduced
-    :class:`~repro.core.metrics.RoundSummary` rounds instead of dense
-    per-node maps; the resulting :class:`Figure1Result` is identical (its
-    statistics only consume the shared summary API).
-    """
-    from repro.analysis import campaign
-
-    if sizes is None:
-        sizes = spec.source_sweep
-    sizes = tuple(sizes)
-
-    def collect(ex) -> Figure1Result:
-        units = campaign.plan_figure1_units(
-            spec, sizes, iterations, seed, crypto_mode, ex.workers, metrics=metrics
-        )
-        results = ex.run_units(units)
-        merged: dict[tuple[int, str], list] = {
-            (size, variant): [] for size in sizes for variant in ("s3", "s4")
-        }
-        for unit, rounds in zip(units, results):
-            merged[(unit.size, unit.variant)].extend(rounds)
-        points = tuple(
-            _point_from_rounds(
-                size, merged[(size, "s3")], merged[(size, "s4")]
-            )
-            for size in sizes
-        )
-        return Figure1Result(
-            testbed=spec.name, points=points, iterations=iterations
-        )
-
-    if executor is not None:
-        return collect(executor)
-    with campaign.CampaignExecutor(workers=workers) as ex:
-        return collect(ex)
-
-
-# -- NTX coverage curve (claims C3 + C5) --------------------------------------
-
-
-def run_ntx_coverage_curve(
-    spec: TestbedSpec,
-    ntx_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10, 12),
-    iterations: int = 20,
-    seed: int = 3,
-    workers: int | None = None,
-    executor=None,
-) -> list[dict[str, float]]:
-    """Mean reachability / full-coverage fraction as NTX grows (§III).
-
-    Each NTX value is an independent work unit (probe randomness is
-    seeded per NTX), so the curve parallelises point-wise with results
-    identical to the serial sweep.
-    """
-    from repro.analysis import campaign
-
-    def collect(ex) -> list[dict[str, float]]:
-        prebuilt = None
-        if ex.workers <= 1:
-            # Serial execution shares one table across the whole curve —
-            # on the reference path nothing else deduplicates it.
-            channel = ChannelModel(spec.channel)
-            frame = 6 + sharing_psdu_bytes()
-            prebuilt = cached_link_table(spec.topology.positions, channel, frame)
-        units = [
-            campaign.CoverageUnit(
-                spec=spec,
-                ntx=int(ntx),
-                iterations=iterations,
-                seed=seed,
-                prebuilt_links=prebuilt,
-            )
-            for ntx in ntx_values
-        ]
-        return sorted(ex.run_units(units), key=lambda row: row["ntx"])
-
-    if executor is not None:
-        return collect(executor)
-    with campaign.CampaignExecutor(workers=workers) as ex:
-        return collect(ex)
-
-
 def spec_timings(spec: TestbedSpec):
     """Radio timings for a testbed (the library default nRF model)."""
     from repro.phy.radio import NRF52840_154
 
     return NRF52840_154
-
-
-# -- degree sweep (claim C4) ----------------------------------------------------
-
-
-def run_degree_sweep(
-    spec: TestbedSpec,
-    degrees: Sequence[int] | None = None,
-    iterations: int = 15,
-    seed: int = 5,
-    crypto_mode: CryptoMode = CryptoMode.STUB,
-    workers: int | None = None,
-    executor=None,
-) -> list[dict[str, float]]:
-    """S4 latency/radio-on vs polynomial degree at full network size.
-
-    The paper's closing observation: "further improvement in the latency
-    and radio-on time would be visible in S4 ... for an even lesser
-    degree of the polynomial used."  Each degree is an independent seeded
-    work unit (:func:`repro.sim.seeds.child_seed` per degree), so the
-    sweep parallelises degree-wise.
-    """
-    from repro.analysis import campaign
-
-    n = len(spec.topology)
-    if degrees is None:
-        top = degree_for(n)
-        degrees = sorted({max(1, top // 4), max(1, top // 2), top})
-    units = [
-        campaign.DegreeUnit(
-            spec=spec,
-            degree=int(degree),
-            iterations=iterations,
-            seed=seed,
-            crypto_mode=crypto_mode,
-        )
-        for degree in degrees
-    ]
-    if executor is not None:
-        return executor.run_units(units)
-    return campaign.run_units(units, workers=workers)
-
-
-# -- fault tolerance (ablation A1) ---------------------------------------------
-
-
-def run_fault_tolerance(
-    spec: TestbedSpec,
-    failure_counts: Sequence[int] = (0, 1, 2, 3),
-    iterations: int = 15,
-    seed: int = 7,
-    crypto_mode: CryptoMode = CryptoMode.STUB,
-) -> list[dict[str, float]]:
-    """Kill collectors mid-sharing; measure S4 reconstruction survival.
-
-    §III: with degree ``p < n`` "even the final polynomial can be formed
-    by combining any k+1 sum values", so up to ``m − (p+1)`` collector
-    losses are survivable by construction.
-
-    Streams in the :class:`~repro.core.metrics.RoundSummary` wire
-    format: every round is reduced to its flat scalar summary the moment
-    it finishes, so the sweep's in-flight state is one summary — never a
-    dense per-node ``RoundMetrics`` list — however big the spec.
-    """
-    _, s4 = build_engines(spec, crypto_mode=crypto_mode)
-    nodes = spec.topology.node_ids
-    bootstrap = s4.bootstrap_for(nodes)
-    collectors = list(bootstrap.collectors)
-    rows = []
-    for count in failure_counts:
-        if count > len(collectors):
-            raise ConfigurationError(
-                f"cannot fail {count} of {len(collectors)} collectors"
-            )
-        successes = []
-        for iteration in range(iterations):
-            secrets = round_secrets(nodes, iteration)
-            victims = collectors[:count]
-            # Victims die halfway through the sharing round.
-            fail_slot = max(1, bootstrap.sharing_slots // 2)
-            failures = {victim: fail_slot for victim in victims}
-            try:
-                summary = RoundSummary.from_metrics(
-                    s4.run(
-                        secrets,
-                        seed=stable_seed(seed, count, iteration),
-                        sharing_failures=failures,
-                    )
-                )
-                successes.append(summary.success_fraction)
-            except (ProtocolError, ReconstructionError):
-                successes.append(0.0)
-        rows.append(
-            {
-                "failed_collectors": float(count),
-                "redundancy": float(len(collectors) - (s4.config.degree + 1)),
-                "success_fraction": sum(successes) / len(successes),
-            }
-        )
-    return rows
-
-
-# -- optimization split (ablation A2) -------------------------------------------
-
-
-def run_optimization_ablation(
-    spec: TestbedSpec,
-    iterations: int = 10,
-    seed: int = 11,
-    crypto_mode: CryptoMode = CryptoMode.STUB,
-) -> list[dict[str, float]]:
-    """Which S4 optimization buys what: chain trim vs early radio-off.
-
-    Three configurations at full network size:
-
-    * ``s3`` — the naive baseline;
-    * ``s4_no_early_off`` — trimmed chain + low NTX but radios stay on
-      (isolates the schedule/chain gains);
-    * ``s4`` — the full variant.
-    """
-    nodes = spec.topology.node_ids
-    s3, s4 = build_engines(spec, crypto_mode=crypto_mode)
-    s4_always_on = _engine_without_early_off(spec, crypto_mode)
-    rows = []
-    for label, engine in (
-        ("s3", s3),
-        ("s4_no_early_off", s4_always_on),
-        ("s4", s4),
-    ):
-        # Streaming wire format: rounds arrive as flat RoundSummary
-        # scalars, so the ablation never holds dense per-node maps.
-        rounds = run_rounds(
-            engine, nodes, iterations, stable_seed(seed, label), metrics="summary"
-        )
-        latencies = [r.max_latency_us / 1000.0 for r in rounds if r.has_latency]
-        radio = [r.mean_radio_on_us / 1000.0 for r in rounds]
-        rows.append(
-            {
-                "variant": label,
-                "latency_ms": summarize(latencies).mean if latencies else float("nan"),
-                "radio_ms": summarize(radio).mean,
-            }
-        )
-    return rows
 
 
 def _engine_without_early_off(spec: TestbedSpec, crypto_mode: CryptoMode):
@@ -498,7 +259,169 @@ def _engine_without_early_off(spec: TestbedSpec, crypto_mode: CryptoMode):
     return S4AlwaysOn(spec.topology, spec.channel, config)
 
 
-# -- interference robustness (extension E1) --------------------------------------
+# -- back-compat wrappers over the Scenario API --------------------------------
+#
+# Each wrapper builds the declarative spec for its scenario and runs it
+# through a Session, passing the caller's deployment object through as
+# the resolution override (specs in files select testbeds by *name*;
+# programmatic callers keep handing in ad-hoc TestbedSpecs).
+
+
+def _run_scenario(scenario_spec, deployment, workers=None, executor=None, metrics="full"):
+    from repro.scenarios import Session
+
+    with Session(workers=workers, metrics=metrics, executor=executor) as session:
+        return session.run(scenario_spec, deployment=deployment).payload
+
+
+def run_figure1(
+    spec: TestbedSpec,
+    iterations: int = 30,
+    seed: int = 1,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+    sizes: Sequence[int] | None = None,
+    workers: int | None = None,
+    executor=None,
+    metrics: str = "full",
+) -> Figure1Result:
+    """Reproduce Fig. 1 for one testbed (wrapper over scenario ``figure1``).
+
+    The paper repeats each point 2000 times on hardware; the default 30
+    seeded simulation iterations give the same central tendency (the
+    distributions are tightly concentrated — see the p5/p95 columns).
+
+    The sweep executes as independent seeded work units
+    (:mod:`repro.analysis.campaign`).  ``workers`` — or the
+    ``REPRO_WORKERS`` environment variable — fans them out over worker
+    processes; results are bit-identical to the serial path for the same
+    seeds, because per-round randomness depends only on the absolute
+    iteration index.  Pass an existing
+    :class:`~repro.analysis.campaign.CampaignExecutor` as ``executor`` to
+    amortise worker start-up across many campaigns.
+
+    ``metrics="summary"`` makes workers stream reduced
+    :class:`~repro.core.metrics.RoundSummary` rounds instead of dense
+    per-node maps; the resulting :class:`Figure1Result` is identical (its
+    statistics only consume the shared summary API).
+    """
+    from repro.scenarios import Figure1Spec
+
+    scenario_spec = Figure1Spec(
+        testbed=spec.name,
+        iterations=iterations,
+        seed=seed,
+        crypto_mode=crypto_mode,
+        sizes=tuple(sizes) if sizes is not None else None,
+    )
+    return _run_scenario(
+        scenario_spec, spec, workers=workers, executor=executor, metrics=metrics
+    )
+
+
+def run_ntx_coverage_curve(
+    spec: TestbedSpec,
+    ntx_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10, 12),
+    iterations: int = 20,
+    seed: int = 3,
+    workers: int | None = None,
+    executor=None,
+) -> list[dict[str, float]]:
+    """Mean reachability / full-coverage fraction as NTX grows (§III).
+
+    Wrapper over scenario ``coverage``: each NTX value is an independent
+    work unit (probe randomness is seeded per NTX), so the curve
+    parallelises point-wise with results identical to the serial sweep.
+    """
+    from repro.scenarios import CoverageSpec
+
+    scenario_spec = CoverageSpec(
+        testbed=spec.name,
+        ntx_values=tuple(int(ntx) for ntx in ntx_values),
+        iterations=iterations,
+        seed=seed,
+    )
+    return _run_scenario(scenario_spec, spec, workers=workers, executor=executor)
+
+
+def run_degree_sweep(
+    spec: TestbedSpec,
+    degrees: Sequence[int] | None = None,
+    iterations: int = 15,
+    seed: int = 5,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+    workers: int | None = None,
+    executor=None,
+) -> list[dict[str, float]]:
+    """S4 latency/radio-on vs polynomial degree (wrapper over ``degrees``).
+
+    The paper's closing observation: "further improvement in the latency
+    and radio-on time would be visible in S4 ... for an even lesser
+    degree of the polynomial used."  Each degree is an independent seeded
+    work unit (:func:`repro.sim.seeds.child_seed` per degree), so the
+    sweep parallelises degree-wise.
+    """
+    from repro.scenarios import DegreeSweepSpec
+
+    scenario_spec = DegreeSweepSpec(
+        testbed=spec.name,
+        degrees=tuple(int(d) for d in degrees) if degrees is not None else None,
+        iterations=iterations,
+        seed=seed,
+        crypto_mode=crypto_mode,
+    )
+    return _run_scenario(scenario_spec, spec, workers=workers, executor=executor)
+
+
+def run_fault_tolerance(
+    spec: TestbedSpec,
+    failure_counts: Sequence[int] = (0, 1, 2, 3),
+    iterations: int = 15,
+    seed: int = 7,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """Kill collectors mid-sharing; measure S4 reconstruction survival.
+
+    Wrapper over scenario ``faults``.  §III: with degree ``p < n`` "even
+    the final polynomial can be formed by combining any k+1 sum values",
+    so up to ``m − (p+1)`` collector losses are survivable by
+    construction.
+    """
+    from repro.scenarios import FaultToleranceSpec
+
+    scenario_spec = FaultToleranceSpec(
+        testbed=spec.name,
+        failure_counts=tuple(int(c) for c in failure_counts),
+        iterations=iterations,
+        seed=seed,
+        crypto_mode=crypto_mode,
+    )
+    return _run_scenario(scenario_spec, spec)
+
+
+def run_optimization_ablation(
+    spec: TestbedSpec,
+    iterations: int = 10,
+    seed: int = 11,
+    crypto_mode: CryptoMode = CryptoMode.STUB,
+) -> list[dict[str, float]]:
+    """Which S4 optimization buys what (wrapper over scenario ``ablation``).
+
+    Three configurations at full network size:
+
+    * ``s3`` — the naive baseline;
+    * ``s4_no_early_off`` — trimmed chain + low NTX but radios stay on
+      (isolates the schedule/chain gains);
+    * ``s4`` — the full variant.
+    """
+    from repro.scenarios import AblationSpec
+
+    scenario_spec = AblationSpec(
+        testbed=spec.name,
+        iterations=iterations,
+        seed=seed,
+        crypto_mode=crypto_mode,
+    )
+    return _run_scenario(scenario_spec, spec)
 
 
 def run_interference_sweep(
@@ -508,7 +431,7 @@ def run_interference_sweep(
     seed: int = 13,
     crypto_mode: CryptoMode = CryptoMode.STUB,
 ) -> list[dict[str, float]]:
-    """S3/S4 under D-Cube-style jamming levels (extension experiment).
+    """S3/S4 under D-Cube-style jamming levels (wrapper over ``interference``).
 
     The paper evaluates at jamming level 0; the D-Cube testbed exists to
     ask what happens at levels 1-3.  Jammers degrade link PRRs (averaged
@@ -516,64 +439,16 @@ def run_interference_sweep(
     delivery and erodes reliability — more for S4, whose NTX margin is
     deliberately thin.
     """
-    from repro.core.s3 import S3Engine
-    from repro.core.s4 import S4Engine
-    from repro.phy.interference import dcube_jamming
+    from repro.scenarios import InterferenceSpec
 
-    nodes = spec.topology.node_ids
-    degree = degree_for(len(nodes))
-    base = ProtocolConfig(degree=degree, crypto_mode=crypto_mode)
-    rows = []
-    for level in levels:
-        field = dcube_jamming(level, spec.topology.bounding_box())
-        s3 = S3Engine(
-            spec.topology,
-            spec.channel,
-            S3Config(base=base, ntx=spec.full_coverage_ntx),
-            interference=field,
-        )
-        s4 = S4Engine(
-            spec.topology,
-            spec.channel,
-            S4Config(
-                base=base,
-                sharing_ntx=spec.extras.get("s4_sharing_ntx", spec.sharing_ntx),
-                reconstruction_ntx=spec.full_coverage_ntx,
-                collector_redundancy=spec.extras.get("s4_redundancy", 1),
-            ),
-            interference=field,
-        )
-        row: dict[str, float] = {"level": float(level)}
-        for label, engine in (("s3", s3), ("s4", s4)):
-            try:
-                # Streaming wire format (see run_fault_tolerance): the
-                # jamming sweep's biggest configurations are exactly the
-                # ones that should not hold per-node round maps.
-                results = run_rounds(
-                    engine,
-                    nodes,
-                    iterations,
-                    stable_seed(seed, level, label),
-                    metrics="summary",
-                )
-            except (ProtocolError, ConfigurationError):
-                row[f"{label}_success"] = 0.0
-                row[f"{label}_latency_ms"] = float("nan")
-                continue
-            latencies = [
-                r.max_latency_us / 1000.0 for r in results if r.has_latency
-            ]
-            row[f"{label}_success"] = sum(
-                r.success_fraction for r in results
-            ) / len(results)
-            row[f"{label}_latency_ms"] = (
-                summarize(latencies).mean if latencies else float("nan")
-            )
-        rows.append(row)
-    return rows
-
-
-# -- lifetime projection (extension E2) -------------------------------------------
+    scenario_spec = InterferenceSpec(
+        testbed=spec.name,
+        levels=tuple(int(level) for level in levels),
+        iterations=iterations,
+        seed=seed,
+        crypto_mode=crypto_mode,
+    )
+    return _run_scenario(scenario_spec, spec)
 
 
 def run_lifetime_projection(
@@ -582,21 +457,28 @@ def run_lifetime_projection(
     seed: int = 17,
     crypto_mode: CryptoMode = CryptoMode.STUB,
 ) -> dict[str, float]:
-    """Battery-lifetime comparison: the paper's motivation, quantified.
+    """Battery-lifetime comparison (wrapper over scenario ``lifetime``).
 
     Runs a small campaign per variant and projects first-node-death
     lifetime under a standard duty cycle (96 rounds/day, AA-class cell).
     """
-    from repro.core.campaign import run_campaign
+    from repro.scenarios import LifetimeSpec
 
-    s3, s4 = build_engines(spec, crypto_mode=crypto_mode)
-    campaign_s3 = run_campaign(s3, rounds=rounds, seed=seed)
-    campaign_s4 = run_campaign(s4, rounds=rounds, seed=seed)
-    return {
-        "s3_lifetime_days": campaign_s3.lifetime_days(),
-        "s4_lifetime_days": campaign_s4.lifetime_days(),
-        "s3_reliability": campaign_s3.reliability,
-        "s4_reliability": campaign_s4.reliability,
-        "lifetime_gain": campaign_s4.lifetime_days()
-        / campaign_s3.lifetime_days(),
-    }
+    scenario_spec = LifetimeSpec(
+        testbed=spec.name,
+        rounds=rounds,
+        seed=seed,
+        crypto_mode=crypto_mode,
+    )
+    return _run_scenario(scenario_spec, spec)
+
+
+# Warm the Scenario API at import time.  NOT redundant with the lazy
+# `from repro.scenarios import Session` in _run_scenario: that lazy
+# import fires inside the caller's *first campaign*, which the
+# cold-start bench (and any user timing a fresh process) measures —
+# spec-dataclass creation is a one-time ~tens-of-ms cost that belongs
+# with module imports, before the clock starts.  Bottom-of-module on
+# purpose — scenarios.builtin imports the helpers defined above, so this
+# is the one spot where neither import direction sees a partial module.
+import repro.scenarios  # noqa: E402,F401  (registers the built-in scenarios)

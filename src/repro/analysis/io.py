@@ -113,6 +113,44 @@ def load_figure1(path: str | pathlib.Path) -> Figure1Result:
     return figure1_from_dict(data)
 
 
+#: ``kind`` tag shared by every Scenario-API result record
+#: (see :mod:`repro.scenarios.session`).
+SCENARIO_RECORD_KIND = "scenario-result"
+
+
+def save_record(record: Mapping[str, Any], path: str | pathlib.Path) -> None:
+    """Persist one uniform scenario-result record (the shared envelope).
+
+    The record is what :meth:`repro.scenarios.session.ExperimentResult.to_dict`
+    produces: scenario name, spec echo, wall time, backend fingerprint,
+    encoded payload.  Every scenario — figure1 to sharded to plugins —
+    writes this one format, so downstream tooling parses a single schema.
+    """
+    if record.get("kind") != SCENARIO_RECORD_KIND:
+        raise ReproError(
+            f"not a scenario record: kind={record.get('kind')!r}"
+        )
+    payload = json.dumps(dict(record), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n")
+
+
+def load_record(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read a uniform scenario-result record back (validates the kind)."""
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise ReproError(f"no result file at {file_path}")
+    try:
+        data = json.loads(file_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(f"corrupt result file {file_path}: {error}") from None
+    if data.get("kind") != SCENARIO_RECORD_KIND:
+        raise ReproError(
+            f"expected kind {SCENARIO_RECORD_KIND!r}, "
+            f"file holds {data.get('kind')!r}"
+        )
+    return data
+
+
 def save_rows(
     rows: Sequence[Mapping[str, Any]],
     path: str | pathlib.Path,

@@ -382,43 +382,24 @@ def run_sharded_campaign(
 ) -> ShardedResult:
     """Run a deployment as sharded MPC cells plus a cross-cell round.
 
-    Cells execute as independent seeded work units over the campaign
-    executor — serially, or fanned out with ``workers`` /
-    ``REPRO_WORKERS`` — and the per-cell aggregates are combined by
-    :func:`cross_cell_aggregate`.  Results are bit-identical however the
-    cells are scheduled: every cell's stream depends only on
+    Back-compat wrapper over scenario ``sharded``
+    (:mod:`repro.scenarios.builtin`): cells execute as independent seeded
+    work units over the campaign executor — serially, or fanned out with
+    ``workers`` / ``REPRO_WORKERS`` — and the per-cell aggregates are
+    combined by :func:`cross_cell_aggregate`.  Results are bit-identical
+    however the cells are scheduled: every cell's stream depends only on
     ``(seed, cell index)``, and the cross-cell deal only on
     ``(seed, cell index)`` as well.
     """
-    units = plan_cell_units(
-        deployment,
-        cells,
-        iterations,
-        seed,
-        metrics=metrics,
-        simulate=simulate,
+    from repro.scenarios import Session, ShardedSpec
+
+    scenario_spec = ShardedSpec(
+        testbed=getattr(deployment, "name", "") or "topology",
+        cells=cells,
+        iterations=iterations,
+        seed=seed,
         crypto_mode=crypto_mode,
+        simulate=simulate,
     )
-
-    def collect(ex: CampaignExecutor) -> ShardedResult:
-        results = ex.run_units(units)
-        totals, degree = cross_cell_aggregate(results, iterations, seed)
-        expected = []
-        prime = PrimeField().prime
-        for round_index in range(iterations):
-            expected.append(
-                sum(cell.expected[round_index] for cell in results) % prime
-            )
-        return ShardedResult(
-            cells=tuple(results),
-            totals=totals,
-            expected=tuple(expected),
-            cross_degree=degree,
-            iterations=iterations,
-            seed=seed,
-        )
-
-    if executor is not None:
-        return collect(executor)
-    with CampaignExecutor(workers=workers) as ex:
-        return collect(ex)
+    with Session(workers=workers, metrics=metrics, executor=executor) as session:
+        return session.run(scenario_spec, deployment=deployment).payload

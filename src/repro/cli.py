@@ -1,72 +1,134 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Commands mirror the experiment index in DESIGN.md:
+Three generic commands front the whole experiment surface — the CLI is
+*generated* from the scenario registry (:mod:`repro.scenarios`), so a
+newly registered scenario gets its command, flags, table/CSV output and
+spec-file support without touching this module:
 
-* ``figure1``   — the Fig. 1 node-count sweep on one testbed.
-* ``coverage``  — the NTX → coverage curve (§III non-linearity).
-* ``degrees``   — S4 cost vs polynomial degree (claim C4).
-* ``faults``    — collector-failure tolerance (ablation A1).
-* ``ablation``  — which S4 optimization buys what (ablation A2).
-* ``interference`` — robustness under D-Cube jamming levels (extension E1).
-* ``lifetime``  — battery lifetime projection (extension E2).
-* ``privacy``   — coalition experiment on a real-crypto round.
-* ``sharded``   — scale-out: MPC cells + cross-cell aggregation round.
+* ``repro run <scenario> [--spec file.json | flags]`` — run any
+  registered scenario.  Flags are generated from the scenario's spec
+  dataclass fields; ``--spec`` loads a JSON spec file, with explicit
+  flags overriding its fields.
+* ``repro scenarios`` — list every registered scenario.
+* ``repro describe <scenario>`` — show a scenario's spec fields,
+  defaults, and an example spec file.
+
+The nine pre-registry commands (``repro figure1``, ``repro coverage``,
+...) remain as top-level aliases of ``repro run <name>``.
+
+Exit codes: ``0`` success, ``1`` runtime failure (a round that never
+completed, a sharded mismatch), ``2`` spec/validation errors (unknown
+scenario, malformed spec file, out-of-range field) — argparse usage
+errors also exit 2, via :class:`SystemExit`.
 """
 
 from __future__ import annotations
 
 import argparse
+import enum
+import json
+import pathlib
 import sys
+import types
+import typing
 
-from repro.analysis.experiments import (
-    run_degree_sweep,
-    run_fault_tolerance,
-    run_figure1,
-    run_interference_sweep,
-    run_lifetime_projection,
-    run_ntx_coverage_curve,
-    run_optimization_ablation,
-)
-from repro.analysis.reporting import format_figure1_table, format_table, to_csv
-from repro.core.config import CryptoMode
-from repro.topology.testbeds import testbed_by_name
+from repro.analysis.reporting import to_csv
+from repro.errors import ReproError, SpecError
+from repro.scenarios import Session, registry
+from repro.scenarios.spec import spec_fields
+
+#: Testbed names the generated ``--testbed`` flag accepts (argparse
+#: rejects others with a usage error, like the old hand-rolled commands).
+TESTBED_CHOICES = ("flocklab", "dcube")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+# -- generated spec flags ------------------------------------------------------
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.replace(",", " ").split()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise argparse.ArgumentTypeError(f"expected true/false, got {text!r}")
+
+
+def _strip_optional(hint) -> object:
+    if typing.get_origin(hint) in (typing.Union, types.UnionType):
+        inner = [a for a in typing.get_args(hint) if a is not type(None)]
+        if len(inner) == 1:
+            return inner[0]
+    return hint
+
+
+def _default_repr(value) -> str:
+    if isinstance(value, enum.Enum):
+        return value.name.lower()
+    if isinstance(value, tuple):
+        return ",".join(str(item) for item in value)
+    return str(value)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser, spec_type: type) -> None:
+    """One generated flag per spec dataclass field."""
+    fields = spec_fields(spec_type)
+    field_names = {field.name for field in fields}
+    names = []
+    for field in fields:
+        flags = ["--" + field.name.replace("_", "-")]
+        if field.name == "rounds" and "iterations" not in field_names:
+            # The pre-registry CLI spelled every per-point repeat count
+            # --iterations; keep that spelling routable.
+            flags.append("--iterations")
+        kwargs: dict = {
+            "default": None,
+            "help": f"spec field (default: {_default_repr(field.default)})",
+        }
+        inner = _strip_optional(field.hint)
+        if field.name == "testbed":
+            kwargs["choices"] = TESTBED_CHOICES
+        elif isinstance(inner, type) and issubclass(inner, enum.Enum):
+            kwargs["choices"] = [member.name.lower() for member in inner]
+        elif typing.get_origin(inner) is tuple:
+            kwargs.update(type=_int_list, metavar="N[,N...]")
+        elif inner is bool:
+            kwargs.update(type=_parse_bool, metavar="{true,false}")
+        elif inner is int:
+            kwargs.update(type=int, metavar="N")
+        elif inner is float:
+            kwargs.update(type=float, metavar="X")
+        parser.add_argument(*flags, dest=field.name, **kwargs)
+        names.append(field.name)
+    parser.set_defaults(spec_field_names=names)
+
+
+def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    """The cross-cutting flags every run-style command shares."""
     parser.add_argument(
-        "--testbed",
-        default="flocklab",
-        choices=["flocklab", "dcube"],
-        help="which testbed model to run on",
-    )
-    parser.add_argument(
-        "--iterations", type=int, default=None, help="rounds per data point"
-    )
-    parser.add_argument(
-        "--seed", type=int, default=1, help="campaign seed"
-    )
-    parser.add_argument(
-        "--csv", action="store_true", help="emit CSV instead of a table"
-    )
-    parser.add_argument(
-        "--real-crypto",
-        action="store_true",
-        help="run the full AES data path instead of the stub codec",
-    )
-    parser.add_argument(
-        "--save",
+        "--spec",
         metavar="PATH",
         default=None,
-        help="also write the result as JSON (figure1 only)",
+        help="JSON spec file for this scenario; explicit flags override "
+        "its fields",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="fan sweep work units out over N worker processes "
+        help="fan campaign work units out over N worker processes "
         "(default: $REPRO_WORKERS or serial; results are bit-identical "
-        "either way; applies to figure1/coverage/degrees)",
+        "either way)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -82,361 +144,192 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="full",
         help="per-round metrics payload workers return: dense per-node "
         "('full') or streaming scalars ('summary'; identical results, "
-        "flat IPC — applies to figure1/sharded)",
+        "flat IPC)",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the uniform JSON result record",
+    )
+    parser.add_argument(
+        "--real-crypto",
+        action="store_true",
+        help="run the full AES data path instead of the stub codec "
+        "(shorthand for --crypto-mode real)",
     )
 
 
-def _crypto(args) -> CryptoMode:
-    return CryptoMode.REAL if args.real_crypto else CryptoMode.STUB
+# -- command handlers ----------------------------------------------------------
 
 
-def cmd_figure1(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    result = run_figure1(
-        spec,
-        iterations=args.iterations or 30,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-        workers=args.workers,
-        metrics=args.metrics,
-    )
+def _load_spec_file(path: str, scenario_name: str) -> dict:
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise SpecError(f"no spec file at {file_path}")
+    try:
+        data = json.loads(file_path.read_text())
+    except json.JSONDecodeError as error:
+        raise SpecError(f"corrupt spec file {file_path}: {error}") from None
+    if not isinstance(data, dict):
+        raise SpecError(f"spec file {file_path} must hold a JSON object")
+    declared = data.get("scenario")
+    if declared is not None and declared != scenario_name:
+        raise SpecError(
+            f"spec file {file_path} declares scenario {declared!r}, "
+            f"not {scenario_name!r}"
+        )
+    return {key: value for key, value in data.items() if key != "scenario"}
+
+
+def _cmd_run(args) -> int:
+    entry = registry.get(args.scenario_name)
+    data: dict = {}
+    if args.spec:
+        data = _load_spec_file(args.spec, entry.name)
+    for name in args.spec_field_names:
+        value = getattr(args, name)
+        if value is not None:
+            data[name] = value
+    if args.real_crypto and "crypto_mode" in args.spec_field_names:
+        data["crypto_mode"] = "real"
+    spec = entry.spec_type.from_dict(data)
+    with Session(
+        workers=args.workers, metrics=args.metrics, cache_dir=args.cache_dir
+    ) as session:
+        result = session.run(spec)
     if args.save:
-        from repro.analysis.io import save_figure1
-
-        save_figure1(result, args.save)
-    if args.csv:
-        rows = [
-            {
-                "n": p.num_nodes,
-                "degree": p.degree,
-                "s3_latency_ms": p.s3_latency_ms.mean,
-                "s4_latency_ms": p.s4_latency_ms.mean,
-                "latency_ratio": p.latency_ratio,
-                "s3_radio_ms": p.s3_radio_ms.mean,
-                "s4_radio_ms": p.s4_radio_ms.mean,
-                "radio_ratio": p.radio_ratio,
-                "s3_success": p.s3_success,
-                "s4_success": p.s4_success,
-            }
-            for p in result.points
-        ]
-        print(to_csv(rows), end="")
+        result.save(args.save)
+    if args.csv and entry.rows is not None:
+        print(to_csv([dict(row) for row in entry.rows(result.payload)]), end="")
+    elif entry.table is not None:
+        print(entry.table(result))
     else:
-        print(format_figure1_table(result))
-        head = result.full_network_point
-        print(
-            f"\nComplete network (n={head.num_nodes}): S4 is "
-            f"{head.latency_ratio:.1f}x faster and uses "
-            f"{head.radio_ratio:.1f}x less radio-on time than S3."
-        )
-    return 0
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0 if entry.check(result.payload) else 1
 
 
-def cmd_coverage(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    rows = run_ntx_coverage_curve(
-        spec,
-        iterations=args.iterations or 20,
-        seed=args.seed,
-        workers=args.workers,
-    )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
+def _cmd_scenarios(args) -> int:
+    entries = registry.all_scenarios()
+    if args.json:
         print(
-            format_table(
-                ["NTX", "mean reachable", "mean delivery", "full coverage"],
+            json.dumps(
                 [
-                    [
-                        int(r["ntx"]),
-                        r["mean_reachable"],
-                        r["mean_delivery"],
-                        r["full_coverage_fraction"],
-                    ]
-                    for r in rows
+                    {
+                        "name": entry.name,
+                        "description": entry.description,
+                        "spec_type": entry.spec_type.__name__,
+                        "smoke": dict(entry.smoke),
+                    }
+                    for entry in entries
                 ],
-                title=f"NTX coverage profile — {spec.name}",
+                indent=2,
             )
         )
+        return 0
+    width = max(len(entry.name) for entry in entries)
+    print(f"{len(entries)} registered scenarios (run with: repro run <name>):\n")
+    for entry in entries:
+        print(f"  {entry.name.ljust(width)}  {entry.description}")
     return 0
 
 
-def cmd_degrees(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    rows = run_degree_sweep(
-        spec,
-        iterations=args.iterations or 15,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-        workers=args.workers,
-    )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
+def _cmd_describe(args) -> int:
+    entry = registry.get(args.scenario_name)
+    print(f"scenario: {entry.name}")
+    print(f"  {entry.description}")
+    print(f"spec type: {entry.spec_type.__name__}\n")
+    print("fields:")
+    for field in spec_fields(entry.spec_type):
+        inner = _strip_optional(field.hint)
+        if isinstance(inner, type) and issubclass(inner, enum.Enum):
+            kind = "|".join(member.name.lower() for member in inner)
+        elif typing.get_origin(inner) is tuple:
+            kind = "list of int"
+        else:
+            kind = getattr(inner, "__name__", str(inner))
+        if inner is not field.hint:
+            kind += " (optional)"
         print(
-            format_table(
-                ["degree", "chain", "latency ms", "radio ms", "success"],
-                [
-                    [
-                        int(r["degree"]),
-                        int(r["chain_length"]),
-                        r["latency_ms"],
-                        r["radio_ms"],
-                        r["success"],
-                    ]
-                    for r in rows
-                ],
-                title=f"S4 cost vs polynomial degree — {spec.name}",
-            )
+            f"  {field.name.ljust(22)} {kind.ljust(16)} "
+            f"default: {_default_repr(field.default)}"
         )
+    example = {"scenario": entry.name, **entry.spec_type().to_dict()}
+    print("\nexample spec file (repro run "
+          f"{entry.name} --spec file.json):")
+    print(json.dumps(example, indent=2))
     return 0
 
 
-def cmd_faults(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    rows = run_fault_tolerance(
-        spec,
-        iterations=args.iterations or 15,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-    )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
-        print(
-            format_table(
-                ["failed collectors", "redundancy", "success fraction"],
-                [
-                    [
-                        int(r["failed_collectors"]),
-                        int(r["redundancy"]),
-                        r["success_fraction"],
-                    ]
-                    for r in rows
-                ],
-                title=f"S4 collector-failure tolerance — {spec.name}",
-            )
-        )
-    return 0
+# -- parser assembly -----------------------------------------------------------
 
 
-def cmd_ablation(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    rows = run_optimization_ablation(
-        spec,
-        iterations=args.iterations or 10,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-    )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
-        print(
-            format_table(
-                ["variant", "latency ms", "radio ms"],
-                [[r["variant"], r["latency_ms"], r["radio_ms"]] for r in rows],
-                title=f"Optimization ablation — {spec.name}",
-            )
-        )
-    return 0
+def _add_run_parser(container, entry) -> None:
+    sub = container.add_parser(entry.name, help=entry.description)
+    _add_spec_arguments(sub, entry.spec_type)
+    _add_session_arguments(sub)
+    sub.set_defaults(handler=_cmd_run, scenario_name=entry.name)
 
 
-def cmd_interference(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    rows = run_interference_sweep(
-        spec,
-        iterations=args.iterations or 8,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-    )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
-        print(
-            format_table(
-                [
-                    "jamming level",
-                    "S3 success",
-                    "S3 latency ms",
-                    "S4 success",
-                    "S4 latency ms",
-                ],
-                [
-                    [
-                        int(r["level"]),
-                        r["s3_success"],
-                        r["s3_latency_ms"],
-                        r["s4_success"],
-                        r["s4_latency_ms"],
-                    ]
-                    for r in rows
-                ],
-                title=f"Interference robustness — {spec.name} "
-                "(extension: D-Cube jamming levels)",
-            )
-        )
-    return 0
-
-
-def cmd_lifetime(args) -> int:
-    spec = testbed_by_name(args.testbed)
-    out = run_lifetime_projection(
-        spec,
-        rounds=args.iterations or 10,
-        seed=args.seed,
-        crypto_mode=_crypto(args),
-    )
-    print(
-        format_table(
-            ["variant", "projected lifetime (days)", "campaign reliability"],
-            [
-                ["S3", out["s3_lifetime_days"], f"{out['s3_reliability']:.2f}"],
-                ["S4", out["s4_lifetime_days"], f"{out['s4_reliability']:.2f}"],
-            ],
-            title=f"Battery lifetime projection — {spec.name} "
-            "(96 rounds/day, AA-class cell, first-node-death)",
-        )
-    )
-    print(f"\nS4 extends network lifetime {out['lifetime_gain']:.1f}x.")
-    return 0
-
-
-def cmd_privacy(args) -> int:
-    from repro.analysis.experiments import build_engines, round_secrets
-    from repro.privacy.analysis import run_protocol_coalition_experiment
-
-    spec = testbed_by_name(args.testbed)
-    _, s4 = build_engines(spec, crypto_mode=CryptoMode.REAL)
-    nodes = spec.topology.node_ids
-    secrets = round_secrets(nodes, 0)
-    degree = s4.config.degree
-    collectors = list(s4.bootstrap_for(nodes).collectors)
-
-    below = run_protocol_coalition_experiment(
-        s4, secrets, collectors[:degree], seed=args.seed
-    )
-    above = run_protocol_coalition_experiment(
-        s4, secrets, collectors[: degree + 1], seed=args.seed
-    )
-    print(
-        format_table(
-            ["coalition", "size", "breaches threshold", "secrets recovered"],
-            [
-                [
-                    "below threshold",
-                    below["coalition_size"],
-                    below["breaches_threshold"],
-                    len(below["recovered_secrets"]),
-                ],
-                [
-                    "above threshold",
-                    above["coalition_size"],
-                    above["breaches_threshold"],
-                    len(above["recovered_secrets"]),
-                ],
-            ],
-            title=f"Semi-honest coalition experiment — {spec.name} "
-            f"(degree {degree})",
-        )
-    )
-    return 0
-
-
-def cmd_sharded(args) -> int:
-    from repro.analysis.sharding import run_sharded_campaign
-
-    spec = testbed_by_name(args.testbed)
-    iterations = args.iterations or 10
-    result = run_sharded_campaign(
-        spec,
-        cells=args.cells,
-        iterations=iterations,
-        seed=args.seed,
-        metrics=args.metrics,
-        crypto_mode=_crypto(args),
-        workers=args.workers,
-    )
-    rows = []
-    for cell in result.cells:
-        success = sum(r.success_fraction for r in cell.rounds) / len(cell.rounds)
-        rows.append(
-            {
-                "cell": cell.index,
-                "nodes": len(cell.node_ids),
-                "reconstructed_rounds": sum(
-                    1 for value in cell.sums if value is not None
-                ),
-                "matched_rounds": sum(
-                    1 for a, b in zip(cell.sums, cell.expected) if a == b
-                ),
-                "success_fraction": round(success, 4),
-            }
-        )
-    if args.csv:
-        print(to_csv(rows), end="")
-    else:
-        print(
-            format_table(
-                ["cell", "nodes", "rounds ok", "rounds match", "success"],
-                [
-                    [
-                        r["cell"],
-                        r["nodes"],
-                        f"{r['reconstructed_rounds']}/{iterations}",
-                        f"{r['matched_rounds']}/{iterations}",
-                        f"{r['success_fraction']:.2f}",
-                    ]
-                    for r in rows
-                ],
-                title=f"Sharded campaign — {spec.name}: "
-                f"{result.num_nodes} nodes in {result.num_cells} MPC cells "
-                f"({args.metrics} metrics)",
-            )
-        )
-        print(
-            f"\nCross-cell aggregate (degree {result.cross_degree}) matches "
-            f"the flat deployment sum in {result.matched_rounds}/"
-            f"{iterations} rounds."
-        )
-    return 0 if result.all_match else 1
-
-
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI, generated from the scenario registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Multi-Party Computation in IoT for "
-        "Privacy-Preservation' (Goyal & Saha, ICDCS 2022)",
+        "Privacy-Preservation' (Goyal & Saha, ICDCS 2022) — unified "
+        "scenario runner",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, handler, doc in (
-        ("figure1", cmd_figure1, "Fig. 1 node-count sweep (S3 vs S4)"),
-        ("coverage", cmd_coverage, "NTX coverage curve (§III)"),
-        ("degrees", cmd_degrees, "S4 cost vs polynomial degree"),
-        ("faults", cmd_faults, "collector-failure tolerance"),
-        ("ablation", cmd_ablation, "optimization split ablation"),
-        ("interference", cmd_interference, "jamming-level robustness (extension)"),
-        ("lifetime", cmd_lifetime, "battery lifetime projection (extension)"),
-        ("privacy", cmd_privacy, "coalition privacy experiment"),
-        ("sharded", cmd_sharded, "sharded MPC cells + cross-cell aggregation"),
-    ):
-        sub = subparsers.add_parser(name, help=doc)
-        _add_common(sub)
-        if name == "sharded":
-            sub.add_argument(
-                "--cells",
-                type=int,
-                default=4,
-                metavar="K",
-                help="number of MPC cells to partition the deployment into",
-            )
-        sub.set_defaults(handler=handler)
-    args = parser.parse_args(argv)
-    if args.cache_dir:
-        from repro import diskcache
 
-        diskcache.set_cache_dir(args.cache_dir)
-    return args.handler(args)
+    run_parser = subparsers.add_parser(
+        "run", help="run any registered scenario"
+    )
+    run_subparsers = run_parser.add_subparsers(
+        dest="scenario", required=True, metavar="SCENARIO"
+    )
+    for entry in registry.all_scenarios():
+        _add_run_parser(run_subparsers, entry)
+
+    # Pre-registry command names stay routable at the top level.
+    for entry in registry.all_scenarios():
+        if entry.legacy_alias:
+            _add_run_parser(subparsers, entry)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list registered scenarios"
+    )
+    scenarios_parser.add_argument(
+        "--json", action="store_true", help="machine-readable listing"
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
+
+    describe_parser = subparsers.add_parser(
+        "describe", help="show a scenario's spec fields and defaults"
+    )
+    describe_parser.add_argument("scenario_name", metavar="SCENARIO")
+    describe_parser.set_defaults(handler=_cmd_describe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Spec/validation problems exit 2 with a one-line message; runtime
+    failures exit 1.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -78,3 +78,15 @@ class BootstrapError(ProtocolError):
 
 class ConfigurationError(ReproError):
     """Invalid protocol or experiment configuration."""
+
+
+class SpecError(ConfigurationError):
+    """Invalid scenario specification (bad field, unknown scenario, ...).
+
+    Raised by the declarative Scenario API (:mod:`repro.scenarios`) for
+    everything that is wrong *before* an experiment runs: malformed spec
+    files, unknown fields, out-of-range values, unknown scenario or
+    testbed names.  The CLI maps it to exit code 2; genuine runtime
+    failures keep raising their own :class:`ReproError` subclasses and
+    exit 1.
+    """

@@ -1,0 +1,157 @@
+"""The scenario registry: one named entry per runnable experiment.
+
+A *scenario* binds together everything the Scenario API needs to run,
+render, and persist one experiment kind:
+
+* a **name** (``"figure1"``, ``"sharded"``, ...) — the CLI handle;
+* a **spec type** (:mod:`repro.scenarios.spec`) — the declarative input;
+* a **run function** ``run(spec, ctx) -> payload`` that plans work
+  (typically :class:`~repro.analysis.campaign.CampaignUnit` batches over
+  the session's executor) and folds results;
+* an **encoder** mapping the payload into the uniform JSON record;
+* optional **table/rows** renderers for human and CSV output, a
+  **check** predicate (exit-code contract), and a **smoke** field-override
+  mapping that describes the scenario's minimal honest configuration
+  (what CI runs for every registered scenario).
+
+Registration happens through the :func:`scenario` decorator::
+
+    @scenario(
+        "billing",
+        spec_type=MeteringSpec,
+        description="billing-window aggregate",
+        encode=lambda payload: payload,
+    )
+    def _run_billing(spec: MeteringSpec, ctx) -> dict:
+        ...
+
+Names and spec types are both unique: a duplicate of either is a
+:class:`repro.errors.SpecError` at import time, because two scenarios
+sharing a spec type would make ``Session.run(spec)`` ambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import SpecError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["Scenario", "scenario", "register", "get", "for_spec", "names", "all_scenarios"]
+
+
+def _same_payload(payload: Any) -> Any:
+    """Default encoder for payloads that are already JSON-safe rows."""
+    return payload
+
+
+def _always_ok(payload: Any) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registry entry (see module docstring for the field contract)."""
+
+    name: str
+    spec_type: type[ScenarioSpec]
+    run: Callable[[ScenarioSpec, Any], Any]
+    description: str
+    encode: Callable[[Any], Any] = _same_payload
+    table: Callable[[Any], str] | None = None
+    rows: Callable[[Any], list[dict]] | None = None
+    check: Callable[[Any], bool] = _always_ok
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    legacy_alias: bool = False
+
+    def smoke_spec(self) -> ScenarioSpec:
+        """The minimal-size spec CI uses to smoke-run this scenario."""
+        return self.spec_type.from_dict(dict(self.smoke))
+
+
+_REGISTRY: dict[str, Scenario] = {}
+_BY_SPEC_TYPE: dict[type[ScenarioSpec], Scenario] = {}
+
+
+def register(entry: Scenario) -> Scenario:
+    """Add a scenario; duplicate names or spec types are errors."""
+    if entry.name in _REGISTRY:
+        raise SpecError(f"scenario {entry.name!r} is already registered")
+    if not issubclass(entry.spec_type, ScenarioSpec):
+        raise SpecError(
+            f"scenario {entry.name!r} spec_type must subclass ScenarioSpec, "
+            f"got {entry.spec_type!r}"
+        )
+    if entry.spec_type in _BY_SPEC_TYPE:
+        raise SpecError(
+            f"spec type {entry.spec_type.__name__} already serves scenario "
+            f"{_BY_SPEC_TYPE[entry.spec_type].name!r}"
+        )
+    _REGISTRY[entry.name] = entry
+    _BY_SPEC_TYPE[entry.spec_type] = entry
+    return entry
+
+
+def scenario(
+    name: str,
+    *,
+    spec_type: type[ScenarioSpec],
+    description: str,
+    encode: Callable[[Any], Any] = _same_payload,
+    table: Callable[[Any], str] | None = None,
+    rows: Callable[[Any], list[dict]] | None = None,
+    check: Callable[[Any], bool] = _always_ok,
+    smoke: Mapping[str, Any] | None = None,
+    legacy_alias: bool = False,
+) -> Callable[[Callable], Callable]:
+    """Decorator form of :func:`register`; returns the run function."""
+
+    def wrap(run: Callable[[ScenarioSpec, Any], Any]) -> Callable:
+        register(
+            Scenario(
+                name=name,
+                spec_type=spec_type,
+                run=run,
+                description=description,
+                encode=encode,
+                table=table,
+                rows=rows,
+                check=check,
+                smoke=dict(smoke or {}),
+                legacy_alias=legacy_alias,
+            )
+        )
+        return run
+
+    return wrap
+
+
+def get(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown scenario {name!r} (have: {', '.join(names())})"
+        ) from None
+
+
+def for_spec(spec: ScenarioSpec) -> Scenario:
+    """The scenario a spec instance belongs to (exact type match)."""
+    entry = _BY_SPEC_TYPE.get(type(spec))
+    if entry is None:
+        raise SpecError(
+            f"no scenario registered for spec type {type(spec).__name__}"
+        )
+    return entry
+
+
+def names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Registered scenarios in name order."""
+    return [_REGISTRY[name] for name in names()]

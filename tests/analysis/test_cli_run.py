@@ -1,0 +1,176 @@
+"""Tests for the generic scenario CLI: run/scenarios/describe, exit codes.
+
+The contract under test: ``repro run <scenario>`` works for every
+registered scenario (flags or ``--spec`` file), legacy command names
+stay routable as aliases, spec/validation errors exit 2 with a one-line
+message, and runtime failures exit 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.io import load_record
+from repro.cli import main
+from repro.scenarios import registry
+
+
+def write_spec(tmp_path, name, data):
+    path = tmp_path / f"{name}.spec.json"
+    path.write_text(json.dumps(data) + "\n")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_with_flags(self, capsys):
+        code = main(
+            ["run", "figure1", "--testbed", "flocklab", "--iterations", "2",
+             "--sizes", "3", "--csv"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("n,")
+        assert len(out.strip().splitlines()) == 2  # header + one size
+
+    def test_run_with_spec_file(self, capsys, tmp_path):
+        spec_path = write_spec(
+            tmp_path,
+            "coverage",
+            {"scenario": "coverage", "ntx_values": [2], "iterations": 2},
+        )
+        assert main(["run", "coverage", "--spec", spec_path]) == 0
+        assert "NTX coverage profile" in capsys.readouterr().out
+
+    def test_flags_override_spec_file(self, capsys, tmp_path):
+        spec_path = write_spec(
+            tmp_path, "coverage", {"ntx_values": [2, 4], "iterations": 2}
+        )
+        code = main(
+            ["run", "coverage", "--spec", spec_path, "--ntx-values", "3", "--csv"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2  # the flag's single NTX wins
+        assert lines[1].startswith("3.0,")
+
+    def test_save_writes_uniform_record(self, capsys, tmp_path):
+        out_path = tmp_path / "record.json"
+        code = main(
+            ["run", "figure1", "--iterations", "2", "--sizes", "3",
+             "--save", str(out_path)]
+        )
+        assert code == 0
+        record = load_record(out_path)
+        assert record["scenario"] == "figure1"
+        assert record["spec"]["sizes"] == [3]
+        assert record["backend"]["workers"] == 1
+        assert record["ok"] is True
+
+    def test_every_registered_scenario_runs_via_spec_file(self, capsys, tmp_path):
+        # The acceptance criterion: `repro run <name> --spec file.json`
+        # works for every registered scenario (at its smoke size).
+        for name in registry.names():
+            entry = registry.get(name)
+            smoke = entry.smoke_spec()
+            spec_path = write_spec(
+                tmp_path, name, {"scenario": name, **smoke.to_dict()}
+            )
+            out_path = tmp_path / f"{name}.json"
+            code = main(["run", name, "--spec", spec_path, "--save", str(out_path)])
+            assert code == 0, f"scenario {name} failed"
+            record = load_record(out_path)
+            assert record["scenario"] == name
+            capsys.readouterr()  # drain
+
+    def test_real_crypto_flag_sets_crypto_mode(self, capsys, tmp_path):
+        out_path = tmp_path / "record.json"
+        code = main(
+            ["run", "ablation", "--iterations", "2", "--real-crypto",
+             "--save", str(out_path)]
+        )
+        assert code == 0
+        assert load_record(out_path)["spec"]["crypto_mode"] == "real"
+
+
+class TestLegacyAliases:
+    def test_alias_output_matches_run(self, capsys):
+        assert main(["coverage", "--iterations", "2", "--csv"]) == 0
+        alias_out = capsys.readouterr().out
+        assert main(["run", "coverage", "--iterations", "2", "--csv"]) == 0
+        run_out = capsys.readouterr().out
+        assert alias_out == run_out
+
+    def test_only_legacy_scenarios_are_top_level(self):
+        with pytest.raises(SystemExit):
+            main(["quickstart"])  # new scenarios live under `run`
+
+
+class TestListingAndDescribe:
+    def test_scenarios_lists_everything(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in listing} == set(registry.names())
+
+    def test_describe_shows_fields_and_example(self, capsys):
+        assert main(["describe", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure1Spec" in out
+        assert "iterations" in out
+        assert '"scenario": "figure1"' in out
+
+    def test_describe_unknown_exits_2(self, capsys):
+        assert main(["describe", "frobnicate"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_unknown_spec_field_exits_2(self, capsys, tmp_path):
+        spec_path = write_spec(tmp_path, "figure1", {"frobnicate": 1})
+        assert main(["run", "figure1", "--spec", spec_path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1  # one-line message
+
+    def test_invalid_field_value_exits_2(self, capsys):
+        assert main(["run", "figure1", "--iterations", "0"]) == 2
+        assert "iterations" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert main(["run", "figure1", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_mismatched_scenario_in_spec_file_exits_2(self, capsys, tmp_path):
+        spec_path = write_spec(tmp_path, "mismatch", {"scenario": "coverage"})
+        assert main(["run", "figure1", "--spec", spec_path]) == 2
+        assert "declares scenario" in capsys.readouterr().err
+
+    def test_corrupt_spec_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run", "figure1", "--spec", str(path)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_runtime_failure_exits_1(self, capsys):
+        # 99 collectors cannot fail on a 26-node testbed: a *runtime*
+        # configuration error, not a spec-validation one.
+        code = main(
+            ["run", "faults", "--failure-counts", "99", "--iterations", "1"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_command_exits_via_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_run_scenario_exits_via_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "frobnicate"])

@@ -1,0 +1,108 @@
+"""Registry tests: the catalogue, duplicate rejection, lookups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios import registry
+from repro.scenarios.registry import Scenario
+from repro.scenarios.spec import Figure1Spec, ScenarioSpec
+
+#: The nine pre-registry experiments — all must be registered scenarios.
+LEGACY_NAMES = {
+    "figure1",
+    "coverage",
+    "degrees",
+    "faults",
+    "ablation",
+    "interference",
+    "lifetime",
+    "privacy",
+    "sharded",
+}
+
+#: Scenarios that shipped as registry plugins (the acceptance criterion
+#: wants at least two brand-new ones).
+NEW_NAMES = {"metering", "quickstart", "sharded_grid", "cells_sweep"}
+
+
+class TestCatalogue:
+    def test_all_legacy_experiments_registered(self):
+        assert LEGACY_NAMES <= set(registry.names())
+
+    def test_new_scenarios_registered(self):
+        assert NEW_NAMES <= set(registry.names())
+        assert len(NEW_NAMES) >= 2
+
+    def test_legacy_aliases_flagged(self):
+        for entry in registry.all_scenarios():
+            assert entry.legacy_alias == (entry.name in LEGACY_NAMES)
+
+    def test_every_entry_has_description_and_smoke_spec(self):
+        for entry in registry.all_scenarios():
+            assert entry.description
+            smoke = entry.smoke_spec()
+            assert isinstance(smoke, entry.spec_type)
+
+    def test_spec_types_unique(self):
+        types = [entry.spec_type for entry in registry.all_scenarios()]
+        assert len(types) == len(set(types))
+
+
+class TestLookup:
+    def test_get_by_name(self):
+        assert registry.get("figure1").spec_type is Figure1Spec
+
+    def test_get_unknown_lists_names(self):
+        with pytest.raises(SpecError, match="figure1"):
+            registry.get("frobnicate")
+
+    def test_for_spec_instance(self):
+        assert registry.for_spec(Figure1Spec()).name == "figure1"
+
+    def test_for_spec_unknown_type(self):
+        @dataclass(frozen=True)
+        class OrphanSpec(ScenarioSpec):
+            knob: int = 1
+
+        with pytest.raises(SpecError):
+            registry.for_spec(OrphanSpec())
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        entry = registry.get("figure1")
+        with pytest.raises(SpecError, match="already registered"):
+            registry.register(
+                Scenario(
+                    name="figure1",
+                    spec_type=entry.spec_type,
+                    run=lambda spec, ctx: None,
+                    description="dup",
+                )
+            )
+
+    def test_duplicate_spec_type_rejected(self):
+        with pytest.raises(SpecError, match="already serves"):
+            registry.register(
+                Scenario(
+                    name="figure1-clone",
+                    spec_type=Figure1Spec,
+                    run=lambda spec, ctx: None,
+                    description="dup type",
+                )
+            )
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(SpecError, match="must subclass"):
+            registry.register(
+                Scenario(
+                    name="bogus",
+                    spec_type=dict,  # type: ignore[arg-type]
+                    run=lambda spec, ctx: None,
+                    description="bogus",
+                )
+            )

@@ -1,0 +1,287 @@
+"""Session tests: the envelope contract and wrapper ≡ registry identity.
+
+The load-bearing satellite here is :class:`TestWrapperRegistryIdentity`:
+every legacy ``run_*`` wrapper must return **bit-identical** results to
+driving the registry path directly with the equivalent spec — for STUB
+and REAL crypto — because downstream consumers (tests, benchmarks,
+saved records) treat the two surfaces as the same experiment.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_degree_sweep,
+    run_fault_tolerance,
+    run_figure1,
+    run_interference_sweep,
+    run_lifetime_projection,
+    run_ntx_coverage_curve,
+    run_optimization_ablation,
+)
+from repro.analysis.io import load_record
+from repro.analysis.sharding import run_sharded_campaign
+from repro.core.config import CryptoMode
+from repro.errors import SpecError
+from repro.phy.channel import ChannelParameters
+from repro.scenarios import (
+    AblationSpec,
+    CoverageSpec,
+    DegreeSweepSpec,
+    FaultToleranceSpec,
+    Figure1Spec,
+    InterferenceSpec,
+    LifetimeSpec,
+    Session,
+    ShardedSpec,
+)
+from repro.topology.generators import grid
+from repro.topology.testbeds import TestbedSpec as BedSpec
+
+
+@pytest.fixture(scope="module")
+def mini_spec():
+    # 5 m pitch: dense enough that an engine-simulated *half* of the
+    # grid still fields 3 qualified collectors (the sharded scenario).
+    topology = grid(3, 3, spacing_m=5.0, jitter_m=0.5, seed=4)
+    channel = ChannelParameters(
+        path_loss_exponent=4.0,
+        reference_loss_db=52.0,
+        shadowing_sigma_db=1.0,
+        noise_floor_dbm=-96.0,
+        shadowing_seed=5,
+    )
+    return BedSpec(
+        topology=topology,
+        channel=channel,
+        sharing_ntx=4,
+        full_coverage_ntx=6,
+        source_sweep=(4, 9),
+        name="mini-scn",
+        extras={"s4_sharing_ntx": 4, "s4_redundancy": 1},
+    )
+
+
+def registry_run(spec, deployment, **session_kwargs):
+    with Session(**session_kwargs) as session:
+        return session.run(spec, deployment=deployment).payload
+
+
+class TestWrapperRegistryIdentity:
+    """Legacy wrappers ≡ registry path, bit for bit (STUB and REAL)."""
+
+    @pytest.mark.parametrize("mode", [CryptoMode.STUB, CryptoMode.REAL])
+    def test_figure1(self, mini_spec, mode):
+        legacy = run_figure1(
+            mini_spec, iterations=2, seed=1, crypto_mode=mode, sizes=(4, 9)
+        )
+        direct = registry_run(
+            Figure1Spec(
+                testbed=mini_spec.name,
+                iterations=2,
+                seed=1,
+                crypto_mode=mode,
+                sizes=(4, 9),
+            ),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    @pytest.mark.parametrize("mode", [CryptoMode.STUB, CryptoMode.REAL])
+    def test_sharded(self, mini_spec, mode):
+        legacy = run_sharded_campaign(
+            mini_spec, cells=2, iterations=2, seed=3, crypto_mode=mode
+        )
+        direct = registry_run(
+            ShardedSpec(
+                testbed=mini_spec.name,
+                cells=2,
+                iterations=2,
+                seed=3,
+                crypto_mode=mode,
+            ),
+            mini_spec,
+            metrics="summary",
+        )
+        assert direct == legacy
+
+    def test_coverage(self, mini_spec):
+        legacy = run_ntx_coverage_curve(mini_spec, ntx_values=(2, 4), iterations=2)
+        direct = registry_run(
+            CoverageSpec(
+                testbed=mini_spec.name, ntx_values=(2, 4), iterations=2, seed=3
+            ),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    def test_degrees(self, mini_spec):
+        legacy = run_degree_sweep(mini_spec, iterations=2)
+        direct = registry_run(
+            DegreeSweepSpec(testbed=mini_spec.name, iterations=2, seed=5),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    @pytest.mark.parametrize("mode", [CryptoMode.STUB, CryptoMode.REAL])
+    def test_faults(self, mini_spec, mode):
+        legacy = run_fault_tolerance(
+            mini_spec, failure_counts=(0, 1), iterations=2, crypto_mode=mode
+        )
+        direct = registry_run(
+            FaultToleranceSpec(
+                testbed=mini_spec.name,
+                failure_counts=(0, 1),
+                iterations=2,
+                seed=7,
+                crypto_mode=mode,
+            ),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    def test_ablation(self, mini_spec):
+        legacy = run_optimization_ablation(mini_spec, iterations=2)
+        direct = registry_run(
+            AblationSpec(testbed=mini_spec.name, iterations=2, seed=11),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    def test_interference(self, mini_spec):
+        legacy = run_interference_sweep(mini_spec, levels=(0, 1), iterations=2)
+        direct = registry_run(
+            InterferenceSpec(
+                testbed=mini_spec.name, levels=(0, 1), iterations=2, seed=13
+            ),
+            mini_spec,
+        )
+        assert direct == legacy
+
+    def test_lifetime(self, mini_spec):
+        legacy = run_lifetime_projection(mini_spec, rounds=2)
+        direct = registry_run(
+            LifetimeSpec(testbed=mini_spec.name, rounds=2, seed=17),
+            mini_spec,
+        )
+        assert direct == legacy
+
+
+class TestEnvelope:
+    def test_envelope_fields(self, mini_spec):
+        spec = Figure1Spec(testbed=mini_spec.name, iterations=2, sizes=(4,))
+        with Session(metrics="summary") as session:
+            result = session.run(spec, deployment=mini_spec)
+        assert result.scenario == "figure1"
+        assert result.spec == spec
+        assert result.deployment == "mini-scn"
+        assert result.elapsed_s > 0
+        assert result.backend["metrics"] == "summary"
+        assert result.backend["workers"] == 1
+        assert isinstance(result.backend["fastpath"], bool)
+        assert result.ok
+
+    def test_record_round_trips_through_disk(self, mini_spec, tmp_path):
+        spec = Figure1Spec(testbed=mini_spec.name, iterations=2, sizes=(4,))
+        with Session() as session:
+            result = session.run(spec, deployment=mini_spec)
+        record = result.to_dict()
+        json.dumps(record)  # must be JSON-serializable as-is
+        path = tmp_path / "record.json"
+        result.save(path)
+        loaded = load_record(path)
+        assert loaded == json.loads(json.dumps(record))
+        assert loaded["kind"] == "scenario-result"
+        assert loaded["scenario"] == "figure1"
+        assert loaded["spec"]["scenario"] == "figure1"
+        assert loaded["spec"]["iterations"] == 2
+
+    def test_testbed_resolution_by_name(self):
+        with Session() as session:
+            result = session.run(Figure1Spec(iterations=2, sizes=(3,)))
+        assert result.deployment == "FlockLab"
+        assert result.payload.testbed == "FlockLab"
+
+    def test_unknown_testbed_is_a_spec_error(self):
+        with Session() as session:
+            with pytest.raises(SpecError):
+                session.run(Figure1Spec(testbed="atlantis", iterations=2))
+
+    def test_bad_metrics_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            Session(metrics="dense")
+
+    def test_injected_executor_is_not_closed(self, mini_spec):
+        from repro.analysis.campaign import CampaignExecutor
+
+        with CampaignExecutor(workers=1) as executor:
+            with Session(executor=executor) as session:
+                session.run(
+                    Figure1Spec(testbed=mini_spec.name, iterations=2, sizes=(4,)),
+                    deployment=mini_spec,
+                )
+            # Session exit must leave the injected executor usable.
+            assert executor.run_units([]) == []
+
+    def test_session_reusable_across_scenarios(self, mini_spec):
+        with Session() as session:
+            first = session.run(
+                Figure1Spec(testbed=mini_spec.name, iterations=2, sizes=(4,)),
+                deployment=mini_spec,
+            )
+            second = session.run(
+                CoverageSpec(testbed=mini_spec.name, ntx_values=(2,), iterations=2),
+                deployment=mini_spec,
+            )
+        assert first.scenario == "figure1"
+        assert second.scenario == "coverage"
+
+
+class TestNewScenarios:
+    def test_metering_window(self, mini_spec):
+        from repro.scenarios import MeteringSpec
+
+        with Session() as session:
+            result = session.run(
+                MeteringSpec(periods=2, crypto_mode=CryptoMode.STUB),
+                deployment=mini_spec,
+            )
+        payload = result.payload
+        assert len(payload["periods"]) == 2
+        assert payload["all_correct"]
+        assert payload["window_total_wh"] == sum(
+            row["true_total_wh"] for row in payload["periods"]
+        )
+
+    def test_cells_sweep_exact_at_every_granularity(self):
+        from repro.scenarios import CellsSweepSpec
+
+        with Session() as session:
+            result = session.run(
+                CellsSweepSpec(nodes=60, cell_counts=(2, 3), iterations=2)
+            )
+        assert [row["cells"] for row in result.payload] == [2, 3]
+        assert all(row["all_match"] for row in result.payload)
+        assert result.ok
+
+    def test_sharded_grid_matches_flat_oracle(self):
+        from repro.scenarios import GridShardedSpec
+
+        with Session() as session:
+            result = session.run(
+                GridShardedSpec(nodes=80, cells=4, iterations=2)
+            )
+        assert result.payload["matches_flat"]
+        assert result.payload["all_match"]
+        assert len(result.payload["cell_sizes"]) == 4
+
+    def test_quickstart_round(self):
+        from repro.scenarios import QuickstartSpec
+
+        with Session() as session:
+            result = session.run(QuickstartSpec(crypto_mode=CryptoMode.STUB))
+        assert result.payload["all_correct"]
+        assert result.payload["num_nodes"] == 8

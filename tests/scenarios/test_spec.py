@@ -1,0 +1,145 @@
+"""Spec-family tests: JSON round-trip, coercion, validation, rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import CryptoMode
+from repro.errors import ConfigurationError, SpecError
+from repro.scenarios import (
+    CellsSweepSpec,
+    CoverageSpec,
+    Figure1Spec,
+    GridShardedSpec,
+    InterferenceSpec,
+    LifetimeSpec,
+    ShardedSpec,
+    registry,
+)
+from repro.scenarios.spec import spec_fields
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_default_spec_round_trips(self, name):
+        spec_type = registry.get(name).spec_type
+        spec = spec_type()
+        assert spec_type.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_smoke_spec_round_trips(self, name):
+        entry = registry.get(name)
+        spec = entry.smoke_spec()
+        assert entry.spec_type.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_to_dict_is_json_serializable(self, name):
+        spec = registry.get(name).spec_type()
+        payload = json.dumps(spec.to_dict())
+        assert registry.get(name).spec_type.from_dict(json.loads(payload)) == spec
+
+    def test_round_trip_preserves_non_defaults(self):
+        spec = Figure1Spec(
+            testbed="dcube",
+            iterations=7,
+            seed=99,
+            crypto_mode=CryptoMode.REAL,
+            sizes=(5, 7),
+        )
+        clone = Figure1Spec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.crypto_mode is CryptoMode.REAL
+        assert clone.sizes == (5, 7)
+
+
+class TestCoercion:
+    def test_crypto_mode_from_string(self):
+        assert Figure1Spec(crypto_mode="real").crypto_mode is CryptoMode.REAL
+        assert Figure1Spec(crypto_mode="STUB").crypto_mode is CryptoMode.STUB
+
+    def test_bad_crypto_mode_string(self):
+        with pytest.raises(SpecError):
+            Figure1Spec(crypto_mode="quantum")
+
+    def test_lists_become_tuples(self):
+        spec = CoverageSpec(ntx_values=[2, 4])
+        assert spec.ntx_values == (2, 4)
+
+    def test_int_fields_reject_strings_and_bools(self):
+        with pytest.raises(SpecError):
+            Figure1Spec(iterations="many")
+        with pytest.raises(SpecError):
+            Figure1Spec(iterations=True)
+
+    def test_float_fields_accept_ints(self):
+        assert GridShardedSpec(spacing_m=5).spacing_m == 5.0
+
+    def test_none_rejected_where_not_optional(self):
+        with pytest.raises(SpecError):
+            Figure1Spec(iterations=None)
+
+    def test_optional_bool_accepts_none_and_bool(self):
+        assert ShardedSpec(simulate=None).simulate is None
+        assert ShardedSpec(simulate=False).simulate is False
+
+
+class TestUnknownFields:
+    def test_unknown_field_rejected_with_names(self):
+        with pytest.raises(SpecError, match="frobnicate"):
+            Figure1Spec.from_dict({"frobnicate": 1})
+
+    def test_scenario_key_tolerated(self):
+        spec = Figure1Spec.from_dict({"scenario": "figure1", "iterations": 2})
+        assert spec.iterations == 2
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SpecError):
+            Figure1Spec.from_dict([1, 2, 3])
+
+
+class TestValidation:
+    def test_spec_error_is_a_configuration_error(self):
+        # Wrappers that used to raise ConfigurationError keep their
+        # contract when validation moves into the spec layer.
+        assert issubclass(SpecError, ConfigurationError)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: Figure1Spec(iterations=0),
+            lambda: Figure1Spec(sizes=()),
+            lambda: Figure1Spec(sizes=(2,)),
+            lambda: CoverageSpec(ntx_values=()),
+            lambda: CoverageSpec(ntx_values=(0,)),
+            lambda: InterferenceSpec(levels=(9,)),
+            lambda: LifetimeSpec(rounds=0),
+            lambda: ShardedSpec(cells=0),
+            lambda: GridShardedSpec(nodes=10, cells=20),
+            lambda: CellsSweepSpec(cell_counts=()),
+            lambda: CellsSweepSpec(nodes=10, cell_counts=(20,)),
+        ],
+    )
+    def test_invalid_specs_raise(self, build):
+        with pytest.raises(SpecError):
+            build()
+
+    def test_error_message_is_one_line(self):
+        with pytest.raises(SpecError) as caught:
+            Figure1Spec(iterations=0)
+        assert "\n" not in str(caught.value)
+
+
+class TestFieldIntrospection:
+    def test_spec_fields_resolve_hints(self):
+        fields = {field.name: field for field in spec_fields(Figure1Spec)}
+        assert fields["iterations"].hint is int
+        assert fields["iterations"].default == 30
+        assert fields["crypto_mode"].hint is CryptoMode
+
+    def test_every_registered_spec_is_introspectable(self):
+        for name in registry.names():
+            fields = spec_fields(registry.get(name).spec_type)
+            assert fields, f"{name} spec has no fields"
+            assert all(field.name for field in fields)
