@@ -1,0 +1,166 @@
+"""CI smoke for the chaos layer's degradation contract.
+
+Two probes, both at minimal size and driven through the real CLI path:
+
+1. **Survivable plan** — the registered ``chaos`` scenario's smoke spec
+   (a nonzero fault plan: a corruption, a crash and a worker kill) must
+   exit 0 and save a uniform JSON record with ``ok: true`` whose rounds
+   all reproduce the flat deployment's sums bit-identically.
+2. **Unsurvivable plan** — one loss beyond the reconstruction threshold
+   must exit 1 from a fresh subprocess with a one-line structured
+   ``error:`` message on stderr — no traceback, and *no record with a
+   wrong answer*.
+
+The collected records and a manifest land in ``--out-dir`` as the
+artifact CI uploads.
+
+Run:  PYTHONPATH=src python benchmarks/chaos_smoke.py --out-dir chaos-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+from repro.analysis.io import load_record  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.scenarios import registry  # noqa: E402
+
+#: Three corruptions against 4 cells (threshold 2) lose 3 collector
+#: points in round 0 — one past the survivable bound of 2.
+UNSURVIVABLE = {
+    "events": [
+        {"kind": "corrupt", "cell": 0, "round": 0},
+        {"kind": "corrupt", "cell": 1, "round": 0},
+        {"kind": "corrupt", "cell": 2, "round": 0},
+    ]
+}
+
+
+def _survivable_probe(out_dir: pathlib.Path) -> dict:
+    entry = registry.get("chaos")
+    spec = entry.smoke_spec()
+    spec_path = out_dir / "chaos.spec.json"
+    spec_path.write_text(
+        json.dumps({"scenario": "chaos", **spec.to_dict()}, indent=2) + "\n"
+    )
+    record_path = out_dir / "chaos.json"
+    start = time.perf_counter()
+    code = cli_main(
+        ["run", "chaos", "--spec", str(spec_path), "--save", str(record_path)]
+    )
+    elapsed = time.perf_counter() - start
+    probe = {
+        "probe": "survivable",
+        "exit_code": code,
+        "elapsed_s": round(elapsed, 3),
+        "fault_events": len(spec.faults.events),
+        "spec": spec_path.name,
+        "record": record_path.name,
+        "violations": [],
+    }
+    if code != 0:
+        probe["violations"].append(f"expected exit 0, got {code}")
+        return probe
+    record = load_record(record_path)
+    probe["ok"] = record["ok"]
+    if not record["ok"]:
+        probe["violations"].append("record ok flag is false")
+    payload = record["payload"]
+    if not payload["exact_under_loss"]:
+        probe["violations"].append("a reconstructed total was wrong")
+    if len(spec.faults.events) == 0:
+        probe["violations"].append("smoke fault plan is empty")
+    return probe
+
+
+def _unsurvivable_probe(out_dir: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "run",
+            "chaos",
+            "--cells",
+            "4",
+            "--iterations",
+            "2",
+            "--replication",
+            "2",
+            "--faults",
+            json.dumps(UNSURVIVABLE),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    stderr_lines = [line for line in completed.stderr.splitlines() if line]
+    probe = {
+        "probe": "unsurvivable",
+        "exit_code": completed.returncode,
+        "stderr": stderr_lines,
+        "violations": [],
+    }
+    if completed.returncode != 1:
+        probe["violations"].append(
+            f"expected exit 1, got {completed.returncode}"
+        )
+    if len(stderr_lines) != 1:
+        probe["violations"].append(
+            f"expected one structured stderr line, got {len(stderr_lines)}"
+        )
+    if not stderr_lines or not stderr_lines[0].startswith("error: "):
+        probe["violations"].append("stderr line is not an 'error: ' message")
+    if "Traceback" in completed.stderr:
+        probe["violations"].append("stderr carries a traceback")
+    if stderr_lines and "survivable bound" not in stderr_lines[0]:
+        probe["violations"].append(
+            "error message does not name the survivable bound"
+        )
+    return probe
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="chaos-smoke",
+        help="where spec files, result records and the manifest land",
+    )
+    args = parser.parse_args(argv)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    probes = [_survivable_probe(out_dir), _unsurvivable_probe(out_dir)]
+    failed = [p["probe"] for p in probes if p["violations"]]
+    (out_dir / "manifest.json").write_text(
+        json.dumps({"probes": probes, "failed": failed}, indent=2) + "\n"
+    )
+    for probe in probes:
+        status = "ok" if not probe["violations"] else "FAILED"
+        print(f"{probe['probe']:14s} exit {probe['exit_code']}  {status}")
+        for violation in probe["violations"]:
+            print(f"  - {violation}", file=sys.stderr)
+    if failed:
+        print(f"failed probes: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"degradation contract held; records in {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -480,6 +480,78 @@ def bench_sharded(iterations: int) -> dict:
     }
 
 
+# -- tier 7: chaos campaign — the price of coded redundancy ----------------------
+
+
+def bench_chaos(iterations: int) -> dict:
+    """Fault-injected campaign vs the fault-free sharded baseline.
+
+    Same deployment and shape as the sharded tier; the chaos run adds
+    replication-2 coded copies of every cell unit plus a sampled nonzero
+    fault plan (a crash, a straggler, a corruption and a worker kill).
+    The recorded ``redundancy_overhead`` is the wall-clock inflation paid
+    for surviving that plan — deliberately *not* a ``*speedup`` key, so
+    the regression gate records it without enforcing it: overhead is the
+    price of the robustness contract, not a perf trajectory.
+    """
+    from repro.analysis.sharding import run_sharded_campaign
+    from repro.chaos import FaultPlan, run_chaos_campaign
+    from repro.topology.generators import grid
+
+    nodes = int(os.environ.get("REPRO_BENCH_SHARDED_NODES", "180"))
+    cells = int(os.environ.get("REPRO_BENCH_SHARDED_CELLS", "6"))
+    rounds = max(2, iterations)
+    columns = max(1, round(nodes**0.5))
+    topology = grid(columns, -(-nodes // columns), spacing_m=10.0, seed=7)
+    plan = FaultPlan.sample(1, cells, rounds)
+
+    with fastpath.forced(True):
+        baseline = run_sharded_campaign(
+            topology, cells=cells, iterations=rounds, seed=1
+        )
+        baseline_s = _best_of(
+            lambda: run_sharded_campaign(
+                topology, cells=cells, iterations=rounds, seed=1
+            ),
+            repeats=3,
+        )
+        chaos = run_chaos_campaign(
+            topology,
+            cells,
+            iterations=rounds,
+            seed=1,
+            faults=plan,
+            replication=2,
+        )
+        chaos_s = _best_of(
+            lambda: run_chaos_campaign(
+                topology,
+                cells,
+                iterations=rounds,
+                seed=1,
+                faults=plan,
+                replication=2,
+            ),
+            repeats=3,
+        )
+    if chaos.totals != baseline.totals:
+        raise RuntimeError("chaos bench: faulted totals diverged from baseline")
+    if not chaos.all_match:
+        raise RuntimeError("chaos bench: faulted campaign failed to survive")
+    return {
+        "nodes": len(topology),
+        "cells": cells,
+        "iterations": rounds,
+        "fault_events": len(plan.events),
+        "recovered_rounds": sum(1 for entry in chaos.recovered if entry),
+        "worker_retries": chaos.worker_retries,
+        "unit_inflation": round(chaos.redundancy_overhead, 2),
+        "baseline_s": round(baseline_s, 4),
+        "chaos_s": round(chaos_s, 4),
+        "redundancy_overhead": round(chaos_s / baseline_s, 2),
+    }
+
+
 # -- tier 5: cold start vs the persisted commissioning cache ---------------------
 
 _CHILD_SNIPPET = """
@@ -584,6 +656,10 @@ def main() -> int:
     sharded = bench_sharded(iterations)
     print(f"  {sharded}")
 
+    print("== chaos campaign (sampled fault plan + replication-2 coded cells) ==")
+    chaos = bench_chaos(iterations)
+    print(f"  {chaos}")
+
     print("== cold start (fresh subprocesses, persisted commissioning cache) ==")
     cold = bench_cold_start(iterations)
     print(f"  STUB: {cold['stub']}")
@@ -609,6 +685,7 @@ def main() -> int:
         "figure1_real": real,
         "campaign_parallel": parallel,
         "sharded_campaign": sharded,
+        "chaos_campaign": chaos,
         "cold_start": cold,
         "targets": {
             "figure1_stub_steady_speedup_min": 5.0,

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -102,6 +103,12 @@ def apply_worker_state(state: WorkerState) -> None:
     fastpath.set_vector_enabled(state.vector_enabled)
 
 
+def _sleep_backoff(base_s: float, attempt: int) -> None:
+    """Exponential backoff before a retry (skipped entirely at base 0)."""
+    if base_s > 0:
+        time.sleep(base_s * (2**attempt))
+
+
 def _warm_worker(_: int) -> bool:
     """No-op unit that forces the heavy experiment imports in a worker."""
     import repro.analysis.experiments  # noqa: F401
@@ -113,6 +120,11 @@ def _run_unit(unit: "CampaignUnit"):
     return unit.run()
 
 
+def _run_unit_attempt(payload: "tuple[CampaignUnit, int]"):
+    unit, attempt = payload
+    return unit.run_attempt(attempt)
+
+
 # -- work units ----------------------------------------------------------------
 
 
@@ -121,6 +133,18 @@ class CampaignUnit:
 
     def run(self):  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def run_attempt(self, attempt: int):
+        """Attempt-aware entry point used by the retrying executor.
+
+        ``attempt`` counts from 0.  Seeded units derive their randomness
+        from the unit's own fields, never from the attempt number, so a
+        retried unit is bit-identical to a first run.  Fault-injecting
+        units (:mod:`repro.chaos`) override this to fail deliberately on
+        early attempts.
+        """
+        del attempt
+        return self.run()
 
 
 @dataclass(frozen=True)
@@ -359,10 +383,37 @@ class CampaignExecutor:
     long-running analysis session pays worker start-up once across many
     sweeps.  Worker state is captured at pool creation; toggle
     :mod:`repro.fastpath` *before* creating the executor, not mid-flight.
+
+    ``max_attempts > 1`` turns on bounded retry: a unit whose attempt
+    raises (or whose worker process dies, breaking the pool) is re-run —
+    after exponential backoff ``backoff_base_s * 2**attempt`` — up to
+    ``max_attempts`` total attempts before the error propagates.  Because
+    units are seeded, a retry is bit-identical to a first run; retry
+    changes *whether* a result arrives, never its value.  A hard-killed
+    worker breaks the whole spawn pool, so the pool is rebuilt and every
+    in-flight unit is resubmitted (each such resubmission consumes one of
+    that unit's attempts).  ``retry_count`` accumulates the retries
+    performed over the executor's lifetime.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_attempts: int = 1,
+        backoff_base_s: float = 0.05,
+    ):
         self.workers = resolve_workers(workers)
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {backoff_base_s}"
+            )
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.retry_count = 0
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -381,12 +432,94 @@ class CampaignExecutor:
             )
         return self._pool
 
-    def run_units(self, units: Sequence[CampaignUnit]) -> list:
-        """Execute units, returning their results in unit order."""
+    def run_units(
+        self,
+        units: Sequence[CampaignUnit],
+        max_attempts: int | None = None,
+        backoff_base_s: float | None = None,
+    ) -> list:
+        """Execute units, returning their results in unit order.
+
+        ``max_attempts`` / ``backoff_base_s`` override the executor-wide
+        retry policy for this batch only.
+        """
+        attempts = self.max_attempts if max_attempts is None else max_attempts
+        backoff = (
+            self.backoff_base_s if backoff_base_s is None else backoff_base_s
+        )
+        if attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {attempts}"
+            )
         if self.workers <= 1 or len(units) <= 1:
-            return [unit.run() for unit in units]
+            return [
+                self._run_serial(unit, attempts, backoff) for unit in units
+            ]
+        if attempts <= 1:
+            pool = self._ensure_pool()
+            return list(pool.map(_run_unit, units, chunksize=1))
+        return self._run_parallel(units, attempts, backoff)
+
+    def _run_serial(self, unit: CampaignUnit, attempts: int, backoff: float):
+        attempt = 0
+        while True:
+            try:
+                return unit.run_attempt(attempt)
+            except Exception:
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                self.retry_count += 1
+                _sleep_backoff(backoff, attempt - 1)
+
+    def _run_parallel(
+        self, units: Sequence[CampaignUnit], attempts: int, backoff: float
+    ) -> list:
+        pending = object()
+        results: list = [pending] * len(units)
+        attempt_of = [0] * len(units)
         pool = self._ensure_pool()
-        return list(pool.map(_run_unit, units, chunksize=1))
+        futures: dict[int, Future] = {
+            index: pool.submit(_run_unit_attempt, (unit, 0))
+            for index, unit in enumerate(units)
+        }
+        for index in range(len(units)):
+            while True:
+                try:
+                    results[index] = futures[index].result()
+                    break
+                except BrokenExecutor:
+                    # A worker died hard and took the spawn pool with it.
+                    # Rebuild once and resubmit every unfinished unit;
+                    # the pool cannot say which unit was the killer, so
+                    # each resubmission consumes one attempt.
+                    self._rebuild_pool()
+                    pool = self._ensure_pool()
+                    for later in range(index, len(units)):
+                        if results[later] is not pending:
+                            continue
+                        attempt_of[later] += 1
+                        if attempt_of[later] >= attempts:
+                            raise
+                        self.retry_count += 1
+                        futures[later] = pool.submit(
+                            _run_unit_attempt, (units[later], attempt_of[later])
+                        )
+                except Exception:
+                    attempt_of[index] += 1
+                    if attempt_of[index] >= attempts:
+                        raise
+                    self.retry_count += 1
+                    _sleep_backoff(backoff, attempt_of[index] - 1)
+                    futures[index] = self._ensure_pool().submit(
+                        _run_unit_attempt, (units[index], attempt_of[index])
+                    )
+        return results
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def warm_up(self) -> None:
         """Pay worker start-up (interpreter + imports) ahead of real units."""

@@ -41,7 +41,7 @@ small-scale debugging).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.analysis.campaign import CampaignExecutor, CampaignUnit
 from repro.core.config import CryptoMode
@@ -320,32 +320,62 @@ def cross_cell_aggregate(
     iterations: int,
     seed: int,
     degree: int | None = None,
+    lost_points: Sequence[Iterable[int]] | None = None,
 ) -> tuple[tuple[int | None, ...], int]:
     """Combine per-cell sums into deployment totals via a shared MPC round.
 
-    Each cell deals its per-round aggregate over ``degree + 1`` public
-    points (one batched :meth:`~repro.sss.scheme.ShamirScheme.split_many`
-    call covering the whole campaign), the per-point sums are folded
-    across cells, and one batched
+    Each cell deals its per-round aggregate over **one collector point
+    per cell** (padded to ``degree + 1`` points for tiny deployments) in
+    one batched :meth:`~repro.sss.scheme.ShamirScheme.split_many` call
+    covering the whole campaign; the per-point sums are folded across
+    cells and one batched
     :func:`~repro.sss.aggregation.reconstruct_many_from_sums` pass
-    recovers every round's total.  Rounds where any cell failed to
-    produce an aggregate yield ``None``.
+    recovers every round's total.  Because a dealer's coefficients are
+    drawn *before* evaluation at the points, dealing over all ``k``
+    points leaves each cell's DRBG stream — and therefore every no-loss
+    total — bit-identical to a ``degree + 1``-point deal, while exact
+    field interpolation makes reconstruction from **any**
+    ``degree + 1`` surviving points bit-identical too.
+
+    ``lost_points`` (one entry per round) names the cell indices whose
+    collector point did not survive that round; point ``x`` serves cell
+    ``x - 1``, and padding points belong to no cell and never fail.  A
+    round tolerates up to ``k - (degree + 1)`` lost points.  Rounds
+    where any cell failed to produce an aggregate, or where fewer than
+    ``degree + 1`` points survive, yield ``None``.
 
     Returns ``(totals, degree)``.
     """
+    num_cells = len(cell_results)
     if degree is None:
-        degree = cross_cell_degree(len(cell_results))
+        degree = cross_cell_degree(num_cells)
     field = PrimeField()
     scheme = ShamirScheme(field, degree)
-    points = list(range(1, degree + 2))
+    threshold = degree + 1
+    points = list(range(1, max(num_cells, threshold) + 1))
     prime = field.prime
+
+    if lost_points is None:
+        lost: list[frozenset[int]] = [frozenset()] * iterations
+    else:
+        if len(lost_points) != iterations:
+            raise ConfigurationError(
+                f"lost_points needs one entry per round: "
+                f"expected {iterations}, got {len(lost_points)}"
+            )
+        lost = [frozenset(entry) for entry in lost_points]
+    survivors = [
+        [x for x in points if x - 1 >= num_cells or x - 1 not in lost[r]]
+        for r in range(iterations)
+    ]
 
     live = [
         round_index
         for round_index in range(iterations)
-        if all(cell.sums[round_index] is not None for cell in cell_results)
+        if len(survivors[round_index]) >= threshold
+        and all(cell.sums[round_index] is not None for cell in cell_results)
     ]
-    point_sums = [dict.fromkeys(points, 0) for _ in live]
+    point_sums = [dict.fromkeys(survivors[r], 0) for r in live]
     for cell in cell_results:
         rng = AesCtrDrbg.from_seed(child_seed(seed, "cross-cell", cell.index))
         # One batched deal covers the cell's full round stream; dealing
@@ -358,10 +388,11 @@ def cross_cell_aggregate(
             dealer_ids=[cell.index] * iterations,
         )
         for position, round_index in enumerate(live):
+            sums = point_sums[position]
             for share in batches[round_index]:
-                point_sums[position][share.x.value] = (
-                    point_sums[position][share.x.value] + share.y.value
-                ) % prime
+                x = share.x.value
+                if x in sums:
+                    sums[x] = (sums[x] + share.y.value) % prime
     values = reconstruct_many_from_sums(field, point_sums, degree)
     totals: list[int | None] = [None] * iterations
     for position, round_index in enumerate(live):

@@ -25,6 +25,7 @@ errors also exit 2, via :class:`SystemExit`.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import enum
 import json
 import pathlib
@@ -63,6 +64,29 @@ def _parse_bool(text: str) -> bool:
     raise argparse.ArgumentTypeError(f"expected true/false, got {text!r}")
 
 
+def _json_object(text: str) -> dict:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected a JSON object, got {text!r} ({error})"
+        ) from None
+    if not isinstance(data, dict):
+        raise argparse.ArgumentTypeError(
+            f"expected a JSON object, got {text!r}"
+        )
+    return data
+
+
+def _is_value_object(hint) -> bool:
+    """Nested spec value objects (FaultPlan-style: dataclass + dict codec)."""
+    return (
+        isinstance(hint, type)
+        and dataclasses.is_dataclass(hint)
+        and hasattr(hint, "from_dict")
+    )
+
+
 def _strip_optional(hint) -> object:
     if typing.get_origin(hint) in (typing.Union, types.UnionType):
         inner = [a for a in typing.get_args(hint) if a is not type(None)]
@@ -76,6 +100,8 @@ def _default_repr(value) -> str:
         return value.name.lower()
     if isinstance(value, tuple):
         return ",".join(str(item) for item in value)
+    if dataclasses.is_dataclass(value) and hasattr(value, "to_dict"):
+        return json.dumps(value.to_dict())
     return str(value)
 
 
@@ -101,6 +127,8 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, spec_type: type) -> Non
             kwargs["choices"] = [member.name.lower() for member in inner]
         elif typing.get_origin(inner) is tuple:
             kwargs.update(type=_int_list, metavar="N[,N...]")
+        elif _is_value_object(inner):
+            kwargs.update(type=_json_object, metavar="JSON")
         elif inner is bool:
             kwargs.update(type=_parse_bool, metavar="{true,false}")
         elif inner is int:

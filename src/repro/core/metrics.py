@@ -198,6 +198,10 @@ class RoundSummary:
         sharing_slots / reconstruction_slots: schedule slot counts.
         chain_length_sharing / chain_length_reconstruction: chain lengths.
         failure_count: injected node failures during the round.
+        lost_cells: cells whose collector point was lost this round
+            (chaos campaigns only; 0 elsewhere).
+        recovered_cells: cells whose contribution was recovered from a
+            coded replica this round (chaos campaigns only; 0 elsewhere).
     """
 
     num_nodes: int
@@ -218,6 +222,8 @@ class RoundSummary:
     chain_length_sharing: int
     chain_length_reconstruction: int
     failure_count: int
+    lost_cells: int = 0
+    recovered_cells: int = 0
 
     @classmethod
     def from_metrics(cls, metrics: RoundMetrics) -> "RoundSummary":

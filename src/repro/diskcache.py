@@ -65,6 +65,11 @@ _ENV_MAX_AGE_DAYS = "REPRO_CACHE_MAX_AGE_DAYS"
 #: ``REPRO_CACHE_MAX_ENTRIES``); also bounds writes per process.
 MAX_ENTRIES = 8192
 
+#: A ``.tmp-*`` file older than this is a crashed writer's leftover, not
+#: an in-flight write (atomic writes complete in milliseconds), and is
+#: removed by :func:`sweep`.
+TMP_MAX_AGE_S = 3600.0
+
 _dir_override: pathlib.Path | None = None
 _enabled_override: bool | None = None
 _entry_budget: dict[str, int] = {}
@@ -215,15 +220,21 @@ def sweep(
        remain, the oldest-by-mtime overflow is deleted.  ``load`` touches
        entries on every hit, so mtime order is recency-of-use order.
 
-    Returns ``{"expired": ..., "evicted": ..., "kept": ...}`` counts.
+    A preliminary pass removes ``.tmp-*`` leftovers from crashed writers
+    once they are older than :data:`TMP_MAX_AGE_S` — young temp files may
+    be a live writer mid-:func:`os.replace` and are left alone.
+
+    Returns ``{"expired": ..., "evicted": ..., "kept": ..., "stale_tmp":
+    ...}`` counts.
     """
     root = pathlib.Path(directory) if directory is not None else cache_dir()
-    expired = evicted = 0
+    expired = evicted = stale_tmp = 0
     entries = []
     try:
         paths = list(root.glob("*.pkl"))
+        tmp_paths = list(root.glob(".tmp-*"))
     except OSError:
-        return {"expired": 0, "evicted": 0, "kept": 0}
+        return {"expired": 0, "evicted": 0, "kept": 0, "stale_tmp": 0}
     for path in paths:
         # Per-file best-effort: a concurrent sweep (or writer) may unlink
         # files mid-scan; skipping one must not abort the whole pass.
@@ -232,6 +243,13 @@ def sweep(
         except OSError:
             continue
     now = time.time() if now is None else now
+    for path in tmp_paths:
+        try:
+            if now - path.stat().st_mtime > TMP_MAX_AGE_S:
+                path.unlink()
+                stale_tmp += 1
+        except OSError:
+            continue
     age_limit = max_age_days()
     if age_limit is not None:
         cutoff = now - age_limit * 86400.0
@@ -261,7 +279,12 @@ def sweep(
                     pass
             survivors.append((path, mtime))
         entries = survivors
-    return {"expired": expired, "evicted": evicted, "kept": len(entries)}
+    return {
+        "expired": expired,
+        "evicted": evicted,
+        "kept": len(entries),
+        "stale_tmp": stale_tmp,
+    }
 
 
 # -- load / store --------------------------------------------------------------

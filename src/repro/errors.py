@@ -76,6 +76,18 @@ class BootstrapError(ProtocolError):
     """Bootstrapping could not establish keys or elect collectors."""
 
 
+class ChaosError(ReproError):
+    """A fault-injected campaign degraded past what it can survive.
+
+    Raised by :mod:`repro.chaos` when injected losses exceed the
+    cross-cell reconstruction threshold (or a cell's contribution is
+    unrecoverable from every replica).  The message names the offending
+    round and cells, so the CLI surfaces a one-line structured failure
+    (exit 1) instead of a stack trace — and, crucially, a campaign past
+    its degradation bound *fails*; it never returns a wrong total.
+    """
+
+
 class ConfigurationError(ReproError):
     """Invalid protocol or experiment configuration."""
 

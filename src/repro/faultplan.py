@@ -1,0 +1,230 @@
+"""Fault-plan value objects: the data half of :mod:`repro.chaos`.
+
+:class:`FaultEvent` / :class:`FaultPlan` are frozen, validated,
+JSON-round-trip-exact descriptions of *what* to inject — they carry no
+execution machinery, so scenario specs can embed them without importing
+the campaign stack (:mod:`repro.chaos` re-exports them alongside the
+runner that interprets them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.sim.seeds import child_seed
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: Recognized fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, pinned to a cell and a starting round.
+
+    ``duration`` only matters for ``straggle``/``corrupt`` (how many
+    rounds the effect lasts); ``kills`` only for ``kill_worker`` (how
+    many attempts of the cell's primary unit die before one survives).
+    """
+
+    kind: str
+    cell: int
+    round: int = 0
+    duration: int = 1
+    kills: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(
+                f"FaultEvent.kind must be one of {', '.join(FAULT_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+        for name, floor in (
+            ("cell", 0),
+            ("round", 0),
+            ("duration", 1),
+            ("kills", 1),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SpecError(
+                    f"FaultEvent.{name} must be an integer, got {value!r}"
+                )
+            if value < floor:
+                raise SpecError(
+                    f"FaultEvent.{name} must be >= {floor}, got {value}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "cell": self.cell,
+            "round": self.round,
+            "duration": self.duration,
+            "kills": self.kills,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        """Build an event from a JSON mapping; unknown keys are an error."""
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"FaultEvent wants a JSON object, got {type(data).__name__}"
+            )
+        known = {"kind", "cell", "round", "duration", "kills"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"FaultEvent does not accept key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of injected faults (JSON round-trip exact).
+
+    Like a :class:`~repro.scenarios.spec.ScenarioSpec`, a plan is data:
+    ``FaultPlan.from_dict(plan.to_dict()) == plan`` holds exactly, so
+    plans embed in spec files and the uniform result record verbatim.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, (list, tuple)):
+            raise SpecError(
+                f"FaultPlan.events must be a list, got {type(self.events).__name__}"
+            )
+        coerced = tuple(
+            event
+            if isinstance(event, FaultEvent)
+            else FaultEvent.from_dict(event)
+            for event in self.events
+        )
+        object.__setattr__(self, "events", coerced)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping; inverse of :meth:`from_dict`."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON mapping; unknown keys are an error."""
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"FaultPlan wants a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"events"})
+        if unknown:
+            raise SpecError(
+                f"FaultPlan does not accept key(s): {', '.join(unknown)} "
+                f"(known: events)"
+            )
+        return cls(events=tuple(data.get("events", ())))
+
+    def validate_for(self, cells: int, iterations: int) -> None:
+        """Check every event targets an existing cell and round."""
+        for event in self.events:
+            if event.cell >= cells:
+                raise SpecError(
+                    f"fault plan targets cell {event.cell} of a "
+                    f"{cells}-cell campaign"
+                )
+            if event.round >= iterations:
+                raise SpecError(
+                    f"fault plan targets round {event.round} of a "
+                    f"{iterations}-round campaign"
+                )
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        cells: int,
+        iterations: int,
+        crashes: int = 1,
+        stragglers: int = 1,
+        corruptions: int = 1,
+        worker_kills: int = 1,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from the campaign seed.
+
+        Faults land on distinct cells drawn from a seeded permutation.
+        At the default intensities the plan is survivable by
+        construction for ``cells >= 4``, ``iterations >= 2`` and
+        ``replication >= 2``:
+        crashes land on the *final* round and stragglers return before
+        it (so at most two collector points are ever lost in one round),
+        and down cells avoid ring-adjacency (so a crashed cell's replica
+        host is never itself down).  The same ``(seed, shape)`` always
+        yields the same plan — handy for benches and smoke jobs that
+        want "a nonzero plan" without hand-writing one.
+        """
+        import random
+
+        if cells < 1 or iterations < 1:
+            raise SpecError(
+                f"FaultPlan.sample needs cells >= 1 and iterations >= 1, "
+                f"got {cells}/{iterations}"
+            )
+        rng = random.Random(child_seed(seed, "fault-plan", cells, iterations))
+        order = list(range(cells))
+        rng.shuffle(order)
+        taken: set[int] = set()
+
+        def next_cell(avoid: tuple[int, ...] = ()) -> int:
+            candidates = [c for c in order if c not in taken]
+            if not candidates:
+                taken.clear()
+                candidates = list(order)
+            for cell in candidates:
+                if all(
+                    (cell - other) % cells not in (1, cells - 1)
+                    for other in avoid
+                ):
+                    taken.add(cell)
+                    return cell
+            taken.add(candidates[0])
+            return candidates[0]
+
+        events: list[FaultEvent] = []
+        down: list[int] = []
+        for _ in range(crashes):
+            cell = next_cell(avoid=tuple(down))
+            down.append(cell)
+            events.append(
+                FaultEvent(kind="crash", cell=cell, round=iterations - 1)
+            )
+        for _ in range(stragglers):
+            cell = next_cell(avoid=tuple(down))
+            down.append(cell)
+            if iterations > 1:
+                start = rng.randrange(iterations - 1)
+                duration = min(1 + rng.randrange(2), (iterations - 1) - start)
+            else:
+                start, duration = 0, 1
+            events.append(
+                FaultEvent(
+                    kind="straggle",
+                    cell=cell,
+                    round=start,
+                    duration=max(1, duration),
+                )
+            )
+        for _ in range(corruptions):
+            events.append(
+                FaultEvent(
+                    kind="corrupt",
+                    cell=next_cell(),
+                    round=rng.randrange(iterations),
+                )
+            )
+        for _ in range(worker_kills):
+            events.append(FaultEvent(kind="kill_worker", cell=next_cell()))
+        return cls(events=tuple(events))

@@ -29,6 +29,7 @@ from repro.scenarios.session import ExperimentResult, RunContext, Session
 from repro.scenarios.spec import (
     AblationSpec,
     CellsSweepSpec,
+    ChaosSpec,
     CoverageSpec,
     DegreeSweepSpec,
     FaultToleranceSpec,
@@ -67,5 +68,6 @@ __all__ = [
     "QuickstartSpec",
     "GridShardedSpec",
     "CellsSweepSpec",
+    "ChaosSpec",
     "builtin",
 ]

@@ -37,7 +37,7 @@ from repro.analysis.stats import summarize
 from repro.core.config import CryptoMode
 from repro.core.metrics import RoundSummary
 from repro.ct.packet import sharing_psdu_bytes
-from repro.errors import ConfigurationError, ProtocolError, ReconstructionError
+from repro.errors import ChaosError, ConfigurationError, ProtocolError, ReconstructionError
 from repro.field.prime_field import PrimeField
 from repro.phy.channel import ChannelModel
 from repro.phy.link import cached_link_table
@@ -45,6 +45,7 @@ from repro.scenarios.registry import scenario
 from repro.scenarios.spec import (
     AblationSpec,
     CellsSweepSpec,
+    ChaosSpec,
     CoverageSpec,
     DegreeSweepSpec,
     FaultToleranceSpec,
@@ -268,8 +269,12 @@ def _run_faults(spec: FaultToleranceSpec, ctx) -> list[dict[str, float]]:
     rows = []
     for count in spec.failure_counts:
         if count > len(collectors):
-            raise ConfigurationError(
-                f"cannot fail {count} of {len(collectors)} collectors"
+            # Unsurvivable by construction: structured one-line failure
+            # (exit 1 via ReproError), never an unhandled traceback.
+            raise ChaosError(
+                f"cannot fail {count} of {len(collectors)} collectors — "
+                f"unsurvivable loss (threshold {s4.config.degree + 1}, "
+                f"redundancy {len(collectors) - (s4.config.degree + 1)})"
             )
         successes = []
         for iteration in range(spec.iterations):
@@ -686,6 +691,139 @@ def _run_sharded(spec: ShardedSpec, ctx):
         simulate=spec.simulate,
         crypto_mode=spec.crypto_mode,
         executor=ctx.executor(),
+    )
+
+
+# -- chaos (new): fault-injected sharded campaigns ------------------------------
+
+
+def _chaos_rows(payload) -> list[dict]:
+    rows = []
+    for index, summary in enumerate(payload.summaries):
+        total = payload.totals[index]
+        rows.append(
+            {
+                "round": index,
+                "lost_points": summary.lost_cells,
+                "recovered_cells": summary.recovered_cells,
+                "surviving_points": summary.completed_count,
+                "total": total,
+                "expected": payload.expected[index],
+                "match": total == payload.expected[index],
+            }
+        )
+    return rows
+
+
+def _chaos_table(result) -> str:
+    payload = result.payload
+    num_points = max(payload.num_cells, payload.cross_degree + 1)
+    table = format_table(
+        ["round", "lost", "recovered", "points", "total", "match"],
+        [
+            [
+                r["round"],
+                r["lost_points"],
+                r["recovered_cells"],
+                f"{r['surviving_points']}/{num_points}",
+                "-" if r["total"] is None else r["total"],
+                "yes" if r["match"] else "DEGRADED",
+            ]
+            for r in _chaos_rows(payload)
+        ],
+        title=f"Chaos campaign — {result.deployment}: "
+        f"{payload.num_nodes} nodes in {payload.num_cells} cells, "
+        f"replication {payload.replication}, "
+        f"{len(payload.faults.events)} injected faults",
+    )
+    return table + (
+        f"\n\nSurvivable point losses per round: "
+        f"{payload.survivable_losses} (cross degree "
+        f"{payload.cross_degree}); matched {payload.matched_rounds}/"
+        f"{payload.iterations} rounds, {len(payload.degraded)} degraded, "
+        f"{payload.worker_retries} worker retries, redundancy overhead "
+        f"{payload.redundancy_overhead:.1f}x."
+    )
+
+
+def _encode_chaos(payload) -> dict:
+    import dataclasses as _dataclasses
+
+    return {
+        "num_nodes": payload.num_nodes,
+        "num_cells": payload.num_cells,
+        "iterations": payload.iterations,
+        "seed": payload.seed,
+        "cross_degree": payload.cross_degree,
+        "replication": payload.replication,
+        "survivable_losses": payload.survivable_losses,
+        "totals": list(payload.totals),
+        "expected": list(payload.expected),
+        "matched_rounds": payload.matched_rounds,
+        "all_match": payload.all_match,
+        "exact_under_loss": payload.exact_under_loss,
+        "faults": payload.faults.to_dict(),
+        "degraded": [_dataclasses.asdict(d) for d in payload.degraded],
+        "lost_points": [list(entry) for entry in payload.lost_points],
+        "recovered": [list(entry) for entry in payload.recovered],
+        "worker_retries": payload.worker_retries,
+        "units_run": payload.units_run,
+        "redundancy_overhead": payload.redundancy_overhead,
+        "rounds": _chaos_rows(payload),
+    }
+
+
+def _chaos_ok(payload) -> bool:
+    # The degradation contract: every round either reproduced the flat
+    # sum exactly or is a recorded DegradedRound — a wrong total is
+    # never acceptable, degraded rounds only in allow_degraded mode.
+    return (
+        payload.exact_under_loss
+        and payload.matched_rounds + len(payload.degraded)
+        == payload.iterations
+    )
+
+
+@scenario(
+    "chaos",
+    spec_type=ChaosSpec,
+    description="fault-injected sharded campaign "
+    "(deterministic chaos + coded redundancy)",
+    encode=_encode_chaos,
+    table=_chaos_table,
+    rows=_chaos_rows,
+    check=_chaos_ok,
+    smoke={
+        "testbed": "flocklab",
+        "cells": 4,
+        "iterations": 2,
+        "replication": 2,
+        "faults": {
+            "events": [
+                {"kind": "corrupt", "cell": 1, "round": 0},
+                {"kind": "crash", "cell": 2, "round": 1},
+                {"kind": "kill_worker", "cell": 0, "kills": 1},
+            ]
+        },
+    },
+)
+def _run_chaos(spec: ChaosSpec, ctx):
+    from repro.chaos import run_chaos_campaign
+
+    return run_chaos_campaign(
+        ctx.deployment,
+        spec.cells,
+        spec.iterations,
+        spec.seed,
+        faults=spec.faults,
+        replication=spec.replication,
+        metrics=ctx.metrics,
+        simulate=spec.simulate,
+        crypto_mode=spec.crypto_mode,
+        executor=ctx.executor(),
+        max_attempts=spec.max_attempts,
+        backoff_s=spec.retry_backoff_s,
+        strict=not spec.allow_degraded,
     )
 
 

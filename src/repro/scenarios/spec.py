@@ -30,6 +30,7 @@ import typing
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.faultplan import FaultPlan
 from repro.core.config import CryptoMode
 from repro.errors import SpecError
 
@@ -48,6 +49,7 @@ __all__ = [
     "QuickstartSpec",
     "GridShardedSpec",
     "CellsSweepSpec",
+    "ChaosSpec",
 ]
 
 
@@ -101,6 +103,18 @@ def _coerce(cls_name: str, name: str, hint: Any, value: Any) -> Any:
             return tuple(
                 _coerce(cls_name, name, item_type, item) for item in value
             )
+        raise _type_error(cls_name, name, hint, value)
+    if (
+        isinstance(hint, type)
+        and dataclasses.is_dataclass(hint)
+        and hasattr(hint, "from_dict")
+    ):
+        # Nested value objects (e.g. a chaos FaultPlan) embed in specs
+        # the same way specs embed in files: as their to_dict mapping.
+        if isinstance(value, hint):
+            return value
+        if isinstance(value, Mapping):
+            return hint.from_dict(value)
         raise _type_error(cls_name, name, hint, value)
     if hint is bool:
         if isinstance(value, bool):
@@ -170,6 +184,8 @@ class ScenarioSpec:
                 value = value.name.lower()
             elif isinstance(value, tuple):
                 value = list(value)
+            elif dataclasses.is_dataclass(value) and hasattr(value, "to_dict"):
+                value = value.to_dict()
             out[spec_field.name] = value
         return out
 
@@ -347,6 +363,50 @@ class ShardedSpec(ScenarioSpec):
     def validate(self) -> None:
         self._at_least("cells", self.cells, 1)
         self._at_least("iterations", self.iterations, 1)
+
+
+@dataclass(frozen=True)
+class ChaosSpec(ScenarioSpec):
+    """Fault-injected sharded campaign: the sharded base plus a fault plan.
+
+    ``faults`` embeds a :class:`repro.chaos.FaultPlan` (as its JSON
+    mapping in spec files); ``replication`` is the coded-redundancy
+    factor (copies of each cell's work unit on sibling hosts);
+    ``max_attempts``/``retry_backoff_s`` bound the executor's retry of
+    killed workers.  ``allow_degraded=False`` (the default) makes losses
+    past the survivable bound a structured
+    :class:`~repro.errors.ChaosError`; ``True`` returns a degraded
+    result with ``None`` totals for those rounds instead.
+    """
+
+    testbed: str = "flocklab"
+    cells: int = 6
+    iterations: int = 8
+    seed: int = 1
+    crypto_mode: CryptoMode = CryptoMode.STUB
+    simulate: bool | None = None
+    replication: int = 2
+    faults: FaultPlan = FaultPlan()
+    max_attempts: int = 4
+    retry_backoff_s: float = 0.0
+    allow_degraded: bool = False
+
+    def validate(self) -> None:
+        self._at_least("cells", self.cells, 1)
+        self._at_least("iterations", self.iterations, 1)
+        self._at_least("replication", self.replication, 1)
+        self._at_least("max_attempts", self.max_attempts, 1)
+        if self.replication > self.cells:
+            raise SpecError(
+                f"ChaosSpec.replication must be <= cells "
+                f"({self.cells}), got {self.replication}"
+            )
+        if self.retry_backoff_s < 0:
+            raise SpecError(
+                f"ChaosSpec.retry_backoff_s must be >= 0, "
+                f"got {self.retry_backoff_s}"
+            )
+        self.faults.validate_for(self.cells, self.iterations)
 
 
 @dataclass(frozen=True)

@@ -229,3 +229,113 @@ class TestUnits:
         )
         assert results[0]["ntx"] == 4.0 and results[1]["ntx"] == 2.0
         assert executor._pool is None  # never started a pool
+
+
+class FlakyUnit(campaign.CampaignUnit):
+    """Deterministically fails its first ``fail_attempts`` attempts.
+
+    Failure is a pure function of the attempt index, so retries behave
+    identically serial and parallel (and across resubmissions).
+    """
+
+    def __init__(self, tag: str, fail_attempts: int):
+        self.tag = tag
+        self.fail_attempts = fail_attempts
+
+    def run(self):
+        return self.run_attempt(0)
+
+    def run_attempt(self, attempt: int):
+        if attempt < self.fail_attempts:
+            raise RuntimeError(f"flaky unit {self.tag}: attempt {attempt} dies")
+        return (self.tag, attempt)
+
+
+class TestBoundedRetry:
+    """The executor's bounded retry-with-backoff (chaos satellite)."""
+
+    def test_serial_retry_recovers_flaky_unit(self):
+        executor = CampaignExecutor(workers=1, max_attempts=3)
+        results = executor.run_units([FlakyUnit("a", 2), FlakyUnit("b", 0)])
+        assert results == [("a", 2), ("b", 0)]
+        assert executor.retry_count == 2
+
+    def test_default_is_single_attempt(self):
+        executor = CampaignExecutor(workers=1)
+        with pytest.raises(RuntimeError, match="attempt 0"):
+            executor.run_units([FlakyUnit("a", 1)])
+        assert executor.retry_count == 0
+
+    def test_exhausted_attempts_raise_last_error(self):
+        executor = CampaignExecutor(workers=1, max_attempts=2)
+        with pytest.raises(RuntimeError, match="attempt 1"):
+            executor.run_units([FlakyUnit("a", 2)])
+        assert executor.retry_count == 1
+
+    def test_run_units_overrides_executor_default(self):
+        executor = CampaignExecutor(workers=1)
+        results = executor.run_units([FlakyUnit("a", 1)], max_attempts=2)
+        assert results == [("a", 1)]
+
+    def test_backoff_is_exponential(self, monkeypatch):
+        delays: list[float] = []
+        monkeypatch.setattr(campaign.time, "sleep", delays.append)
+        executor = CampaignExecutor(
+            workers=1, max_attempts=4, backoff_base_s=0.5
+        )
+        executor.run_units([FlakyUnit("a", 3)])
+        assert delays == [0.5, 1.0, 2.0]
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        def no_sleep(_):
+            raise AssertionError("backoff 0 must not sleep")
+
+        monkeypatch.setattr(campaign.time, "sleep", no_sleep)
+        executor = CampaignExecutor(
+            workers=1, max_attempts=3, backoff_base_s=0.0
+        )
+        assert executor.run_units([FlakyUnit("a", 2)]) == [("a", 2)]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(workers=1, max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(workers=1, backoff_base_s=-0.1)
+
+    def test_parallel_soft_failure_retries_without_pool_rebuild(self, pool):
+        units = [FlakyUnit("a", 1), FlakyUnit("b", 0), FlakyUnit("c", 2)]
+        before = pool._pool
+        results = pool.run_units(units, max_attempts=3)
+        assert results == [("a", 1), ("b", 0), ("c", 2)]
+        # A pickled exception travels back over a healthy pool: no rebuild.
+        assert pool._pool is before
+
+    def test_parallel_hard_kill_rebuilds_pool_bit_identically(self, pool):
+        from repro.analysis.sharding import plan_cell_units
+        from repro.chaos import ChaosCellUnit
+
+        topology = grid(4, 3, spacing_m=9.0, jitter_m=0.8, seed=21)
+        base = plan_cell_units(topology, 2, 2, seed=7)
+        oracle = [unit.run() for unit in base]
+        units = [
+            ChaosCellUnit(base=unit, kills=1 if unit.index == 0 else 0)
+            for unit in base
+        ]
+        before = pool._pool
+        retries_before = pool.retry_count
+        results = pool.run_units(units, max_attempts=3)
+        # os._exit broke the pool; the executor rebuilt it and re-ran the
+        # seeded units, so the values are exactly the no-fault ones.
+        assert results == oracle
+        assert pool._pool is not before
+        assert pool.retry_count > retries_before
+
+    def test_retries_exhausted_by_kills_surface_structurally(self):
+        from repro.analysis.sharding import plan_cell_units
+        from repro.chaos import ChaosCellUnit, InjectedWorkerKill
+
+        topology = grid(4, 3, spacing_m=9.0, jitter_m=0.8, seed=21)
+        (unit, _) = plan_cell_units(topology, 2, 2, seed=7)
+        executor = CampaignExecutor(workers=1, max_attempts=2)
+        with pytest.raises(InjectedWorkerKill):
+            executor.run_units([ChaosCellUnit(base=unit, kills=2)])

@@ -15,7 +15,7 @@ from repro.analysis.experiments import (
     subnetwork_spec,
 )
 from repro.core.config import CryptoMode
-from repro.errors import ConfigurationError
+from repro.errors import ChaosError, ConfigurationError
 from repro.phy.channel import ChannelParameters
 from repro.topology.generators import grid
 from repro.topology.testbeds import TestbedSpec as BedSpec
@@ -114,7 +114,9 @@ class TestFaultTolerance:
         assert rows[1]["success_fraction"] > 0.5
 
     def test_too_many_failures_rejected(self, mini_spec):
-        with pytest.raises(ConfigurationError):
+        # Unsurvivable loss is a structured ChaosError (one-line, exit 1
+        # at the CLI), never an unhandled traceback.
+        with pytest.raises(ChaosError, match="unsurvivable"):
             run_fault_tolerance(mini_spec, failure_counts=(99,), iterations=1)
 
 

@@ -264,7 +264,7 @@ class TestLifecycleSweep:
             os.utime(path, (stale, stale))
         monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "30")
         swept = diskcache.sweep()
-        assert swept == {"expired": 4, "evicted": 0, "kept": 2}
+        assert swept == {"expired": 4, "evicted": 0, "kept": 2, "stale_tmp": 0}
         for key in keys[:4]:
             assert diskcache.load("life", key) is None
         for key in keys[4:]:
@@ -284,7 +284,7 @@ class TestLifecycleSweep:
         assert diskcache.load("life", keys[0]) == {"k": keys[0]}
         monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "3")
         swept = diskcache.sweep()
-        assert swept == {"expired": 0, "evicted": 2, "kept": 3}
+        assert swept == {"expired": 0, "evicted": 2, "kept": 3, "stale_tmp": 0}
         survivors = {
             key for key in keys if diskcache.load("life", key) is not None
         }
@@ -314,6 +314,6 @@ class TestLifecycleSweep:
     def test_sweep_unconfigured_is_a_no_op(self, cache_dir):
         keys = self._populate(4)
         swept = diskcache.sweep()
-        assert swept == {"expired": 0, "evicted": 0, "kept": 4}
+        assert swept == {"expired": 0, "evicted": 0, "kept": 4, "stale_tmp": 0}
         for key in keys:
             assert diskcache.load("life", key) == {"k": key}
