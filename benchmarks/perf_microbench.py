@@ -552,6 +552,47 @@ def bench_chaos(iterations: int) -> dict:
     }
 
 
+def bench_service(iterations: int) -> dict:
+    """Service daemon throughput: fsync'd admission, closes, recovery.
+
+    A soak at the CI smoke's shape — fsync on every accepted share (the
+    durability the restart-resume contract is priced in), one hard kill
+    mid-stream — recorded as absolute rates: shares/sec through
+    journal-before-ack admission, p99 window-close latency, and the
+    journal-replay recovery time after the kill.  Deliberately no
+    ``*speedup`` key: the regression gate records the tier without
+    enforcing jittery absolute wall-clock numbers.
+    """
+    from repro.scenarios.spec import ServiceSoakSpec
+    from repro.service.soak import run_service_soak
+
+    devices = int(os.environ.get("REPRO_BENCH_SERVICE_DEVICES", "40"))
+    windows = max(2, iterations)
+    spec = ServiceSoakSpec(
+        devices=devices,
+        windows=windows,
+        seed=17,
+        cells=3,
+        kill_at=(devices + devices // 2,),  # mid window 1
+        duplicate_every=0,
+        late_replays=0,
+    )
+    payload = run_service_soak(spec)
+    if not (payload["all_exact"] and payload["oracle_match"]):
+        raise RuntimeError("service bench: a window total missed its oracle")
+    if payload["kills"] != 1:
+        raise RuntimeError("service bench: the hard kill never fired")
+    return {
+        "devices": devices,
+        "windows": windows,
+        "accepted": payload["accepted"],
+        "journal_records": payload["journal_records"],
+        "shares_per_sec": payload["shares_per_sec"],
+        "p99_window_close_ms": payload["p99_close_ms"],
+        "recovery_s": payload["recoveries"][0]["recovery_s"],
+    }
+
+
 # -- tier 5: cold start vs the persisted commissioning cache ---------------------
 
 _CHILD_SNIPPET = """
@@ -660,6 +701,10 @@ def main() -> int:
     chaos = bench_chaos(iterations)
     print(f"  {chaos}")
 
+    print("== service daemon (fsync'd WAL admission + hard-kill recovery) ==")
+    service = bench_service(iterations)
+    print(f"  {service}")
+
     print("== cold start (fresh subprocesses, persisted commissioning cache) ==")
     cold = bench_cold_start(iterations)
     print(f"  STUB: {cold['stub']}")
@@ -686,6 +731,7 @@ def main() -> int:
         "campaign_parallel": parallel,
         "sharded_campaign": sharded,
         "chaos_campaign": chaos,
+        "service_throughput": service,
         "cold_start": cold,
         "targets": {
             "figure1_stub_steady_speedup_min": 5.0,

@@ -1,0 +1,236 @@
+"""CI smoke for the service layer's restart-resume bit-identity contract.
+
+Three probes:
+
+1. **Oracle** — an uninterrupted ``service_soak`` run (no kills) must
+   close every window exact against both its accepted-set
+   reconstruction and the batch metering billing oracle.
+2. **Hard kill** — a *separate OS process* stands up a daemon on a
+   pinned journal, streams part of window 0 and dies with ``os._exit``
+   mid-window, journal handle open — a real ``kill -9``, not an
+   in-process simulation.
+3. **Resume** — the parent restarts a daemon on the dead process's
+   journal, re-streams the full load (already-journaled shares must be
+   answered ``DUPLICATE``), closes every window and demands totals
+   bit-identical to the oracle run.
+
+The recovered window records and a manifest land in ``--out-dir`` as
+the artifact CI uploads.
+
+Run:  PYTHONPATH=src python benchmarks/service_smoke.py --out-dir service-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+from repro.scenarios.spec import ServiceSoakSpec  # noqa: E402
+from repro.service import Admission, ServiceConfig, ServiceDaemon  # noqa: E402
+from repro.service.loadgen import device_ids, window_submissions  # noqa: E402
+from repro.service.soak import run_service_soak  # noqa: E402
+
+#: One fixed workload for every probe.
+DEVICES = 10
+WINDOWS = 3
+SEED = 60221
+BASE_LOAD_WH = 210
+CELLS = 3
+#: The child journals this many window-0 shares, then dies mid-window.
+KILL_AFTER = 6
+
+
+def _config() -> ServiceConfig:
+    return ServiceConfig(seed=SEED, cells=CELLS, fsync=True)
+
+
+def _spec() -> ServiceSoakSpec:
+    return ServiceSoakSpec(
+        devices=DEVICES,
+        windows=WINDOWS,
+        seed=SEED,
+        base_load_wh=BASE_LOAD_WH,
+        cells=CELLS,
+        duplicate_every=0,
+        late_replays=0,
+    )
+
+
+def _worker(journal: pathlib.Path) -> None:
+    """Child process body: journal part of window 0, die hard."""
+    daemon = ServiceDaemon(_config(), journal=journal)
+    ids = device_ids(DEVICES)
+    for submission in window_submissions(ids, 0, BASE_LOAD_WH, SEED)[:KILL_AFTER]:
+        result = daemon.submit(
+            submission.device, submission.seq, submission.window, submission.value
+        )
+        assert result.accepted
+    os._exit(9)  # journal handle still open — the torn-world exit
+
+
+def _oracle_probe() -> tuple[dict, list[tuple]]:
+    start = time.perf_counter()
+    payload = run_service_soak(_spec())
+    probe = {
+        "probe": "oracle",
+        "elapsed_s": round(time.perf_counter() - start, 3),
+        "violations": [],
+    }
+    if not payload["all_exact"]:
+        probe["violations"].append("an uninterrupted window total was inexact")
+    if not payload["oracle_match"]:
+        probe["violations"].append("a window total missed the billing oracle")
+    baseline = [
+        (row["window"], row["total"], row["expected"], row["accepted"])
+        for row in payload["windows"]
+    ]
+    return probe, baseline
+
+
+def _kill_probe(journal: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    completed = subprocess.run(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--worker", "--journal", str(journal)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    probe = {
+        "probe": "hard-kill",
+        "exit_code": completed.returncode,
+        "violations": [],
+    }
+    if completed.returncode != 9:
+        probe["violations"].append(
+            f"worker should die with os._exit(9), got {completed.returncode}: "
+            f"{completed.stderr.strip()[:300]}"
+        )
+    if not journal.exists():
+        probe["violations"].append("worker left no journal behind")
+    return probe
+
+
+def _resume_probe(
+    journal: pathlib.Path, baseline: list[tuple], out_dir: pathlib.Path
+) -> dict:
+    start = time.perf_counter()
+    daemon = ServiceDaemon(_config(), journal=journal)
+    recovery_s = time.perf_counter() - start
+    probe = {
+        "probe": "resume",
+        "recovery_s": round(recovery_s, 6),
+        "replayed_records": daemon.journal.records,
+        "violations": [],
+    }
+    if not daemon.recovered:
+        probe["violations"].append("restart did not flag recovery")
+    if daemon.pending != KILL_AFTER:
+        probe["violations"].append(
+            f"expected {KILL_AFTER} recovered pending shares, "
+            f"got {daemon.pending}"
+        )
+    ids = device_ids(DEVICES)
+    duplicates = 0
+    for window in range(WINDOWS):
+        for submission in window_submissions(ids, window, BASE_LOAD_WH, SEED):
+            result = daemon.submit(
+                submission.device,
+                submission.seq,
+                submission.window,
+                submission.value,
+            )
+            if result.admission is Admission.DUPLICATE:
+                duplicates += 1  # journaled before the kill, never re-counted
+            elif not result.accepted:
+                probe["violations"].append(
+                    f"re-streamed share answered {result.admission}"
+                )
+        daemon.close_window(window)
+    daemon.stop()
+    probe["duplicates"] = duplicates
+    if duplicates != KILL_AFTER:
+        probe["violations"].append(
+            f"expected {KILL_AFTER} duplicate answers for journaled "
+            f"shares, got {duplicates}"
+        )
+    records = daemon.window_records()
+    resumed = [(s.window, s.total, s.expected, s.accepted) for s in records]
+    if resumed != baseline:
+        probe["violations"].append(
+            "recovered window totals are not bit-identical to the "
+            f"uninterrupted oracle: {resumed} != {baseline}"
+        )
+    (out_dir / "window_records.json").write_text(
+        json.dumps(
+            {
+                "baseline": [
+                    dict(zip(("window", "total", "expected", "accepted"), row))
+                    for row in baseline
+                ],
+                "recovered": [dataclasses.asdict(s) for s in records],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return probe
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="service-smoke",
+        help="where window records and the manifest land",
+    )
+    parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--journal", metavar="PATH", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.worker:
+        _worker(pathlib.Path(args.journal))
+        return 0  # unreachable; _worker exits hard
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    journal = out_dir / "service.wal"
+    if journal.exists():
+        journal.unlink()
+
+    oracle, baseline = _oracle_probe()
+    probes = [oracle, _kill_probe(journal)]
+    probes.append(_resume_probe(journal, baseline, out_dir))
+    failed = [p["probe"] for p in probes if p["violations"]]
+    (out_dir / "manifest.json").write_text(
+        json.dumps({"probes": probes, "failed": failed}, indent=2) + "\n"
+    )
+    for probe in probes:
+        status = "ok" if not probe["violations"] else "FAILED"
+        print(f"{probe['probe']:10s} {status}")
+        for violation in probe["violations"]:
+            print(f"  - {violation}", file=sys.stderr)
+    if failed:
+        print(f"failed probes: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(
+        f"restart-resume bit-identity held across a process kill; "
+        f"records in {out_dir}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import random
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -103,10 +104,21 @@ def apply_worker_state(state: WorkerState) -> None:
     fastpath.set_vector_enabled(state.vector_enabled)
 
 
-def _sleep_backoff(base_s: float, attempt: int) -> None:
-    """Exponential backoff before a retry (skipped entirely at base 0)."""
-    if base_s > 0:
-        time.sleep(base_s * (2**attempt))
+def _backoff_delay(
+    base_s: float, cap_s: float, prev_s: float, rng: random.Random
+) -> float:
+    """Decorrelated-jitter retry delay (capped; 0 when backoff is off).
+
+    The recipe is ``min(cap, uniform(base, prev * 3))``: each delay is
+    drawn relative to the *previous* delay rather than the attempt
+    number, so a burst of failing units spreads its retries out instead
+    of thundering back in exponential lockstep.  Sleep timing is the
+    only thing randomised here — unit results are seeded and stay
+    bit-identical however long the retries wait.
+    """
+    if base_s <= 0:
+        return 0.0
+    return min(cap_s, rng.uniform(base_s, max(base_s, prev_s * 3.0)))
 
 
 def _warm_worker(_: int) -> bool:
@@ -386,14 +398,15 @@ class CampaignExecutor:
 
     ``max_attempts > 1`` turns on bounded retry: a unit whose attempt
     raises (or whose worker process dies, breaking the pool) is re-run —
-    after exponential backoff ``backoff_base_s * 2**attempt`` — up to
+    after a decorrelated-jitter backoff drawn from ``backoff_base_s``
+    and capped at ``max_backoff_s`` (see :func:`_backoff_delay`) — up to
     ``max_attempts`` total attempts before the error propagates.  Because
     units are seeded, a retry is bit-identical to a first run; retry
-    changes *whether* a result arrives, never its value.  A hard-killed
-    worker breaks the whole spawn pool, so the pool is rebuilt and every
-    in-flight unit is resubmitted (each such resubmission consumes one of
-    that unit's attempts).  ``retry_count`` accumulates the retries
-    performed over the executor's lifetime.
+    changes *whether* a result arrives (and how long it waited), never
+    its value.  A hard-killed worker breaks the whole spawn pool, so the
+    pool is rebuilt and every in-flight unit is resubmitted (each such
+    resubmission consumes one of that unit's attempts).  ``retry_count``
+    accumulates the retries performed over the executor's lifetime.
     """
 
     def __init__(
@@ -401,6 +414,7 @@ class CampaignExecutor:
         workers: int | None = None,
         max_attempts: int = 1,
         backoff_base_s: float = 0.05,
+        max_backoff_s: float = 2.0,
     ):
         self.workers = resolve_workers(workers)
         if max_attempts < 1:
@@ -411,9 +425,18 @@ class CampaignExecutor:
             raise ConfigurationError(
                 f"backoff_base_s must be >= 0, got {backoff_base_s}"
             )
+        if max_backoff_s < backoff_base_s:
+            raise ConfigurationError(
+                f"max_backoff_s must be >= backoff_base_s "
+                f"({backoff_base_s}), got {max_backoff_s}"
+            )
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
+        self.max_backoff_s = max_backoff_s
         self.retry_count = 0
+        #: Jitter source for retry *timing* only; tests may reseed it to
+        #: pin delay sequences.  Results never depend on it.
+        self.backoff_rng = random.Random()
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -437,31 +460,44 @@ class CampaignExecutor:
         units: Sequence[CampaignUnit],
         max_attempts: int | None = None,
         backoff_base_s: float | None = None,
+        max_backoff_s: float | None = None,
     ) -> list:
         """Execute units, returning their results in unit order.
 
-        ``max_attempts`` / ``backoff_base_s`` override the executor-wide
-        retry policy for this batch only.
+        ``max_attempts`` / ``backoff_base_s`` / ``max_backoff_s``
+        override the executor-wide retry policy for this batch only.
         """
         attempts = self.max_attempts if max_attempts is None else max_attempts
         backoff = (
             self.backoff_base_s if backoff_base_s is None else backoff_base_s
         )
+        cap = self.max_backoff_s if max_backoff_s is None else max_backoff_s
         if attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {attempts}"
             )
         if self.workers <= 1 or len(units) <= 1:
             return [
-                self._run_serial(unit, attempts, backoff) for unit in units
+                self._run_serial(unit, attempts, backoff, cap)
+                for unit in units
             ]
         if attempts <= 1:
             pool = self._ensure_pool()
             return list(pool.map(_run_unit, units, chunksize=1))
-        return self._run_parallel(units, attempts, backoff)
+        return self._run_parallel(units, attempts, backoff, cap)
 
-    def _run_serial(self, unit: CampaignUnit, attempts: int, backoff: float):
+    def _sleep_before_retry(self, backoff: float, cap: float, prev: float) -> float:
+        """Draw, sleep and return the next decorrelated-jitter delay."""
+        delay = _backoff_delay(backoff, cap, prev, self.backoff_rng)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def _run_serial(
+        self, unit: CampaignUnit, attempts: int, backoff: float, cap: float
+    ):
         attempt = 0
+        delay = 0.0
         while True:
             try:
                 return unit.run_attempt(attempt)
@@ -470,14 +506,19 @@ class CampaignExecutor:
                 if attempt >= attempts:
                     raise
                 self.retry_count += 1
-                _sleep_backoff(backoff, attempt - 1)
+                delay = self._sleep_before_retry(backoff, cap, delay)
 
     def _run_parallel(
-        self, units: Sequence[CampaignUnit], attempts: int, backoff: float
+        self,
+        units: Sequence[CampaignUnit],
+        attempts: int,
+        backoff: float,
+        cap: float,
     ) -> list:
         pending = object()
         results: list = [pending] * len(units)
         attempt_of = [0] * len(units)
+        delay_of = [0.0] * len(units)
         pool = self._ensure_pool()
         futures: dict[int, Future] = {
             index: pool.submit(_run_unit_attempt, (unit, 0))
@@ -510,7 +551,9 @@ class CampaignExecutor:
                     if attempt_of[index] >= attempts:
                         raise
                     self.retry_count += 1
-                    _sleep_backoff(backoff, attempt_of[index] - 1)
+                    delay_of[index] = self._sleep_before_retry(
+                        backoff, cap, delay_of[index]
+                    )
                     futures[index] = self._ensure_pool().submit(
                         _run_unit_attempt, (units[index], attempt_of[index])
                     )

@@ -268,6 +268,60 @@ class RoundSummary:
         return self.sharing_duration_us + self.reconstruction_duration_us
 
 
+@dataclass(frozen=True, slots=True)
+class WindowSummary:
+    """Streaming outcome of one closed billing window (service layer).
+
+    The service-side sibling of :class:`RoundSummary`: every field is a
+    flat scalar, so a window of any size serialises to the same fixed
+    payload — this is the shape the service wire format
+    (:mod:`repro.service.wire`) frames and the window journal replays.
+
+    The correctness contract mirrors the chaos layer's: ``total`` is the
+    cross-cell reconstructed aggregate over the submissions that were
+    *accepted* before the deadline — exact over those contributors, or
+    ``None`` for an empty window — and ``expected`` is the plain modular
+    sum oracle over the same set, so ``total == expected`` is the
+    bit-identity check.  ``degraded`` flags incomplete device coverage at
+    the deadline (a straggler missed the window); it never means a wrong
+    total.
+
+    Attributes:
+        window: billing-window index.
+        accepted: submissions folded into the aggregate.
+        devices: distinct contributing devices.
+        duplicates: submissions rejected as already journaled.
+        late: submissions rejected after the window closed.
+        shed: submissions shed by per-window admission control.
+        retried: retry-after responses issued while the window was open.
+        total: reconstructed window aggregate (``None`` when empty).
+        expected: modular-sum oracle over the accepted submissions.
+        degraded: coverage was incomplete at the deadline (never a wrong
+            total — the aggregate is exact over who did contribute).
+        close_latency_us: wall time the close aggregation took.
+        recovered: the window was closed (or re-verified) by a daemon
+            that restarted from the journal.
+    """
+
+    window: int
+    accepted: int
+    devices: int
+    duplicates: int
+    late: int
+    shed: int
+    retried: int
+    total: int | None
+    expected: int
+    degraded: bool
+    close_latency_us: int
+    recovered: bool = False
+
+    @property
+    def exact(self) -> bool:
+        """The reconstructed total equals the modular-sum oracle."""
+        return self.total is not None and self.total == self.expected
+
+
 def summarize_rounds(
     rounds: Iterable["RoundMetrics | RoundSummary"],
 ) -> dict[str, float]:

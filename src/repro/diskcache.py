@@ -51,7 +51,8 @@ import pickle
 import struct
 import tempfile
 import time
-from typing import Any, Callable
+import zlib
+from typing import Any, Callable, Iterator
 
 #: Bump when the serialized form of any cached artifact changes shape.
 CACHE_VERSION = 1
@@ -374,3 +375,126 @@ def fetch(kind: str, key: str, build: Callable[[], Any]) -> Any:
     built = build()
     store(kind, key, built)
     return built
+
+
+# -- append-only log (write-ahead journal substrate) ---------------------------
+
+#: Per-record frame magic for :class:`AppendLog` files.
+LOG_MAGIC = b"RL"
+
+#: Frame header layout: magic(2) + payload length(4, BE) + crc32(payload)(4, BE).
+_LOG_HEADER = struct.Struct(">2sII")
+
+#: Refuse absurd frame lengths instead of trying to allocate them — a
+#: corrupted length field must read as a torn tail, not a MemoryError.
+LOG_MAX_RECORD = 16 * 1024 * 1024
+
+
+class AppendLog:
+    """Crash-safe append-only record log: the substrate of service WALs.
+
+    The durability contract the aggregation daemon builds on:
+
+    * **Framed records** — every :meth:`append` writes one frame:
+      ``magic + length + crc32 + payload``.  A reader never has to guess
+      record boundaries, and any bit flip fails the CRC.
+    * **fsync'd appends** — with ``fsync=True`` (the default) ``append``
+      returns only after ``os.fsync``; an acknowledged record survives a
+      hard kill of the process *and* of the machine.  ``fsync=False``
+      trades that for throughput (tests, benchmarks); :meth:`sync` is
+      the explicit barrier either way.
+    * **Torn tails tolerated** — a writer killed mid-append leaves a
+      partial frame.  :meth:`replay` yields every complete, CRC-valid
+      record and stops cleanly at the first damaged one; opening the log
+      for appending truncates that torn tail so new records never land
+      after garbage.  Data *behind* a valid frame is never touched.
+
+    A log is reopened with the same path; ``AppendLog(path)`` recovers
+    (replay + truncate) before accepting new appends.  Instances are not
+    thread-safe — the daemon serializes appends by construction.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._valid_size, self.torn_bytes = self._scan()
+        if self.torn_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(self._valid_size)
+        self._handle = open(self.path, "ab")
+        self.records = self._count
+
+    def _scan(self) -> tuple[int, int]:
+        """Byte length of the valid prefix, and torn bytes beyond it."""
+        self._count = 0
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return 0, 0
+        valid = 0
+        with open(self.path, "rb") as handle:
+            while True:
+                header = handle.read(_LOG_HEADER.size)
+                if len(header) < _LOG_HEADER.size:
+                    break
+                magic, length, crc = _LOG_HEADER.unpack(header)
+                if magic != LOG_MAGIC or length > LOG_MAX_RECORD:
+                    break
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break
+                valid += _LOG_HEADER.size + length
+                self._count += 1
+        return valid, size - valid
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one record; returns its record index."""
+        if len(payload) > LOG_MAX_RECORD:
+            raise ValueError(
+                f"record of {len(payload)} bytes exceeds the "
+                f"{LOG_MAX_RECORD}-byte frame cap"
+            )
+        frame = _LOG_HEADER.pack(LOG_MAGIC, len(payload), zlib.crc32(payload))
+        self._handle.write(frame + payload)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        index = self.records
+        self.records += 1
+        return index
+
+    def sync(self) -> None:
+        """Explicit durability barrier (useful under ``fsync=False``)."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def replay(self) -> Iterator[bytes]:
+        """Yield every complete record in append order (torn tail skipped)."""
+        with open(self.path, "rb") as handle:
+            while True:
+                header = handle.read(_LOG_HEADER.size)
+                if len(header) < _LOG_HEADER.size:
+                    return
+                magic, length, crc = _LOG_HEADER.unpack(header)
+                if magic != LOG_MAGIC or length > LOG_MAX_RECORD:
+                    return
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    return
+                yield payload
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+
+    def __enter__(self) -> "AppendLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

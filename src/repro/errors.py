@@ -88,6 +88,22 @@ class ChaosError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The aggregation service broke one of its own contracts.
+
+    Raised by :mod:`repro.service` when something that must never happen
+    under the crash-safety contract did: a replayed window total that
+    does not match its recomputation, a journal naming a window the
+    state machine does not know, a close record for a window with no
+    submissions on record.  Admission outcomes (shed, late, retry-after)
+    are *results*, not errors — this class is for broken invariants.
+    """
+
+
+class WireError(ServiceError):
+    """A wire frame or record could not be decoded (CRC, tag, framing)."""
+
+
 class ConfigurationError(ReproError):
     """Invalid protocol or experiment configuration."""
 

@@ -15,10 +15,20 @@ from typing import Any, Mapping
 from repro.errors import SpecError
 from repro.sim.seeds import child_seed
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+__all__ = ["CAMPAIGN_KINDS", "FAULT_KINDS", "SERVICE_KINDS", "FaultEvent", "FaultPlan"]
+
+#: Fault kinds interpreted by the batch chaos campaign (cell-targeted).
+CAMPAIGN_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
+
+#: Fault kinds interpreted by the service soak driver (daemon-targeted):
+#: ``kill_daemon`` hard-kills the daemon after ``round`` accepted
+#: submissions (then restarts it from the journal); ``pause_ingest``
+#: pauses admission at submission offset ``round`` for ``duration``
+#: submissions.  ``cell`` is unused for these (keep it 0).
+SERVICE_KINDS = ("kill_daemon", "pause_ingest")
 
 #: Recognized fault kinds, in documentation order.
-FAULT_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
+FAULT_KINDS = CAMPAIGN_KINDS + SERVICE_KINDS
 
 
 @dataclass(frozen=True)
@@ -28,10 +38,16 @@ class FaultEvent:
     ``duration`` only matters for ``straggle``/``corrupt`` (how many
     rounds the effect lasts); ``kills`` only for ``kill_worker`` (how
     many attempts of the cell's primary unit die before one survives).
+
+    The service kinds reuse the same schema with service semantics:
+    ``kill_daemon`` hard-kills the aggregation daemon once ``round``
+    submissions have been accepted; ``pause_ingest`` pauses admission at
+    submission offset ``round`` for ``duration`` attempts.  Both ignore
+    ``cell`` (leave it 0).
     """
 
     kind: str
-    cell: int
+    cell: int = 0
     round: int = 0
     duration: int = 1
     kills: int = 1
@@ -82,6 +98,8 @@ class FaultEvent:
                 f"FaultEvent does not accept key(s): {', '.join(unknown)} "
                 f"(known: {', '.join(sorted(known))})"
             )
+        if "kind" not in data:
+            raise SpecError("FaultEvent requires a 'kind' key")
         return cls(**dict(data))
 
 
@@ -129,8 +147,20 @@ class FaultPlan:
         return cls(events=tuple(data.get("events", ())))
 
     def validate_for(self, cells: int, iterations: int) -> None:
-        """Check every event targets an existing cell and round."""
+        """Check every event fits a *campaign* of this shape.
+
+        Service-only kinds (``kill_daemon``, ``pause_ingest``) are a
+        spec error here: the batch chaos campaign has no daemon to kill,
+        and silently reinterpreting them (the compiler's fallthrough
+        would read them as ``kill_worker``) would be a wrong experiment,
+        not a degraded one.
+        """
         for event in self.events:
+            if event.kind in SERVICE_KINDS:
+                raise SpecError(
+                    f"fault kind {event.kind!r} is service-only (valid in "
+                    f"service soaks, not batch chaos campaigns)"
+                )
             if event.cell >= cells:
                 raise SpecError(
                     f"fault plan targets cell {event.cell} of a "
@@ -140,6 +170,34 @@ class FaultPlan:
                 raise SpecError(
                     f"fault plan targets round {event.round} of a "
                     f"{iterations}-round campaign"
+                )
+
+    def validate_for_service(self, submissions: int) -> None:
+        """Check every event fits a *service soak* of this many submissions.
+
+        The mirror of :meth:`validate_for`: campaign-only kinds have no
+        daemon-side meaning, and events anchored past the last submission
+        offset would silently never fire.
+        """
+        for event in self.events:
+            if event.kind not in SERVICE_KINDS:
+                raise SpecError(
+                    f"fault kind {event.kind!r} is campaign-only (valid in "
+                    f"batch chaos campaigns, not service soaks)"
+                )
+            if event.kind == "kill_daemon":
+                # Anchored on *accepted* counts: fires once the daemon
+                # has acknowledged `round` submissions.
+                if not 1 <= event.round <= submissions:
+                    raise SpecError(
+                        f"kill_daemon anchors at accepted count "
+                        f"{event.round}; this soak accepts at most "
+                        f"{submissions} submissions"
+                    )
+            elif event.round >= submissions:
+                raise SpecError(
+                    f"fault plan anchors {event.kind!r} at submission "
+                    f"offset {event.round} of a {submissions}-submission soak"
                 )
 
     @classmethod

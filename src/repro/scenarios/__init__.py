@@ -41,6 +41,7 @@ from repro.scenarios.spec import (
     PrivacySpec,
     QuickstartSpec,
     ScenarioSpec,
+    ServiceSoakSpec,
     ShardedSpec,
 )
 
@@ -69,5 +70,6 @@ __all__ = [
     "GridShardedSpec",
     "CellsSweepSpec",
     "ChaosSpec",
+    "ServiceSoakSpec",
     "builtin",
 ]

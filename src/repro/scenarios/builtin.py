@@ -42,6 +42,7 @@ from repro.field.prime_field import PrimeField
 from repro.phy.channel import ChannelModel
 from repro.phy.link import cached_link_table
 from repro.scenarios.registry import scenario
+from repro.service.loadgen import metering_reading
 from repro.scenarios.spec import (
     AblationSpec,
     CellsSweepSpec,
@@ -56,6 +57,7 @@ from repro.scenarios.spec import (
     MeteringSpec,
     PrivacySpec,
     QuickstartSpec,
+    ServiceSoakSpec,
     ShardedSpec,
 )
 from repro.sim.seeds import stable_seed
@@ -871,8 +873,10 @@ def _run_metering(spec: MeteringSpec, ctx) -> dict[str, Any]:
     period = 0
     attempt = 0
     while len(rows) < spec.periods:
+        # The consumption model is shared with the service load
+        # generator, so batch billing totals are the service oracle.
         readings = {
-            node: spec.base_load_wh + (node * 37 + period * 101) % 400
+            node: metering_reading(node, period, spec.base_load_wh)
             for node in nodes
         }
         metrics = engine.run(readings, seed=spec.seed + period * 13 + attempt)
@@ -1133,3 +1137,68 @@ def _run_cells_sweep(spec: CellsSweepSpec, ctx) -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+# -- service_soak (new): the crash-safe aggregation daemon under load ----------
+
+
+def _service_soak_table(result) -> str:
+    payload = result.payload
+    table = format_table(
+        [
+            "window",
+            "accepted",
+            "devices",
+            "total (Wh)",
+            "oracle (Wh)",
+            "exact",
+            "recovered",
+            "close ms",
+        ],
+        [
+            [
+                r["window"],
+                r["accepted"],
+                r["devices"],
+                r["total"],
+                r["oracle_wh"],
+                "yes" if r["exact"] else "NO",
+                "yes" if r["recovered"] else "-",
+                r["close_ms"],
+            ]
+            for r in payload["windows"]
+        ],
+        title=(
+            f"Service soak — {len(payload['windows'])} windows, "
+            f"{payload['kills']} hard kill(s)"
+        ),
+    )
+    return table + (
+        f"\n\nIngested {payload['accepted']} shares "
+        f"({payload['shares_per_sec']}/s), journal holds "
+        f"{payload['journal_records']} records; "
+        f"{payload['duplicates_rejected']} duplicate and "
+        f"{payload['late_rejected']} late re-sends refused; "
+        f"p99 window close {payload['p99_close_ms']} ms."
+    )
+
+
+@scenario(
+    "service_soak",
+    spec_type=ServiceSoakSpec,
+    description="crash-safe aggregation daemon soak (kill/restart bit-identity)",
+    table=_service_soak_table,
+    rows=lambda payload: payload["windows"],
+    check=lambda payload: payload["all_exact"] and payload["oracle_match"],
+    smoke={
+        "devices": 8,
+        "windows": 2,
+        "cells": 2,
+        "kill_at": [5],
+        "duplicate_every": 3,
+    },
+)
+def _run_service_soak(spec: ServiceSoakSpec, ctx) -> dict[str, Any]:
+    from repro.service.soak import run_service_soak
+
+    return run_service_soak(spec)

@@ -50,6 +50,7 @@ __all__ = [
     "GridShardedSpec",
     "CellsSweepSpec",
     "ChaosSpec",
+    "ServiceSoakSpec",
 ]
 
 
@@ -407,6 +408,71 @@ class ChaosSpec(ScenarioSpec):
                 f"got {self.retry_backoff_s}"
             )
         self.faults.validate_for(self.cells, self.iterations)
+        for event in self.faults.events:
+            # Preflight what would otherwise fail mid-campaign, after the
+            # worker pool has already spawned: a unit whose planned kill
+            # count exhausts the retry budget can never succeed.
+            if event.kind == "kill_worker" and event.kills >= self.max_attempts:
+                raise SpecError(
+                    f"ChaosSpec fault plan kills cell {event.cell}'s unit "
+                    f"{event.kills} time(s) but max_attempts is "
+                    f"{self.max_attempts}; the unit could never complete"
+                )
+
+
+@dataclass(frozen=True)
+class ServiceSoakSpec(ScenarioSpec):
+    """Soak of the crash-safe aggregation service (:mod:`repro.service`).
+
+    The metering workload as a *stream*: ``devices`` meters submit one
+    reading per billing window, the daemon closes each window at its
+    deadline, and the soak driver fires the plan's service faults along
+    the way.  ``kill_at`` is sugar for ``kill_daemon`` events: each
+    offset hard-kills the daemon after that many accepted submissions
+    and restarts it from the journal — the run must still close every
+    window bit-identically.  ``faults`` takes service-kind events only
+    (``kill_daemon``/``pause_ingest``); ``rate`` throttles ingest to
+    that many shares/sec (0 = unthrottled); ``duplicate_every`` re-sends
+    every Nth accepted share to prove dedup (0 = off);
+    ``late_replays > 0`` re-sends a closed window's share to prove the
+    deadline is final.
+    """
+
+    devices: int = 12
+    windows: int = 4
+    seed: int = 9000
+    base_load_wh: int = 180
+    cells: int = 3
+    queue_capacity: int = 4096
+    window_capacity: int = 1024
+    rate: float = 0.0
+    kill_at: tuple[int, ...] = ()
+    faults: FaultPlan = FaultPlan()
+    duplicate_every: int = 5
+    late_replays: int = 1
+    fsync: bool = True
+
+    def validate(self) -> None:
+        self._at_least("devices", self.devices, 1)
+        self._at_least("windows", self.windows, 1)
+        self._at_least("cells", self.cells, 1)
+        self._at_least("queue_capacity", self.queue_capacity, 1)
+        self._at_least("window_capacity", self.window_capacity, 1)
+        self._at_least("base_load_wh", self.base_load_wh, 0)
+        self._at_least("duplicate_every", self.duplicate_every, 0)
+        self._at_least("late_replays", self.late_replays, 0)
+        if self.rate < 0:
+            raise SpecError(
+                f"ServiceSoakSpec.rate must be >= 0, got {self.rate}"
+            )
+        total = self.devices * self.windows
+        for offset in self.kill_at:
+            if not 1 <= offset <= total:
+                raise SpecError(
+                    f"ServiceSoakSpec.kill_at offsets must be within "
+                    f"1..{total} (accepted submissions), got {offset}"
+                )
+        self.faults.validate_for_service(total)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,46 @@
+"""MPC-as-a-service: the long-lived, crash-safe aggregation daemon.
+
+Everything below this package turns the repo's batch campaigns into a
+*service*: devices stream share submissions continuously, the daemon
+batches them into per-billing-window cross-cell aggregation rounds, and
+the whole thing is engineered to be killed at any instant and resume
+with bit-identical window totals.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.wire` — the flat-scalar wire format (derived from
+  the :class:`~repro.core.metrics.RoundSummary` encoding discipline)
+  for share submissions and window-close records.
+* :mod:`repro.service.wal` — the window journal: a typed write-ahead
+  log over :class:`repro.diskcache.AppendLog` (fsync'd, CRC-framed,
+  torn-tail tolerant).
+* :mod:`repro.service.windows` — deterministic window aggregation: the
+  accepted submissions of one window, sliced into MPC cells and folded
+  through the cross-cell Shamir round.
+* :mod:`repro.service.daemon` — :class:`ServiceDaemon`: admission
+  control (accepted / retry-after / shed / late / duplicate), bounded
+  queue backpressure, per-window deadlines, graceful drain vs hard-kill
+  recovery.
+* :mod:`repro.service.loadgen` — the deterministic metering load
+  generator feeding soaks, benches and CI smoke.
+* :mod:`repro.service.soak` — the soak driver interpreting
+  ``kill_daemon`` / ``pause_ingest`` fault events against a live daemon.
+"""
+
+from repro.service.daemon import (
+    Admission,
+    AdmissionResult,
+    ServiceConfig,
+    ServiceDaemon,
+)
+from repro.service.wire import ShareSubmission
+from repro.service.wal import WindowJournal
+
+__all__ = [
+    "Admission",
+    "AdmissionResult",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ShareSubmission",
+    "WindowJournal",
+]

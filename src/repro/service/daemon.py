@@ -1,0 +1,374 @@
+"""The aggregation daemon: admission control, deadlines, crash recovery.
+
+:class:`ServiceDaemon` is the long-lived form of a metering campaign.
+Devices stream :class:`~repro.service.wire.ShareSubmission` records at
+it; the daemon journals every accepted share **before acknowledging
+it**, folds each billing window's accepted set through the deterministic
+aggregation core (:mod:`repro.service.windows`) at window close, and
+journals the resulting :class:`~repro.core.metrics.WindowSummary`.
+
+The crash-safety contract, in order of events:
+
+1. ``submit`` → journal append (fsync) → acknowledge ``ACCEPTED``.  A
+   crash between append and ack leaves a journaled-but-unacked share;
+   the client re-sends and is answered ``DUPLICATE`` — never counted
+   twice.
+2. ``close_window`` → aggregate → journal ``WINDOW_CLOSE`` → retire the
+   window from memory.  A crash before the close record lands leaves
+   the window open; recovery re-closes it and — because the total is a
+   pure function of the journaled accepted set — lands on the same
+   bits.  A crash after leaves a closed window; recovery *re-verifies*
+   the journaled total against recomputation and raises
+   :class:`~repro.errors.ServiceError` on any mismatch.
+3. A torn tail (the frame being written when power died) is truncated
+   by the journal on reopen; the unacked submission it held is the
+   client's to re-send.
+
+Admission is explicit: every ``submit`` returns an
+:class:`AdmissionResult` naming one of the :class:`Admission` outcomes —
+``ACCEPTED``, ``DUPLICATE`` (the ``(device, seq)`` identity is already
+journaled), ``LATE`` (the window's deadline has passed; deterministic
+and final), ``SHED`` (the window's admission cap is full; retrying the
+same window cannot help), or ``RETRY_AFTER`` (transient pressure —
+ingest paused or the global pending queue at capacity — with a hint for
+when to retry).  Backpressure never degrades correctness: a share is
+either durably in a window's accepted set or deterministically refused.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.core.metrics import WindowSummary
+from repro.errors import ServiceError, WireError
+from repro.service import wal
+from repro.service.windows import aggregate_window
+from repro.service.wire import ShareSubmission
+
+__all__ = [
+    "Admission",
+    "AdmissionResult",
+    "ServiceConfig",
+    "ServiceDaemon",
+]
+
+
+class Admission(Enum):
+    """Every answer the daemon's admission control can give."""
+
+    ACCEPTED = "accepted"
+    DUPLICATE = "duplicate"
+    LATE = "late"
+    SHED = "shed"
+    RETRY_AFTER = "retry_after"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionResult:
+    """One ``submit`` outcome.
+
+    ``retry_after_s`` is set only for ``RETRY_AFTER`` (the transient
+    outcomes); ``LATE``/``SHED``/``DUPLICATE`` are final for that
+    ``(device, seq, window)`` and retrying them is pointless, which the
+    load generator relies on.
+    """
+
+    admission: Admission
+    window: int
+    retry_after_s: float | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.admission is Admission.ACCEPTED
+
+    @property
+    def retryable(self) -> bool:
+        return self.admission is Admission.RETRY_AFTER
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Daemon policy knobs (all admission behaviour lives here).
+
+    Attributes:
+        seed: campaign seed; the only entropy the window totals depend
+            on besides the accepted sets.
+        cells: MPC cells per window aggregation.
+        queue_capacity: global bound on pending (accepted, un-closed)
+            submissions across all open windows; beyond it, admission
+            answers ``RETRY_AFTER`` (closing a window frees space).
+        window_capacity: per-window bound on accepted submissions;
+            beyond it, admission answers ``SHED`` (final — the window
+            can never take more).
+        retry_after_s: the hint attached to ``RETRY_AFTER`` answers.
+        fsync: fsync the journal on every append (tests may disable for
+            speed; the soak and CI smoke keep it on).
+    """
+
+    seed: int = 1
+    cells: int = 1
+    queue_capacity: int = 4096
+    window_capacity: int = 1024
+    retry_after_s: float = 0.05
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cells < 1:
+            raise ServiceError(f"cells must be >= 1, got {self.cells}")
+        if self.queue_capacity < 1:
+            raise ServiceError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.window_capacity < 1:
+            raise ServiceError(
+                f"window_capacity must be >= 1, got {self.window_capacity}"
+            )
+        if self.retry_after_s <= 0:
+            raise ServiceError(
+                f"retry_after_s must be > 0, got {self.retry_after_s}"
+            )
+
+
+class ServiceDaemon:
+    """A crash-safe, backpressured window-aggregation daemon."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        journal: str | os.PathLike | None = None,
+    ):
+        self.config = config
+        path = wal.journal_path("daemon") if journal is None else journal
+        self.journal = wal.WindowJournal(path, fsync=config.fsync)
+        #: (device, seq) identities ever journaled (dedup across windows).
+        self._seen: set[tuple[int, int]] = set()
+        #: window -> accepted submissions, insertion order (open windows).
+        self._open: dict[int, list[ShareSubmission]] = {}
+        #: window -> journaled close record.
+        self._closed: dict[int, WindowSummary] = {}
+        #: highest closed window; every window <= this is past deadline.
+        self._deadline = -1
+        #: per-window admission counters (open windows only).
+        self._duplicates: dict[int, int] = {}
+        self._shed: dict[int, int] = {}
+        self._retried: dict[int, int] = {}
+        self._late: dict[int, int] = {}
+        #: late rejections across all windows (incl. already-closed ones).
+        self.late_total = 0
+        #: open windows flagged coverage-degraded by the soak driver.
+        self._degraded_windows: set[int] = set()
+        self._paused = False
+        self._pending = 0
+        self.recovered = self.journal.records > 0
+        self._recover()
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild state from the journal; verify every closed total."""
+        state = self.journal.replay()
+        if state.skipped:
+            raise ServiceError(
+                f"journal {self.journal.path} holds {state.skipped} "
+                "undecodable records"
+            )
+        by_window: dict[int, list[ShareSubmission]] = {}
+        for submission in state.accepted:
+            identity = (submission.device, submission.seq)
+            if identity in self._seen:
+                raise ServiceError(
+                    f"journal {self.journal.path} holds a duplicate "
+                    f"submission identity {identity}"
+                )
+            self._seen.add(identity)
+            by_window.setdefault(submission.window, []).append(submission)
+        for window, summary in sorted(state.closes.items()):
+            submissions = by_window.pop(window, [])
+            if len(submissions) != summary.accepted:
+                raise ServiceError(
+                    f"window {window} close record counts "
+                    f"{summary.accepted} submissions; journal holds "
+                    f"{len(submissions)}"
+                )
+            check = aggregate_window(
+                submissions, self.config.seed, window, self.config.cells
+            )
+            if check.total != summary.total or check.expected != summary.expected:
+                raise ServiceError(
+                    f"window {window} journaled total {summary.total} does "
+                    f"not match its recomputation {check.total}"
+                )
+            self._closed[window] = replace(summary, recovered=self.recovered)
+            self._deadline = max(self._deadline, window)
+        for window, submissions in sorted(by_window.items()):
+            if window <= self._deadline:
+                raise ServiceError(
+                    f"journal holds submissions for window {window} past "
+                    f"the recovered deadline {self._deadline}"
+                )
+            self._open[window] = submissions
+            self._pending += len(submissions)
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(
+        self, device: int, seq: int, window: int, value: int
+    ) -> AdmissionResult:
+        """Admit one share submission; journal before acknowledging."""
+        try:
+            submission = ShareSubmission(
+                device=device, seq=seq, window=window, value=value
+            )
+        except WireError as exc:
+            raise ServiceError(f"malformed submission: {exc}") from exc
+        if window <= self._deadline or window in self._closed:
+            self.late_total += 1
+            self._late[window] = self._late.get(window, 0) + 1
+            return AdmissionResult(Admission.LATE, window)
+        if (device, seq) in self._seen:
+            self._duplicates[window] = self._duplicates.get(window, 0) + 1
+            return AdmissionResult(Admission.DUPLICATE, window)
+        if self._paused:
+            self._retried[window] = self._retried.get(window, 0) + 1
+            return AdmissionResult(
+                Admission.RETRY_AFTER, window,
+                retry_after_s=self.config.retry_after_s,
+            )
+        accepted = self._open.get(window, ())
+        if len(accepted) >= self.config.window_capacity:
+            self._shed[window] = self._shed.get(window, 0) + 1
+            return AdmissionResult(Admission.SHED, window)
+        if self._pending >= self.config.queue_capacity:
+            self._retried[window] = self._retried.get(window, 0) + 1
+            return AdmissionResult(
+                Admission.RETRY_AFTER, window,
+                retry_after_s=self.config.retry_after_s,
+            )
+        self.journal.append_submission(submission)
+        self._seen.add((device, seq))
+        self._open.setdefault(window, []).append(submission)
+        self._pending += 1
+        return AdmissionResult(Admission.ACCEPTED, window)
+
+    # -- backpressure / fault hooks --------------------------------------------
+
+    def pause(self) -> None:
+        """Stop admitting (``RETRY_AFTER``) until :meth:`resume`."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def pending(self) -> int:
+        """Accepted submissions whose window has not closed yet."""
+        return self._pending
+
+    @property
+    def open_windows(self) -> tuple[int, ...]:
+        return tuple(sorted(self._open))
+
+    @property
+    def accepted_total(self) -> int:
+        """Submissions ever journaled (identities seen)."""
+        return len(self._seen)
+
+    # -- window lifecycle ------------------------------------------------------
+
+    def close_window(self, window: int) -> WindowSummary:
+        """Close one window's deadline: aggregate, journal, retire.
+
+        Closing window ``w`` moves the deadline to ``w``: every window
+        at or below it — including empty ones that never saw a share —
+        becomes ``LATE`` territory.  Windows must close in increasing
+        order (the deadline is monotone wall time).
+        """
+        if window in self._closed or window <= self._deadline:
+            raise ServiceError(f"window {window} is already closed")
+        skipped = [w for w in self._open if w < window]
+        if skipped:
+            raise ServiceError(
+                f"cannot close window {window} past open windows "
+                f"{sorted(skipped)}; windows close in order"
+            )
+        submissions = self._open.pop(window, [])
+        started = time.perf_counter_ns()
+        result = aggregate_window(
+            submissions, self.config.seed, window, self.config.cells
+        )
+        close_latency_us = (time.perf_counter_ns() - started) // 1000
+        summary = WindowSummary(
+            window=window,
+            accepted=len(submissions),
+            devices=len({s.device for s in submissions}),
+            duplicates=self._duplicates.pop(window, 0),
+            late=self._late.pop(window, 0),
+            shed=self._shed.pop(window, 0),
+            retried=self._retried.pop(window, 0),
+            total=result.total,
+            expected=result.expected,
+            degraded=window in self._degraded_windows,
+            close_latency_us=close_latency_us,
+            recovered=self.recovered,
+        )
+        self.journal.append_close(summary)
+        self._closed[window] = summary
+        self._degraded_windows.discard(window)
+        self._deadline = window
+        self._pending -= len(submissions)
+        return summary
+
+    def mark_degraded(self, window: int) -> None:
+        """Flag an open window as coverage-degraded at its deadline.
+
+        The soak driver calls this when known contributors missed the
+        window (stragglers past the deadline).  Degradation is a
+        coverage statement, never a correctness one: the close still
+        aggregates exactly the accepted set.
+        """
+        if window in self._closed or window <= self._deadline:
+            raise ServiceError(f"window {window} is already closed")
+        self._degraded_windows.add(window)
+
+    def drain(self) -> list[WindowSummary]:
+        """Graceful shutdown (SIGTERM): close every open window, in order.
+
+        Returns the close records; afterwards the journal is synced and
+        closed, and the daemon refuses further work.
+        """
+        summaries = [self.close_window(w) for w in sorted(self._open)]
+        self.stop()
+        return summaries
+
+    def stop(self) -> None:
+        """Release the journal (graceful; windows stay as they are)."""
+        self.journal.sync()
+        self.journal.close()
+
+    def hard_stop(self) -> None:
+        """Simulate a hard kill: drop the journal handle, no drain.
+
+        Open windows are abandoned mid-flight exactly as ``kill -9``
+        would abandon them; a new daemon on the same journal path must
+        recover them bit-identically.
+        """
+        self.journal.close()
+
+    # -- reporting -------------------------------------------------------------
+
+    def window_records(self) -> list[WindowSummary]:
+        """Closed windows, in window order."""
+        return [self._closed[w] for w in sorted(self._closed)]
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,80 @@
+"""Deterministic metering load: the traffic the soak, bench and CI feed.
+
+One formula is the oracle tie between the batch world and the service
+world: :func:`metering_reading` is the exact per-node reading the batch
+``metering`` scenario meters (``base_load_wh + (node*37 + period*101) %
+400``), so a service window fed by this generator must close on the same
+total the batch scenario computes for that billing period.  The batch
+scenario imports the formula from here — there is deliberately no second
+copy to drift.
+
+Arrival order within a window is a seeded permutation (device order
+leaks nothing into the totals — the aggregation core canonicalises — but
+a shuffled stream exercises admission in a non-trivial order), and a
+device's submission for window ``w`` carries ``seq == w``: one reading
+per billing window, so the dedup identity ``(device, seq)`` is exactly
+"this device's reading for this window" and a re-send after a lost ack
+can never double-bill.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.sim.seeds import child_seed
+from repro.service.wire import ShareSubmission
+
+__all__ = [
+    "device_ids",
+    "expected_window_total",
+    "metering_reading",
+    "window_submissions",
+]
+
+
+def metering_reading(node: int, period: int, base_load_wh: int = 0) -> int:
+    """One smart meter's reading (Wh) for one billing period.
+
+    The batch ``metering`` scenario's per-node consumption model; the
+    service oracle by construction.
+    """
+    return base_load_wh + (node * 37 + period * 101) % 400
+
+
+def device_ids(devices: int | Sequence[int]) -> tuple[int, ...]:
+    """Normalise a device population (a count, or explicit ids)."""
+    if isinstance(devices, int):
+        return tuple(range(devices))
+    return tuple(devices)
+
+
+def expected_window_total(
+    devices: int | Sequence[int], window: int, base_load_wh: int = 0
+) -> int:
+    """The billing oracle: the true total over a full-coverage window."""
+    return sum(
+        metering_reading(device, window, base_load_wh)
+        for device in device_ids(devices)
+    )
+
+
+def window_submissions(
+    devices: int | Sequence[int],
+    window: int,
+    base_load_wh: int = 0,
+    seed: int = 1,
+) -> list[ShareSubmission]:
+    """One window's submission stream, in seeded arrival order."""
+    ids = list(device_ids(devices))
+    rng = random.Random(child_seed(seed, "loadgen", window))
+    rng.shuffle(ids)
+    return [
+        ShareSubmission(
+            device=device,
+            seq=window,
+            window=window,
+            value=metering_reading(device, window, base_load_wh),
+        )
+        for device in ids
+    ]

@@ -1,0 +1,229 @@
+"""The soak driver: a full service lifetime, faults included, in one call.
+
+:func:`run_service_soak` stands up a :class:`~repro.service.daemon.ServiceDaemon`,
+streams the deterministic metering load at it window by window, fires
+the plan's service faults at their anchored submission offsets —
+``kill_daemon`` hard-kills the daemon and restarts it from the journal,
+``pause_ingest`` forces a stretch of ``RETRY_AFTER`` answers the driver
+must retry through — closes each window at its deadline, and returns the
+scenario payload the registry tables and checks.
+
+The payload's two verdicts are the PR's contract:
+
+* ``all_exact`` — every closed window's reconstructed total equals the
+  modular-sum oracle over its accepted set, kills and all;
+* ``oracle_match`` — every full-coverage window's total equals the batch
+  ``metering`` scenario's true billing total for that period
+  (:func:`~repro.service.loadgen.expected_window_total`).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from collections import deque
+
+from repro.errors import ServiceError
+from repro.service.daemon import Admission, ServiceConfig, ServiceDaemon
+from repro.service.loadgen import (
+    device_ids,
+    expected_window_total,
+    window_submissions,
+)
+
+__all__ = ["run_service_soak"]
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation; deterministic)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[rank]
+
+
+def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
+    """Drive one soak per ``spec`` (a ``ServiceSoakSpec``); return the payload.
+
+    ``journal`` pins the journal file (the CI smoke uses this to kill
+    and resume across *processes*); by default each soak gets a fresh
+    temporary journal so runs never inherit stale state.
+    """
+    config = ServiceConfig(
+        seed=spec.seed,
+        cells=spec.cells,
+        queue_capacity=spec.queue_capacity,
+        window_capacity=spec.window_capacity,
+        fsync=spec.fsync,
+    )
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if journal is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-service-soak-")
+        journal = os.path.join(cleanup.name, "soak.wal")
+
+    kills = deque(
+        sorted(
+            set(spec.kill_at)
+            | {e.round for e in spec.faults.events if e.kind == "kill_daemon"}
+        )
+    )
+    pauses = {
+        e.round: e.duration
+        for e in spec.faults.events
+        if e.kind == "pause_ingest"
+    }
+    ids = device_ids(spec.devices)
+    throttle = 1.0 / spec.rate if spec.rate > 0 else 0.0
+
+    daemon = ServiceDaemon(config, journal=journal)
+    attempts = 0
+    accepted = 0
+    duplicates = 0
+    late = 0
+    dropped = 0
+    pause_left = 0
+    recoveries: list[dict] = []
+    rows: list[dict] = []
+    try:
+        started = time.perf_counter()
+        for window in range(spec.windows):
+            stream = deque(window_submissions(
+                ids, window, spec.base_load_wh, spec.seed
+            ))
+            contributors: set[int] = set()
+            stall = 0
+            while stream:
+                submission = stream.popleft()
+                if pause_left == 0 and attempts in pauses:
+                    daemon.pause()
+                    pause_left = pauses.pop(attempts)
+                attempts += 1
+                if throttle:
+                    time.sleep(throttle)
+                result = daemon.submit(
+                    submission.device,
+                    submission.seq,
+                    submission.window,
+                    submission.value,
+                )
+                if result.accepted:
+                    stall = 0
+                    accepted += 1
+                    contributors.add(submission.device)
+                    if (
+                        spec.duplicate_every
+                        and accepted % spec.duplicate_every == 0
+                    ):
+                        # A lost-ack client re-sends; dedup must hold.
+                        echo = daemon.submit(
+                            submission.device,
+                            submission.seq,
+                            submission.window,
+                            submission.value,
+                        )
+                        if echo.admission is not Admission.DUPLICATE:
+                            raise ServiceError(
+                                f"re-sent submission was {echo.admission}, "
+                                "not DUPLICATE"
+                            )
+                        duplicates += 1
+                    if kills and accepted == kills[0]:
+                        kills.popleft()
+                        daemon.hard_stop()
+                        t0 = time.perf_counter()
+                        daemon = ServiceDaemon(config, journal=journal)
+                        recoveries.append({
+                            "at_accepted": accepted,
+                            "window": window,
+                            "replayed_records": daemon.journal.records,
+                            "recovery_s": round(time.perf_counter() - t0, 6),
+                        })
+                elif result.retryable:
+                    stream.append(submission)
+                    if daemon.paused:
+                        pause_left -= 1
+                        if pause_left <= 0:
+                            daemon.resume()
+                    else:
+                        # Global-queue pressure only clears when a window
+                        # closes; if every queued share is stuck behind
+                        # it, the deadline fires and they miss the window.
+                        stall += 1
+                        if stall > len(stream):
+                            dropped += len(stream)
+                            stream.clear()
+                else:
+                    # LATE/SHED/DUPLICATE are final; the device's reading
+                    # missed this window.
+                    dropped += 1
+            if contributors != set(ids):
+                daemon.mark_degraded(window)
+            summary = daemon.close_window(window)
+            if spec.late_replays and window + 1 < spec.windows:
+                # Deadline check: a straggler past the close must be
+                # refused deterministically, never aggregated.
+                replay = window_submissions(
+                    ids, window, spec.base_load_wh, spec.seed
+                )[0]
+                echo = daemon.submit(
+                    replay.device, replay.seq, replay.window, replay.value
+                )
+                if echo.admission is not Admission.LATE:
+                    raise ServiceError(
+                        f"post-deadline submission was {echo.admission}, "
+                        "not LATE"
+                    )
+                late += 1
+            oracle_wh = expected_window_total(ids, window, spec.base_load_wh)
+            full_coverage = summary.accepted == len(ids)
+            rows.append({
+                "window": window,
+                "accepted": summary.accepted,
+                "devices": summary.devices,
+                "total": summary.total,
+                "expected": summary.expected,
+                "exact": summary.exact,
+                "degraded": summary.degraded,
+                "recovered": summary.recovered,
+                "duplicates": summary.duplicates,
+                "shed": summary.shed,
+                "retried": summary.retried,
+                "close_ms": round(summary.close_latency_us / 1000.0, 3),
+                "oracle_wh": oracle_wh,
+                "oracle_match": summary.total == oracle_wh
+                if full_coverage
+                else None,
+            })
+        elapsed = time.perf_counter() - started
+        records = daemon.journal.records
+        daemon.stop()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    return {
+        "windows": rows,
+        "accepted": accepted,
+        "attempts": attempts,
+        "duplicates_rejected": duplicates,
+        "late_rejected": late,
+        "dropped": dropped,
+        "kills": len(recoveries),
+        "kills_unfired": len(kills),
+        "recoveries": recoveries,
+        "journal_records": records,
+        "all_exact": all(row["exact"] for row in rows),
+        "oracle_match": all(
+            row["oracle_match"] in (True, None) for row in rows
+        ),
+        "window_total_wh": sum(
+            row["total"] for row in rows if row["total"] is not None
+        ),
+        "elapsed_s": round(elapsed, 6),
+        "shares_per_sec": round(accepted / elapsed, 3) if elapsed > 0 else 0.0,
+        "p99_close_ms": round(
+            _percentile([row["close_ms"] for row in rows], 0.99), 3
+        ),
+    }

@@ -1,0 +1,122 @@
+"""The window journal: a typed write-ahead log for the aggregation daemon.
+
+Every state transition the daemon must survive is one appended record:
+
+* ``SUBMIT`` — a :class:`~repro.service.wire.ShareSubmission` was
+  *accepted* (journaled **before** the submission is acknowledged, so an
+  acknowledged share is durable by construction);
+* ``WINDOW_CLOSE`` — a billing window was aggregated (the
+  :class:`~repro.core.metrics.WindowSummary`, totals included, journaled
+  **after** the aggregate is computed).
+
+The byte substrate is :class:`repro.diskcache.AppendLog` — fsync'd,
+CRC-framed, torn-tail tolerated — and the record encoding is the flat
+scalar wire format of :mod:`repro.service.wire`.  Replay therefore never
+depends on pickle or on wall clocks: a restarted daemon reconstructs its
+accepted sets and closed windows purely from what was durably framed.
+
+Journals default to living under the disk-cache root
+(``<cache_dir>/service/<name>.wal``) so service state shares the cache's
+directory conventions and lifecycle tooling.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro import diskcache
+from repro.core.metrics import WindowSummary
+from repro.errors import WireError
+from repro.service import wire
+from repro.service.wire import ShareSubmission
+
+__all__ = ["JournalState", "WindowJournal", "journal_path"]
+
+
+def journal_path(name: str) -> pathlib.Path:
+    """Default journal location under the active disk-cache root."""
+    return diskcache.cache_dir() / "service" / f"{name}.wal"
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says happened (the daemon's restart input).
+
+    ``accepted`` holds every journaled submission in append order —
+    including those of already-closed windows, so a recovering daemon
+    can re-verify closed totals bit-for-bit.  ``closes`` maps window
+    index to its journaled :class:`WindowSummary`.
+    """
+
+    accepted: list[ShareSubmission] = field(default_factory=list)
+    closes: dict[int, WindowSummary] = field(default_factory=dict)
+    skipped: int = 0
+
+    @property
+    def open_submissions(self) -> list[ShareSubmission]:
+        """Accepted submissions whose window has no close record yet."""
+        return [s for s in self.accepted if s.window not in self.closes]
+
+
+class WindowJournal:
+    """Typed append/replay facade over one :class:`AppendLog` file."""
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self._log = diskcache.AppendLog(self.path, fsync=fsync)
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes of torn tail dropped when the journal was opened."""
+        return self._log.torn_bytes
+
+    @property
+    def records(self) -> int:
+        """Valid records currently in the journal."""
+        return self._log.records
+
+    def append_submission(self, submission: ShareSubmission) -> int:
+        """Durably journal one accepted submission (pre-acknowledgment)."""
+        return self._log.append(wire.encode_record(submission))
+
+    def append_close(self, summary: WindowSummary) -> int:
+        """Durably journal one window close (post-aggregation)."""
+        return self._log.append(wire.encode_record(summary))
+
+    def replay(self) -> JournalState:
+        """Reconstruct journal state from the valid record prefix.
+
+        Records that frame correctly at the log layer but fail to decode
+        as wire records (a version skew, a corrupted-but-CRC-colliding
+        frame) are counted in ``skipped`` rather than aborting recovery:
+        the journal's durability contract is per-record, and one bad
+        record must not take down every window behind it.
+        """
+        state = JournalState()
+        for payload in self._log.replay():
+            try:
+                record = wire.decode_record(payload)
+            except WireError:
+                state.skipped += 1
+                continue
+            if isinstance(record, ShareSubmission):
+                state.accepted.append(record)
+            else:
+                state.closes[record.window] = record
+        return state
+
+    def sync(self) -> None:
+        """Explicit durability barrier."""
+        self._log.sync()
+
+    def close(self) -> None:
+        """Close the underlying log file."""
+        self._log.close()
+
+    def __enter__(self) -> "WindowJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,141 @@
+"""Deterministic window aggregation: the pure core of the daemon.
+
+A billing window's total is a **pure function of the accepted submission
+set and the campaign seed** — nothing else.  That single property is
+what makes crash recovery bit-identical: a daemon that replays its
+journal holds exactly the accepted set the dead daemon held, so
+re-closing the window re-derives the same total bit for bit, no matter
+where the kill landed.
+
+Determinism is enforced structurally:
+
+* Accepted submissions are sorted by ``(device, seq)`` before slicing,
+  so arrival order (and therefore scheduling, backpressure and retry
+  interleavings) cannot leak into the aggregate.
+* The sorted set is sliced into contiguous MPC cells and each cell runs
+  the batched Shamir deal of the sharded campaign layer
+  (:func:`repro.analysis.sharding._mpc_cell_rounds`'s algebra) under
+  ``child_seed(window_seed, "cell", index)``.
+* Cell sums fold through :func:`repro.analysis.sharding.cross_cell_aggregate`
+  — the same cross-cell round batch campaigns use — under the window
+  seed, so the service path and the batch ``metering`` oracle share one
+  aggregation code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.sharding import (
+    CellResult,
+    cross_cell_aggregate,
+    degree_for_cell,
+)
+from repro.crypto.prng import AesCtrDrbg
+from repro.field.prime_field import PrimeField
+from repro.sim.seeds import child_seed
+from repro.sss.aggregation import reconstruct_many_from_sums
+from repro.sss.scheme import ShamirScheme
+from repro.service.wire import ShareSubmission
+
+__all__ = ["WindowAggregate", "aggregate_window", "window_seed"]
+
+
+def window_seed(seed: int, window: int) -> int:
+    """The one derivation rule for a window's aggregation seed.
+
+    Mirrors :func:`repro.sim.seeds.cell_seeds`' discipline: the seed
+    depends only on the campaign seed and the *absolute* window index,
+    never on how many windows closed before or which daemon incarnation
+    closes this one.
+    """
+    return child_seed(seed, "service-window", window)
+
+
+@dataclass(frozen=True, slots=True)
+class WindowAggregate:
+    """The pure aggregation outcome for one window's accepted set.
+
+    ``total`` is the cross-cell reconstructed aggregate (``None`` only
+    for an empty window), ``expected`` the plain modular-sum oracle over
+    the same submissions; the crash-safety tests assert they are equal
+    and that both are invariant under kill/restart.
+    """
+
+    total: int | None
+    expected: int
+    cells: int
+    degree: int
+
+
+def _cell_sum(
+    values: Sequence[int],
+    dealer_ids: Sequence[int],
+    cell_seed: int,
+) -> int:
+    """One cell's MPC share-algebra sum (the batch layer's cell round)."""
+    field = PrimeField()
+    degree = degree_for_cell(len(values))
+    scheme = ShamirScheme(field, degree)
+    points = list(range(1, degree + 2))
+    prime = field.prime
+    rng = AesCtrDrbg.from_seed(child_seed(cell_seed, "round", 0))
+    batches = scheme.split_many(list(values), points, rng, dealer_ids=list(dealer_ids))
+    point_sums = dict.fromkeys(points, 0)
+    for shares in batches:
+        for share in shares:
+            x = share.x.value
+            point_sums[x] = (point_sums[x] + share.y.value) % prime
+    (value,) = reconstruct_many_from_sums(field, [point_sums], degree)
+    return value.value
+
+
+def aggregate_window(
+    submissions: Sequence[ShareSubmission],
+    seed: int,
+    window: int,
+    cells: int = 1,
+) -> WindowAggregate:
+    """Aggregate one window's accepted submissions, deterministically.
+
+    ``submissions`` may arrive in any order; they are canonicalised by
+    ``(device, seq)`` first.  ``cells`` bounds the slicing — windows with
+    fewer submissions than cells use one cell per submission.
+    """
+    if cells < 1:
+        raise ValueError(f"cells must be >= 1, got {cells}")
+    ordered = sorted(submissions, key=lambda s: (s.device, s.seq))
+    prime = PrimeField().prime
+    values = [s.value % prime for s in ordered]
+    expected = sum(values) % prime
+    if not ordered:
+        return WindowAggregate(total=None, expected=0, cells=0, degree=0)
+
+    wseed = window_seed(seed, window)
+    num_cells = min(cells, len(ordered))
+    base, extra = divmod(len(ordered), num_cells)
+    cell_results: list[CellResult] = []
+    start = 0
+    for index in range(num_cells):
+        size = base + (1 if index < extra else 0)
+        chunk = ordered[start : start + size]
+        chunk_values = values[start : start + size]
+        start += size
+        cell_sum = _cell_sum(
+            chunk_values,
+            [s.device for s in chunk],
+            child_seed(wseed, "cell", index),
+        )
+        cell_results.append(
+            CellResult(
+                index=index,
+                node_ids=tuple(s.device for s in chunk),
+                sums=(cell_sum,),
+                expected=(sum(chunk_values) % prime,),
+            )
+        )
+    totals, degree = cross_cell_aggregate(cell_results, iterations=1, seed=wseed)
+    return WindowAggregate(
+        total=totals[0], expected=expected, cells=num_cells, degree=degree
+    )

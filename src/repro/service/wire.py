@@ -1,0 +1,210 @@
+"""The service wire format: flat-scalar records, CRC-framed.
+
+The sharded campaign layer earned its flat IPC with
+:class:`~repro.core.metrics.RoundSummary` — every round reduces to a
+fixed handful of scalars, however many nodes stand behind it.  The
+service wire format generalises exactly that discipline into a byte
+encoding: a record is a **flat-scalar dataclass** (every field an
+``int``, ``float``, ``bool`` or ``None``), encoded field by field with
+one type tag each, so any record kind serialises to a small, schema-free
+frame a replaying daemon can decode without pickle (and without trusting
+the writer's class definitions).
+
+Record kinds carried on the wire / in the window journal:
+
+* :class:`ShareSubmission` — one device's share submission for one
+  billing window (``SUBMIT`` frames).
+* :class:`~repro.core.metrics.WindowSummary` — one closed window
+  (``WINDOW_CLOSE`` frames).
+
+Framing: ``encode_record`` produces ``kind + field-count + fields``;
+:func:`frame` wraps that in ``magic + length + crc32`` for transport
+(the window journal instead rides :class:`repro.diskcache.AppendLog`,
+whose frames carry the same CRC discipline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.metrics import WindowSummary
+from repro.errors import WireError
+
+__all__ = [
+    "SUBMIT",
+    "WINDOW_CLOSE",
+    "ShareSubmission",
+    "encode_record",
+    "decode_record",
+    "frame",
+    "unframe",
+]
+
+#: Record kind tags (one byte on the wire).
+SUBMIT = 1
+WINDOW_CLOSE = 2
+
+#: Transport frame magic (the journal uses AppendLog's own framing).
+FRAME_MAGIC = b"RW"
+
+_FRAME_HEADER = struct.Struct(">2sII")
+_DOUBLE = struct.Struct(">d")
+_INT64 = struct.Struct(">q")
+
+#: Ints outside the 64-bit range use a length-prefixed big-int tag, so
+#: full field elements (and anything bigger) still round-trip exactly.
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+@dataclass(frozen=True, slots=True)
+class ShareSubmission:
+    """One device's share submission for one billing window.
+
+    ``seq`` is the device's own submission counter; ``(device, seq)``
+    is the deduplication identity, so a client that re-sends after a
+    lost acknowledgment can never double-count a reading.  ``value`` is
+    the submitted share/reading (a field element — arbitrary size ints
+    round-trip).  ``window`` is the billing window the daemon resolved
+    the submission into at admission time; journaling the *resolved*
+    window is what makes replay independent of wall clocks.
+    """
+
+    device: int
+    seq: int
+    window: int
+    value: int
+
+    def __post_init__(self) -> None:
+        for name in ("device", "seq", "window"):
+            field_value = getattr(self, name)
+            if not isinstance(field_value, int) or isinstance(field_value, bool):
+                raise WireError(f"ShareSubmission.{name} must be an integer")
+            if field_value < 0:
+                raise WireError(f"ShareSubmission.{name} must be >= 0")
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise WireError("ShareSubmission.value must be an integer")
+
+
+#: kind tag -> record dataclass; the decode side of the registry.
+RECORD_TYPES: dict[int, type] = {
+    SUBMIT: ShareSubmission,
+    WINDOW_CLOSE: WindowSummary,
+}
+
+
+def _encode_scalar(value: Any) -> bytes:
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"T" if value else b"F"
+    if isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            return b"i" + _INT64.pack(value)
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        if len(raw) > 0xFFFF:
+            raise WireError("integer field too large to frame")
+        return b"I" + len(raw).to_bytes(2, "big") + raw
+    if isinstance(value, float):
+        return b"f" + _DOUBLE.pack(value)
+    raise WireError(
+        f"wire records carry flat scalars only, got {type(value).__name__}"
+    )
+
+
+def _decode_scalar(data: bytes, offset: int) -> tuple[Any, int]:
+    try:
+        tag = data[offset : offset + 1]
+        if tag == b"N":
+            return None, offset + 1
+        if tag == b"T":
+            return True, offset + 1
+        if tag == b"F":
+            return False, offset + 1
+        if tag == b"i":
+            (value,) = _INT64.unpack_from(data, offset + 1)
+            return value, offset + 1 + _INT64.size
+        if tag == b"I":
+            length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            end = offset + 3 + length
+            raw = data[offset + 3 : end]
+            if len(raw) < length:
+                raise WireError("truncated big-int field")
+            return int.from_bytes(raw, "big", signed=True), end
+        if tag == b"f":
+            (value,) = _DOUBLE.unpack_from(data, offset + 1)
+            return value, offset + 1 + _DOUBLE.size
+    except struct.error:
+        raise WireError("truncated scalar field") from None
+    raise WireError(f"unknown scalar tag {tag!r}")
+
+
+def encode_record(record: Any) -> bytes:
+    """Encode a registered flat-scalar record to its wire payload."""
+    for kind, cls in RECORD_TYPES.items():
+        if isinstance(record, cls):
+            break
+    else:
+        raise WireError(
+            f"{type(record).__name__} is not a registered wire record"
+        )
+    parts = [bytes([kind])]
+    fields = dataclasses.fields(record)
+    if len(fields) > 0xFF:  # pragma: no cover - records are small
+        raise WireError("too many fields for a wire record")
+    parts.append(bytes([len(fields)]))
+    for spec_field in fields:
+        parts.append(_encode_scalar(getattr(record, spec_field.name)))
+    return b"".join(parts)
+
+
+def decode_record(payload: bytes) -> Any:
+    """Decode one wire payload back into its record dataclass."""
+    if len(payload) < 2:
+        raise WireError("wire payload shorter than its header")
+    kind, count = payload[0], payload[1]
+    cls = RECORD_TYPES.get(kind)
+    if cls is None:
+        raise WireError(f"unknown wire record kind {kind}")
+    fields = dataclasses.fields(cls)
+    if count != len(fields):
+        raise WireError(
+            f"{cls.__name__} frame carries {count} fields, "
+            f"expected {len(fields)}"
+        )
+    values = []
+    offset = 2
+    for _ in range(count):
+        value, offset = _decode_scalar(payload, offset)
+        values.append(value)
+    if offset != len(payload):
+        raise WireError(f"{len(payload) - offset} trailing bytes after record")
+    return cls(*values)
+
+
+def frame(record: Any) -> bytes:
+    """Transport framing: ``magic + length + crc32 + payload``."""
+    payload = encode_record(record)
+    return _FRAME_HEADER.pack(
+        FRAME_MAGIC, len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+def unframe(data: bytes) -> Any:
+    """Decode one transport frame (strict: exact length, valid CRC)."""
+    if len(data) < _FRAME_HEADER.size:
+        raise WireError("frame shorter than its header")
+    magic, length, crc = _FRAME_HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    payload = data[_FRAME_HEADER.size :]
+    if len(payload) != length:
+        raise WireError(
+            f"frame length mismatch: header says {length}, got {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise WireError("frame CRC mismatch")
+    return decode_record(payload)

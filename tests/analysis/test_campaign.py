@@ -277,14 +277,48 @@ class TestBoundedRetry:
         results = executor.run_units([FlakyUnit("a", 1)], max_attempts=2)
         assert results == [("a", 1)]
 
-    def test_backoff_is_exponential(self, monkeypatch):
+    def test_backoff_uses_decorrelated_jitter(self, monkeypatch):
+        import random
+
         delays: list[float] = []
         monkeypatch.setattr(campaign.time, "sleep", delays.append)
         executor = CampaignExecutor(
-            workers=1, max_attempts=4, backoff_base_s=0.5
+            workers=1, max_attempts=4, backoff_base_s=0.5, max_backoff_s=1.5
         )
+        executor.backoff_rng = random.Random(42)
         executor.run_units([FlakyUnit("a", 3)])
-        assert delays == [0.5, 1.0, 2.0]
+        # Same recipe, same seed: min(cap, uniform(base, max(base, prev*3))).
+        oracle_rng = random.Random(42)
+        expected, prev = [], 0.0
+        for _ in range(3):
+            prev = min(1.5, oracle_rng.uniform(0.5, max(0.5, prev * 3.0)))
+            expected.append(prev)
+        assert delays == expected
+        assert all(0.5 <= d <= 1.5 for d in delays)
+
+    def test_backoff_caps_at_max_backoff_s(self):
+        import random
+
+        rng = random.Random(7)
+        delay = 0.0
+        for _ in range(50):
+            delay = campaign._backoff_delay(0.5, 1.25, delay, rng)
+            assert 0.5 <= delay <= 1.25
+
+    def test_backoff_retries_stay_bit_identical(self, monkeypatch):
+        monkeypatch.setattr(campaign.time, "sleep", lambda _: None)
+        executor = CampaignExecutor(
+            workers=1, max_attempts=3, backoff_base_s=0.5
+        )
+        flaky = executor.run_units([FlakyUnit("a", 2)])
+        clean = CampaignExecutor(workers=1).run_units([FlakyUnit("a", 0)])
+        # The retried unit returns the same value a first-try run would
+        # (modulo the attempt counter the stub reports).
+        assert flaky[0][0] == clean[0][0]
+
+    def test_max_backoff_must_cover_base(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(workers=1, backoff_base_s=1.0, max_backoff_s=0.5)
 
     def test_zero_backoff_never_sleeps(self, monkeypatch):
         def no_sleep(_):

@@ -1,0 +1,69 @@
+"""Concurrent-writer safety: two processes racing on one cache key.
+
+The store's atomic tmp-write + ``os.replace`` discipline must leave
+exactly one valid entry and no stray ``.tmp-*`` droppings no matter how
+two writers interleave.  The workers live at module top level so the
+``spawn`` start method can pickle them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import diskcache
+
+ROUNDS = 25
+
+
+def _hammer_store(cache_path: str, worker: int, key: str) -> None:
+    diskcache.set_cache_dir(cache_path)
+    diskcache.set_enabled(True)
+    for round_index in range(ROUNDS):
+        # Both workers write the same key; payloads differ per writer so
+        # a torn/interleaved write would produce an unloadable pickle.
+        diskcache.store(
+            "race", key, {"worker": worker, "round": round_index, "pad": "x" * 4096}
+        )
+
+
+@pytest.fixture
+def cache_path(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    diskcache.set_cache_dir(None)
+    yield tmp_path
+    diskcache.set_cache_dir(None)
+
+
+def test_two_processes_same_key_leave_one_valid_entry(cache_path):
+    key = diskcache.content_key("race", "shared", 1)
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(target=_hammer_store, args=(str(cache_path), w, key))
+        for w in range(2)
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    entries = sorted(cache_path.glob("race-*.pkl"))
+    assert len(entries) == 1, f"expected one entry, found {entries}"
+    payload = diskcache.load("race", key)
+    assert payload is not None
+    assert payload["worker"] in (0, 1)
+    assert payload["round"] == ROUNDS - 1
+    strays = list(cache_path.rglob(".tmp-*")) + list(cache_path.rglob("*.tmp-*"))
+    assert strays == [], f"stray temp files survived the race: {strays}"
+
+
+def test_interleaved_in_process_writers_same_key(cache_path):
+    # Same invariant without process machinery: repeated overwrites of
+    # one key never accumulate files.
+    key = diskcache.content_key("race", "solo")
+    for round_index in range(10):
+        diskcache.store("race", key, {"round": round_index})
+    assert len(list(cache_path.glob("race-*.pkl"))) == 1
+    assert diskcache.load("race", key) == {"round": 9}

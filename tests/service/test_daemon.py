@@ -1,0 +1,309 @@
+"""Daemon tests: admission policy, deadlines, crash recovery invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import diskcache
+from repro.errors import ServiceError
+from repro.service import (
+    Admission,
+    ServiceConfig,
+    ServiceDaemon,
+    WindowJournal,
+)
+from repro.service.windows import aggregate_window
+from repro.service.wire import ShareSubmission
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return tmp_path / "daemon.wal"
+
+
+def config(**overrides) -> ServiceConfig:
+    base = dict(seed=77, cells=2, fsync=False)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def fill_window(daemon: ServiceDaemon, window: int, devices: int) -> None:
+    for device in range(devices):
+        result = daemon.submit(device, window, window, 100 + device)
+        assert result.accepted
+
+
+class TestAdmission:
+    def test_accept_then_duplicate(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            first = daemon.submit(3, 0, 0, 42)
+            again = daemon.submit(3, 0, 0, 42)
+            assert first.admission is Admission.ACCEPTED
+            assert again.admission is Admission.DUPLICATE
+            assert not again.retryable
+            assert daemon.accepted_total == 1
+
+    def test_duplicate_identity_spans_windows(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            assert daemon.submit(3, 0, 0, 42).accepted
+            daemon.close_window(0)
+            # Same (device, seq) aimed at a later window is still a dup.
+            assert daemon.submit(3, 0, 1, 42).admission is Admission.DUPLICATE
+
+    def test_closed_window_is_late_and_final(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            fill_window(daemon, 0, 3)
+            daemon.close_window(0)
+            late = daemon.submit(9, 0, 0, 5)
+            assert late.admission is Admission.LATE
+            assert not late.retryable
+            assert daemon.late_total == 1
+
+    def test_deadline_covers_empty_skipped_windows(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            fill_window(daemon, 2, 2)
+            daemon.close_window(2)
+            # Windows 0 and 1 never opened, but the deadline passed them.
+            assert daemon.submit(5, 0, 0, 1).admission is Admission.LATE
+            assert daemon.submit(5, 1, 1, 1).admission is Admission.LATE
+
+    def test_window_capacity_sheds(self, journal):
+        with ServiceDaemon(config(window_capacity=2), journal) as daemon:
+            fill_window(daemon, 0, 2)
+            shed = daemon.submit(7, 0, 0, 1)
+            assert shed.admission is Admission.SHED
+            assert not shed.retryable
+            summary = daemon.close_window(0)
+            assert summary.shed == 1
+            assert summary.accepted == 2
+
+    def test_queue_capacity_answers_retry_after(self, journal):
+        with ServiceDaemon(config(queue_capacity=2), journal) as daemon:
+            fill_window(daemon, 0, 2)
+            held = daemon.submit(7, 1, 1, 1)
+            assert held.admission is Admission.RETRY_AFTER
+            assert held.retry_after_s == pytest.approx(0.05)
+            # Closing a window frees queue space; the retry then lands.
+            daemon.close_window(0)
+            assert daemon.submit(7, 1, 1, 1).accepted
+
+    def test_pause_resume(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            daemon.pause()
+            assert daemon.paused
+            held = daemon.submit(1, 0, 0, 9)
+            assert held.retryable
+            daemon.resume()
+            assert daemon.submit(1, 0, 0, 9).accepted
+
+    def test_late_beats_duplicate_beats_pressure(self, journal):
+        # Admission order: LATE, then DUPLICATE, then pause/capacity.
+        with ServiceDaemon(config(), journal) as daemon:
+            assert daemon.submit(1, 0, 0, 9).accepted
+            daemon.close_window(0)
+            daemon.pause()
+            assert daemon.submit(2, 0, 0, 9).admission is Admission.LATE
+            assert daemon.submit(1, 0, 1, 9).admission is Admission.DUPLICATE
+
+    def test_malformed_submission_raises(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            with pytest.raises(ServiceError, match="malformed"):
+                daemon.submit(-1, 0, 0, 9)
+
+
+class TestWindowLifecycle:
+    def test_close_totals_match_pure_aggregation(self, journal):
+        cfg = config()
+        with ServiceDaemon(cfg, journal) as daemon:
+            fill_window(daemon, 0, 5)
+            summary = daemon.close_window(0)
+        oracle = aggregate_window(
+            [ShareSubmission(d, 0, 0, 100 + d) for d in range(5)],
+            cfg.seed,
+            0,
+            cfg.cells,
+        )
+        assert summary.total == oracle.total
+        assert summary.expected == oracle.expected
+        assert summary.exact
+        assert summary.devices == 5
+
+    def test_windows_close_in_order(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            fill_window(daemon, 0, 2)
+            fill_window(daemon, 1, 2)
+            with pytest.raises(ServiceError, match="close in order"):
+                daemon.close_window(1)
+            daemon.close_window(0)
+            daemon.close_window(1)
+
+    def test_double_close_refused(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            fill_window(daemon, 0, 2)
+            daemon.close_window(0)
+            with pytest.raises(ServiceError, match="already closed"):
+                daemon.close_window(0)
+
+    def test_empty_window_closes_inexact(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            summary = daemon.close_window(0)
+            assert summary.total is None
+            assert summary.accepted == 0
+            assert not summary.exact
+
+    def test_mark_degraded_flags_close_record(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            fill_window(daemon, 0, 2)
+            daemon.mark_degraded(0)
+            assert daemon.close_window(0).degraded
+            fill_window(daemon, 1, 2)
+            assert not daemon.close_window(1).degraded
+            with pytest.raises(ServiceError):
+                daemon.mark_degraded(0)
+
+    def test_drain_closes_all_open_windows(self, journal):
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 2)
+        fill_window(daemon, 1, 3)
+        summaries = daemon.drain()
+        assert [s.window for s in summaries] == [0, 1]
+        assert [s.accepted for s in summaries] == [2, 3]
+        assert daemon.pending == 0
+
+
+class TestRecovery:
+    def test_hard_kill_recovery_is_bit_identical(self, journal):
+        oracle_journal = journal.with_name("oracle.wal")
+        with ServiceDaemon(config(), oracle_journal) as oracle:
+            fill_window(oracle, 0, 4)
+            fill_window(oracle, 1, 4)
+            expected = [oracle.close_window(0), oracle.close_window(1)]
+
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 4)
+        daemon.close_window(0)
+        # Kill mid-window-1: two of four shares journaled, no close.
+        assert daemon.submit(0, 1, 1, 100).accepted
+        assert daemon.submit(1, 1, 1, 101).accepted
+        daemon.hard_stop()
+
+        revived = ServiceDaemon(config(), journal)
+        assert revived.recovered
+        assert revived.open_windows == (1,)
+        assert revived.pending == 2
+        # The two journaled shares are dups; the missing two land fresh.
+        assert revived.submit(0, 1, 1, 100).admission is Admission.DUPLICATE
+        assert revived.submit(2, 1, 1, 102).accepted
+        assert revived.submit(3, 1, 1, 103).accepted
+        resumed = revived.close_window(1)
+        revived.stop()
+
+        records = revived.window_records()
+        assert [s.window for s in records] == [0, 1]
+        for got, want in zip(records, expected):
+            assert got.total == want.total
+            assert got.expected == want.expected
+            assert got.accepted == want.accepted
+        assert resumed.recovered
+
+    def test_recovery_replays_deadline(self, journal):
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 2)
+        daemon.close_window(0)
+        daemon.hard_stop()
+        revived = ServiceDaemon(config(), journal)
+        assert revived.submit(9, 0, 0, 5).admission is Admission.LATE
+        revived.stop()
+
+    def test_torn_tail_is_clients_loss_not_daemons(self, journal):
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 3)
+        daemon.hard_stop()
+        whole = journal.read_bytes()
+        journal.write_bytes(whole + whole[: len(whole) // 4])
+        revived = ServiceDaemon(config(), journal)
+        assert revived.pending == 3
+        # The torn submission was never acked; a re-send is fresh.
+        assert revived.submit(3, 0, 0, 103).accepted
+        revived.stop()
+
+    def test_tampered_close_total_raises(self, journal):
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 3)
+        daemon.close_window(0)
+        daemon.hard_stop()
+        # Rewrite the journal with a forged close total.
+        state = WindowJournal(journal, fsync=False).replay()
+        from dataclasses import replace
+
+        forged = journal.with_name("forged.wal")
+        rewriter = WindowJournal(forged, fsync=False)
+        for submission in state.accepted:
+            rewriter.append_submission(submission)
+        rewriter.append_close(replace(state.closes[0], total=12345))
+        rewriter.close()
+        with pytest.raises(ServiceError, match="does not match"):
+            ServiceDaemon(config(), forged)
+
+    def test_close_count_mismatch_raises(self, journal):
+        daemon = ServiceDaemon(config(), journal)
+        fill_window(daemon, 0, 3)
+        summary = daemon.close_window(0)
+        daemon.hard_stop()
+        from dataclasses import replace
+
+        forged = journal.with_name("forged.wal")
+        rewriter = WindowJournal(forged, fsync=False)
+        state = WindowJournal(journal, fsync=False).replay()
+        for submission in state.accepted[:-1]:  # drop one share
+            rewriter.append_submission(submission)
+        rewriter.append_close(replace(summary, recovered=False))
+        rewriter.close()
+        with pytest.raises(ServiceError, match="close record counts"):
+            ServiceDaemon(config(), forged)
+
+    def test_duplicate_identity_in_journal_raises(self, journal):
+        rewriter = WindowJournal(journal, fsync=False)
+        rewriter.append_submission(ShareSubmission(1, 0, 0, 5))
+        rewriter.append_submission(ShareSubmission(1, 0, 0, 5))
+        rewriter.close()
+        with pytest.raises(ServiceError, match="duplicate"):
+            ServiceDaemon(config(), journal)
+
+    def test_undecodable_journal_record_raises(self, journal):
+        rewriter = WindowJournal(journal, fsync=False)
+        rewriter.append_submission(ShareSubmission(1, 0, 0, 5))
+        rewriter._log.append(b"\x07garbage")
+        rewriter.close()
+        with pytest.raises(ServiceError, match="undecodable"):
+            ServiceDaemon(config(), journal)
+
+    def test_fresh_journal_is_not_recovered(self, journal):
+        with ServiceDaemon(config(), journal) as daemon:
+            assert not daemon.recovered
+            fill_window(daemon, 0, 2)
+            assert not daemon.close_window(0).recovered
+
+    def test_default_journal_lands_under_cache_dir(self, tmp_path, monkeypatch):
+        diskcache.set_cache_dir(None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        try:
+            with ServiceDaemon(config()) as daemon:
+                assert daemon.journal.path == tmp_path / "service" / "daemon.wal"
+        finally:
+            diskcache.set_cache_dir(None)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"cells": 0},
+            {"queue_capacity": 0},
+            {"window_capacity": 0},
+            {"retry_after_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, overrides):
+        with pytest.raises(ServiceError):
+            config(**overrides)
