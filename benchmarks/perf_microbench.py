@@ -559,9 +559,12 @@ def bench_service(iterations: int) -> dict:
     durability the restart-resume contract is priced in), one hard kill
     mid-stream — recorded as absolute rates: shares/sec through
     journal-before-ack admission, p99 window-close latency, and the
-    journal-replay recovery time after the kill.  Deliberately no
-    ``*speedup`` key: the regression gate records the tier without
-    enforcing jittery absolute wall-clock numbers.
+    journal-replay recovery time after the kill.  A second pass runs the
+    same load sharded (4 journals, 4 queue-transport producers) so the
+    record tracks multi-journal throughput next to the single-journal
+    figure.  Deliberately no ``*speedup`` key: the regression gate
+    records the tier without enforcing jittery absolute wall-clock
+    numbers.
     """
     from repro.scenarios.spec import ServiceSoakSpec
     from repro.service.soak import run_service_soak
@@ -582,6 +585,24 @@ def bench_service(iterations: int) -> dict:
         raise RuntimeError("service bench: a window total missed its oracle")
     if payload["kills"] != 1:
         raise RuntimeError("service bench: the hard kill never fired")
+    sharded = run_service_soak(
+        ServiceSoakSpec(
+            devices=devices,
+            windows=windows,
+            seed=17,
+            cells=3,
+            shards=4,
+            producers=4,
+            transport="queue",
+            kill_at=(devices + devices // 2,),
+            duplicate_every=0,
+            late_replays=0,
+        )
+    )
+    if not (sharded["all_exact"] and sharded["oracle_match"]):
+        raise RuntimeError("service bench: a sharded total missed its oracle")
+    if sharded["billing_exact"] is not True:
+        raise RuntimeError("service bench: the sharded billing extract diverged")
     return {
         "devices": devices,
         "windows": windows,
@@ -590,6 +611,11 @@ def bench_service(iterations: int) -> dict:
         "shares_per_sec": payload["shares_per_sec"],
         "p99_window_close_ms": payload["p99_close_ms"],
         "recovery_s": payload["recoveries"][0]["recovery_s"],
+        "shards": sharded["shards"],
+        "producers": sharded["producers"],
+        "sharded_shares_per_sec": sharded["shares_per_sec"],
+        "sharded_p99_window_close_ms": sharded["p99_close_ms"],
+        "sharded_recovery_s": sharded["recoveries"][0]["recovery_s"],
     }
 
 

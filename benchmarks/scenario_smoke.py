@@ -7,6 +7,12 @@ the uniform result records plus a manifest into one output directory —
 the artifact CI uploads.  A scenario that fails to run, or whose
 acceptance check fails (non-zero exit), fails the whole smoke.
 
+``--workers N`` forwards the CLI's worker-pool flag to every run, and
+``--compare-to DIR`` chains a determinism pass over a previous smoke's
+records: every record pair goes through ``repro compare``, so "same
+spec, different workers" bit-identity is checked by the same tool users
+run by hand.  A compare divergence fails the smoke.
+
 Run:  PYTHONPATH=src python benchmarks/scenario_smoke.py --out-dir scenario-smoke
 """
 
@@ -31,6 +37,20 @@ def main(argv: list[str] | None = None) -> int:
         default="scenario-smoke",
         help="where spec files, result records and the manifest land",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="forward --workers N to every scenario run",
+    )
+    parser.add_argument(
+        "--compare-to",
+        metavar="DIR",
+        default=None,
+        help="a previous smoke's output directory; run `repro compare` "
+        "over every shared record (bit-identity across backends)",
+    )
     args = parser.parse_args(argv)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -45,10 +65,13 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps({"scenario": name, **spec.to_dict()}, indent=2) + "\n"
         )
         record_path = out_dir / f"{name}.json"
+        cli_args = [
+            "run", name, "--spec", str(spec_path), "--save", str(record_path)
+        ]
+        if args.workers is not None:
+            cli_args += ["--workers", str(args.workers)]
         start = time.perf_counter()
-        code = cli_main(
-            ["run", name, "--spec", str(spec_path), "--save", str(record_path)]
-        )
+        code = cli_main(cli_args)
         elapsed = time.perf_counter() - start
         row = {
             "scenario": name,
@@ -67,10 +90,36 @@ def main(argv: list[str] | None = None) -> int:
         status = "ok" if code == 0 else f"FAILED (exit {code})"
         print(f"{name:14s} {elapsed:6.2f}s  {status}")
 
+    compared = []
+    if args.compare_to:
+        baseline_dir = pathlib.Path(args.compare_to)
+        print(f"\ncomparing against {baseline_dir}/ via `repro compare`:")
+        for row in manifest:
+            if row["exit_code"] != 0:
+                continue
+            baseline = baseline_dir / row["record"]
+            if not baseline.exists():
+                continue
+            code = cli_main(
+                ["compare", str(baseline), str(out_dir / row["record"])]
+            )
+            compared.append({"scenario": row["scenario"], "exit_code": code})
+            if code != 0:
+                failures.append(f"compare:{row['scenario']}")
+            print(
+                f"  {row['scenario']:14s} "
+                f"{'match' if code == 0 else f'DIVERGED (exit {code})'}"
+            )
+
     manifest_path = out_dir / "manifest.json"
     manifest_path.write_text(
         json.dumps(
-            {"scenarios": manifest, "total": len(manifest), "failed": failures},
+            {
+                "scenarios": manifest,
+                "total": len(manifest),
+                "failed": failures,
+                "compared": compared,
+            },
             indent=2,
         )
         + "\n"

@@ -13,6 +13,17 @@ spec-file support without touching this module:
 * ``repro describe <scenario>`` — show a scenario's spec fields,
   defaults, and an example spec file.
 
+Two service-era commands ride alongside:
+
+* ``repro compare a.json b.json`` — determinism check over two saved
+  result records: same spec echo ⇒ payloads must match bit-for-bit
+  once wall-clock noise is stripped.  Exit 2 on a spec mismatch (the
+  records are not comparable), 1 on payload divergence, 0 on a match.
+* ``repro query <service-dir>`` — query a service directory's result
+  store (read-only, safe against a live daemon): every journaled
+  window close, one window's contributions, or one device's exact
+  bill.
+
 The nine pre-registry commands (``repro figure1``, ``repro coverage``,
 ...) remain as top-level aliases of ``repro run <name>``.
 
@@ -240,6 +251,148 @@ def _cmd_run(args) -> int:
     return 0 if entry.check(result.payload) else 1
 
 
+#: Payload keys that carry wall-clock or scheduling noise, never results.
+#: ``repro compare`` strips them (recursively, by key) before comparing —
+#: two runs of one spec must agree on everything else bit for bit.
+VOLATILE_KEYS = frozenset({
+    "elapsed_s",
+    "close_ms",
+    "close_latency_us",
+    "p99_close_ms",
+    "shares_per_sec",
+    "recovery_s",
+    "recoveries",
+    "attempts",
+    "retried",
+    "worker_retries",
+    "journal_records",
+    "replayed_records",
+})
+
+
+def _strip_volatile(value):
+    if isinstance(value, dict):
+        return {
+            key: _strip_volatile(item)
+            for key, item in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_volatile(item) for item in value]
+    return value
+
+
+def _first_divergence(a, b, path="payload") -> str:
+    """A human-sized pointer at the first place two payloads differ."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                return f"{path}.{key}: only in the second record"
+            if key not in b:
+                return f"{path}.{key}: only in the first record"
+            if a[key] != b[key]:
+                return _first_divergence(a[key], b[key], f"{path}.{key}")
+        return path
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path}: {len(a)} vs {len(b)} entries"
+        for index, (left, right) in enumerate(zip(a, b)):
+            if left != right:
+                return _first_divergence(left, right, f"{path}[{index}]")
+        return path
+    return f"{path}: {a!r} vs {b!r}"
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.io import load_record
+
+    first = load_record(args.record_a)
+    second = load_record(args.record_b)
+    if first["spec"] != second["spec"]:
+        print(
+            "spec mismatch — the records describe different experiments:\n"
+            f"  {_first_divergence(first['spec'], second['spec'], 'spec')}",
+            file=sys.stderr,
+        )
+        return 2
+    payload_a = _strip_volatile(first.get("payload"))
+    payload_b = _strip_volatile(second.get("payload"))
+    if payload_a != payload_b:
+        print(
+            f"payload divergence for scenario {first['scenario']!r} — same "
+            "spec, different results:\n"
+            f"  {_first_divergence(payload_a, payload_b)}",
+            file=sys.stderr,
+        )
+        return 1
+    backends = (
+        first.get("backend", {}),
+        second.get("backend", {}),
+    )
+    print(
+        f"match: scenario {first['scenario']!r} payloads are identical "
+        f"(volatile keys stripped); backends "
+        f"workers={backends[0].get('workers')}/{backends[1].get('workers')}, "
+        f"fastpath={backends[0].get('fastpath')}/{backends[1].get('fastpath')}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.service.client import STORE_NAME, query_store
+    from repro.service.store import ResultStore
+
+    service_dir = pathlib.Path(args.service_dir)
+    if not service_dir.is_dir():
+        raise SpecError(f"no service directory at {service_dir}")
+    store = ResultStore(service_dir / STORE_NAME, readonly=True)
+    store.ingest(service_dir)
+    answer = query_store(store, device=args.device, window=args.window)
+    if args.json:
+        print(json.dumps(answer, indent=2, sort_keys=True))
+        return 0
+    if args.window is not None:
+        if not answer["closed"]:
+            print(f"window {args.window}: not closed (no journaled close)")
+            return 0
+        summary = answer["summary"]
+        print(
+            f"window {args.window}: total {summary['total']} Wh over "
+            f"{summary['accepted']} share(s) from {summary['devices']} "
+            f"device(s); exact={'yes' if summary['exact'] else 'NO'}, "
+            f"recovered={'yes' if summary['recovered'] else 'no'}"
+        )
+        for contribution in answer["contributions"]:
+            print(
+                f"  device {contribution['device']:>6}  "
+                f"seq {contribution['seq']:>4}  "
+                f"value {contribution['value']}"
+            )
+        return 0
+    if args.device is not None:
+        print(
+            f"device {answer['device']}: total {answer['total']} Wh over "
+            f"{answer['windows']} window(s) through window "
+            f"{answer['through_window']}"
+        )
+        return 0
+    windows = answer["windows"]
+    if not windows:
+        print(f"{service_dir}: no journaled window closes")
+        return 0
+    print(f"{service_dir}: {len(windows)} closed window(s)")
+    for summary in windows:
+        print(
+            f"  window {summary['window']:>4}  total {summary['total']:>12} Wh"
+            f"  accepted {summary['accepted']:>6}"
+            f"  exact={'yes' if summary['exact'] else 'NO'}"
+            f"  recovered={'yes' if summary['recovered'] else 'no'}"
+        )
+    devices = answer["devices"]
+    print(f"  billing extract: {len(devices)} device(s)")
+    return 0
+
+
 def _cmd_scenarios(args) -> int:
     entries = registry.all_scenarios()
     if args.json:
@@ -325,6 +478,33 @@ def build_parser() -> argparse.ArgumentParser:
     for entry in registry.all_scenarios():
         if entry.legacy_alias:
             _add_run_parser(subparsers, entry)
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="compare two saved result records (determinism check)",
+    )
+    compare_parser.add_argument("record_a", metavar="A.json")
+    compare_parser.add_argument("record_b", metavar="B.json")
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="query a service directory's result store (read-only)",
+    )
+    query_parser.add_argument("service_dir", metavar="SERVICE_DIR")
+    query_group = query_parser.add_mutually_exclusive_group()
+    query_group.add_argument(
+        "--device", type=int, default=None, metavar="N",
+        help="one device's exact billing total",
+    )
+    query_group.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="one window's close summary and contributions",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="machine-readable answer"
+    )
+    query_parser.set_defaults(handler=_cmd_query)
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registered scenarios"

@@ -498,3 +498,29 @@ class AppendLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def read_log_records(path: str | os.PathLike) -> Iterator[bytes]:
+    """Read-only replay of an append log's valid record prefix.
+
+    Unlike constructing an :class:`AppendLog`, this never truncates a
+    torn tail and never opens the file for writing — safe to run against
+    a journal another process (or a live daemon in this process) still
+    holds open for appending.  A missing file yields nothing.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return
+    with handle:
+        while True:
+            header = handle.read(_LOG_HEADER.size)
+            if len(header) < _LOG_HEADER.size:
+                return
+            magic, length, crc = _LOG_HEADER.unpack(header)
+            if magic != LOG_MAGIC or length > LOG_MAX_RECORD:
+                return
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            yield payload

@@ -22,9 +22,11 @@ CAMPAIGN_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
 
 #: Fault kinds interpreted by the service soak driver (daemon-targeted):
 #: ``kill_daemon`` hard-kills the daemon after ``round`` accepted
-#: submissions (then restarts it from the journal); ``pause_ingest``
-#: pauses admission at submission offset ``round`` for ``duration``
-#: submissions.  ``cell`` is unused for these (keep it 0).
+#: submissions (then restarts it from the journals) — in a *sharded*
+#: service ``cell`` selects the shard whose accepted count anchors the
+#: kill, so a plan can land the kill relative to one journal's traffic;
+#: ``pause_ingest`` pauses admission at submission offset ``round`` for
+#: ``duration`` submissions (``cell`` unused; keep it 0).
 SERVICE_KINDS = ("kill_daemon", "pause_ingest")
 
 #: Recognized fault kinds, in documentation order.
@@ -41,9 +43,10 @@ class FaultEvent:
 
     The service kinds reuse the same schema with service semantics:
     ``kill_daemon`` hard-kills the aggregation daemon once ``round``
-    submissions have been accepted; ``pause_ingest`` pauses admission at
-    submission offset ``round`` for ``duration`` attempts.  Both ignore
-    ``cell`` (leave it 0).
+    submissions have been accepted — ``cell`` names the *shard* whose
+    accepted count anchors the kill (0 is the whole service when it runs
+    unsharded); ``pause_ingest`` pauses admission at submission offset
+    ``round`` for ``duration`` attempts (``cell`` ignored).
     """
 
     kind: str
@@ -172,12 +175,20 @@ class FaultPlan:
                     f"{iterations}-round campaign"
                 )
 
-    def validate_for_service(self, submissions: int) -> None:
+    def validate_for_service(
+        self,
+        submissions: int,
+        shards: int = 1,
+        shard_submissions: "tuple[int, ...] | None" = None,
+    ) -> None:
         """Check every event fits a *service soak* of this many submissions.
 
         The mirror of :meth:`validate_for`: campaign-only kinds have no
         daemon-side meaning, and events anchored past the last submission
-        offset would silently never fire.
+        offset would silently never fire.  For a sharded soak pass
+        ``shards`` (and optionally ``shard_submissions``, the per-shard
+        submission totals): ``kill_daemon.cell`` must name a real shard
+        and its anchor must be reachable on that shard's own traffic.
         """
         for event in self.events:
             if event.kind not in SERVICE_KINDS:
@@ -186,13 +197,21 @@ class FaultPlan:
                     f"batch chaos campaigns, not service soaks)"
                 )
             if event.kind == "kill_daemon":
-                # Anchored on *accepted* counts: fires once the daemon
-                # has acknowledged `round` submissions.
-                if not 1 <= event.round <= submissions:
+                if event.cell >= shards:
+                    raise SpecError(
+                        f"kill_daemon targets shard {event.cell} of a "
+                        f"{shards}-shard service"
+                    )
+                # Anchored on *accepted* counts: fires once the target
+                # shard has acknowledged `round` submissions.
+                bound = submissions
+                if shard_submissions is not None:
+                    bound = shard_submissions[event.cell]
+                if not 1 <= event.round <= bound:
                     raise SpecError(
                         f"kill_daemon anchors at accepted count "
-                        f"{event.round}; this soak accepts at most "
-                        f"{submissions} submissions"
+                        f"{event.round} on shard {event.cell}; that shard "
+                        f"accepts at most {bound} submissions"
                     )
             elif event.round >= submissions:
                 raise SpecError(

@@ -1170,30 +1170,40 @@ def _service_soak_table(result) -> str:
         ],
         title=(
             f"Service soak — {len(payload['windows'])} windows, "
+            f"{payload['shards']} shard(s), {payload['producers']} "
+            f"producer(s) over {payload['transport']}, "
             f"{payload['kills']} hard kill(s)"
         ),
     )
+    billing = payload.get("billing_exact")
     return table + (
         f"\n\nIngested {payload['accepted']} shares "
-        f"({payload['shares_per_sec']}/s), journal holds "
+        f"({payload['shares_per_sec']}/s), journals hold "
         f"{payload['journal_records']} records; "
         f"{payload['duplicates_rejected']} duplicate and "
         f"{payload['late_rejected']} late re-sends refused; "
-        f"p99 window close {payload['p99_close_ms']} ms."
+        f"p99 window close {payload['p99_close_ms']} ms; "
+        f"store holds {payload['store_windows']} window(s), per-device "
+        f"billing {'exact' if billing else 'n/a' if billing is None else 'WRONG'}."
     )
 
 
 @scenario(
     "service_soak",
     spec_type=ServiceSoakSpec,
-    description="crash-safe aggregation daemon soak (kill/restart bit-identity)",
+    description="sharded aggregation service soak (kill/restart bit-identity)",
     table=_service_soak_table,
     rows=lambda payload: payload["windows"],
-    check=lambda payload: payload["all_exact"] and payload["oracle_match"],
+    check=lambda payload: payload["all_exact"]
+    and payload["oracle_match"]
+    and payload["billing_exact"] is not False,
     smoke={
         "devices": 8,
         "windows": 2,
         "cells": 2,
+        "shards": 2,
+        "producers": 2,
+        "transport": "queue",
         "kill_at": [5],
         "duplicate_every": 3,
     },

@@ -175,6 +175,24 @@ class Session:
             self._owned = CampaignExecutor(workers=self.workers)
         return self._owned
 
+    @staticmethod
+    def _coerce_spec(data: Mapping[str, Any]) -> ScenarioSpec:
+        """Resolve a plain-dict spec through the registry's spec type."""
+        name = data.get("scenario")
+        if not isinstance(name, str) or not name:
+            raise SpecError(
+                "a dict spec needs a 'scenario' key naming the scenario "
+                f"to run (known: {', '.join(registry.names())})"
+            )
+        try:
+            entry = registry.get(name)
+        except KeyError:
+            raise SpecError(
+                f"unknown scenario {name!r} "
+                f"(known: {', '.join(registry.names())})"
+            ) from None
+        return entry.spec_type.from_dict(data)
+
     def _resolve_deployment(self, spec: ScenarioSpec, override: Any):
         if override is not None:
             return override
@@ -188,8 +206,17 @@ class Session:
         except TopologyError as error:
             raise SpecError(str(error)) from None
 
-    def run(self, spec: ScenarioSpec, deployment: Any = None) -> ExperimentResult:
+    def run(
+        self, spec: "ScenarioSpec | Mapping[str, Any]", deployment: Any = None
+    ) -> ExperimentResult:
         """Run the scenario a spec belongs to; return the uniform envelope.
+
+        ``spec`` is either a typed :class:`ScenarioSpec` or a plain
+        mapping with a ``"scenario"`` key naming the scenario (the spec-
+        file shape) — the mapping is coerced through the scenario's
+        ``spec_type.from_dict``, so both forms share one validation path
+        (:class:`SpecError` on anything malformed) and run
+        bit-identically.
 
         ``deployment`` overrides testbed-name resolution with a live
         :class:`~repro.topology.testbeds.TestbedSpec` (or
@@ -197,6 +224,8 @@ class Session:
         legacy ``run_*`` wrappers use for ad-hoc deployments.  Spec files
         always resolve by name.
         """
+        if isinstance(spec, Mapping):
+            spec = self._coerce_spec(spec)
         entry = registry.for_spec(spec)
         resolved = self._resolve_deployment(spec, deployment)
         context = RunContext(session=self, deployment=resolved)

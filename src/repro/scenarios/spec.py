@@ -425,17 +425,27 @@ class ServiceSoakSpec(ScenarioSpec):
     """Soak of the crash-safe aggregation service (:mod:`repro.service`).
 
     The metering workload as a *stream*: ``devices`` meters submit one
-    reading per billing window, the daemon closes each window at its
+    reading per billing window, the service closes each window at its
     deadline, and the soak driver fires the plan's service faults along
     the way.  ``kill_at`` is sugar for ``kill_daemon`` events: each
-    offset hard-kills the daemon after that many accepted submissions
-    and restarts it from the journal — the run must still close every
+    offset hard-kills the service after that many accepted submissions
+    and restarts it from the journals — the run must still close every
     window bit-identically.  ``faults`` takes service-kind events only
-    (``kill_daemon``/``pause_ingest``); ``rate`` throttles ingest to
-    that many shares/sec (0 = unthrottled); ``duplicate_every`` re-sends
-    every Nth accepted share to prove dedup (0 = off);
-    ``late_replays > 0`` re-sends a closed window's share to prove the
-    deadline is final.
+    (``kill_daemon``/``pause_ingest``; a ``kill_daemon`` event's
+    ``cell`` anchors on that *shard's* accepted count); ``rate``
+    throttles ingest to that many shares/sec (0 = unthrottled);
+    ``duplicate_every`` re-sends every Nth accepted share to prove
+    dedup (0 = off); ``late_replays > 0`` re-sends a closed window's
+    share to prove the deadline is final.
+
+    Scale-out knobs: ``shards`` gives the service that many journals
+    (device ``d`` lands on shard ``d % shards``, each shard is one MPC
+    cell of the window fold); ``producers`` feeds it from that many
+    concurrent threads; ``transport`` picks how they reach the daemon
+    (``"inproc"`` = direct calls, ``"queue"`` = through the bounded
+    ingestion front).  ``pause_ingest`` events need ``producers == 1``
+    — a pause window anchored on a global submission offset has no
+    deterministic meaning when several producers race past it.
     """
 
     devices: int = 12
@@ -443,6 +453,9 @@ class ServiceSoakSpec(ScenarioSpec):
     seed: int = 9000
     base_load_wh: int = 180
     cells: int = 3
+    shards: int = 1
+    producers: int = 1
+    transport: str = "inproc"
     queue_capacity: int = 4096
     window_capacity: int = 1024
     rate: float = 0.0
@@ -456,11 +469,23 @@ class ServiceSoakSpec(ScenarioSpec):
         self._at_least("devices", self.devices, 1)
         self._at_least("windows", self.windows, 1)
         self._at_least("cells", self.cells, 1)
+        self._at_least("shards", self.shards, 1)
+        self._at_least("producers", self.producers, 1)
         self._at_least("queue_capacity", self.queue_capacity, 1)
         self._at_least("window_capacity", self.window_capacity, 1)
         self._at_least("base_load_wh", self.base_load_wh, 0)
         self._at_least("duplicate_every", self.duplicate_every, 0)
         self._at_least("late_replays", self.late_replays, 0)
+        if self.transport not in ("inproc", "queue"):
+            raise SpecError(
+                f"ServiceSoakSpec.transport must be 'inproc' or 'queue', "
+                f"got {self.transport!r}"
+            )
+        if self.shards > self.devices:
+            raise SpecError(
+                f"ServiceSoakSpec.shards ({self.shards}) cannot exceed "
+                f"devices ({self.devices}); empty shards carry no traffic"
+            )
         if self.rate < 0:
             raise SpecError(
                 f"ServiceSoakSpec.rate must be >= 0, got {self.rate}"
@@ -472,7 +497,24 @@ class ServiceSoakSpec(ScenarioSpec):
                     f"ServiceSoakSpec.kill_at offsets must be within "
                     f"1..{total} (accepted submissions), got {offset}"
                 )
-        self.faults.validate_for_service(total)
+        shard_devices = tuple(
+            self.devices // self.shards
+            + (1 if shard < self.devices % self.shards else 0)
+            for shard in range(self.shards)
+        )
+        self.faults.validate_for_service(
+            total,
+            shards=self.shards,
+            shard_submissions=tuple(n * self.windows for n in shard_devices),
+        )
+        if self.producers > 1 and any(
+            e.kind == "pause_ingest" for e in self.faults.events
+        ):
+            raise SpecError(
+                "pause_ingest faults need producers == 1; a pause anchored "
+                "on a submission offset is not deterministic under "
+                "concurrent producers"
+            )
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""MPC-as-a-service: the long-lived, crash-safe aggregation daemon.
+"""MPC-as-a-service: the sharded, crash-safe aggregation service.
 
 Everything below this package turns the repo's batch campaigns into a
 *service*: devices stream share submissions continuously, the daemon
@@ -6,41 +6,78 @@ batches them into per-billing-window cross-cell aggregation rounds, and
 the whole thing is engineered to be killed at any instant and resume
 with bit-identical window totals.
 
-Layers (each importable on its own):
+The one front door is :class:`ServiceClient` — daemon, ingestion front
+and result store behind a single API.  Layers (each importable on its
+own):
 
 * :mod:`repro.service.wire` — the flat-scalar wire format (derived from
   the :class:`~repro.core.metrics.RoundSummary` encoding discipline)
-  for share submissions and window-close records.
+  for share submissions, window-close and device-total records.
 * :mod:`repro.service.wal` — the window journal: a typed write-ahead
   log over :class:`repro.diskcache.AppendLog` (fsync'd, CRC-framed,
-  torn-tail tolerant).
-* :mod:`repro.service.windows` — deterministic window aggregation: the
-  accepted submissions of one window, sliced into MPC cells and folded
-  through the cross-cell Shamir round.
-* :mod:`repro.service.daemon` — :class:`ServiceDaemon`: admission
-  control (accepted / retry-after / shed / late / duplicate), bounded
-  queue backpressure, per-window deadlines, graceful drain vs hard-kill
-  recovery.
+  torn-tail tolerant), plus the read-only journal scanner.
+* :mod:`repro.service.windows` — deterministic window aggregation:
+  sliced cells (:func:`~repro.service.windows.aggregate_window`) and the
+  shard-as-cell fold (:func:`~repro.service.windows.aggregate_shards`).
+* :mod:`repro.service.daemon` — :class:`ShardedServiceDaemon`: one WAL
+  per shard, a fold journal for closes, thread-safe admission control
+  (accepted / retry-after / shed / late / duplicate), per-window
+  deadlines, graceful drain vs hard-kill recovery.  (The single-journal
+  :class:`~repro.service.daemon.ServiceDaemon` remains for direct use,
+  deprecated at this package's surface.)
+* :mod:`repro.service.ingest` — :class:`IngestFront`: the bounded-queue
+  thread-pool ingestion front between concurrent producers and the
+  shard WALs.
+* :mod:`repro.service.store` — :class:`ResultStore`: the queryable,
+  compactable read-side over journaled window closes.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the one API.
 * :mod:`repro.service.loadgen` — the deterministic metering load
   generator feeding soaks, benches and CI smoke.
 * :mod:`repro.service.soak` — the soak driver interpreting
-  ``kill_daemon`` / ``pause_ingest`` fault events against a live daemon.
+  ``kill_daemon`` / ``pause_ingest`` fault events against a live
+  service.
 """
 
+from repro.service.client import ServiceClient
 from repro.service.daemon import (
     Admission,
     AdmissionResult,
     ServiceConfig,
-    ServiceDaemon,
+    ShardedServiceDaemon,
 )
+from repro.service.ingest import IngestFront
+from repro.service.store import DeviceBill, ResultStore
 from repro.service.wire import ShareSubmission
 from repro.service.wal import WindowJournal
 
 __all__ = [
     "Admission",
     "AdmissionResult",
+    "DeviceBill",
+    "IngestFront",
+    "ResultStore",
+    "ServiceClient",
     "ServiceConfig",
-    "ServiceDaemon",
+    "ShardedServiceDaemon",
     "ShareSubmission",
     "WindowJournal",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ServiceDaemon":
+        # Direct daemon use still works, but the supported surface is
+        # ServiceClient; steer imports there without breaking them.
+        import warnings
+
+        from repro.service.daemon import ServiceDaemon
+
+        warnings.warn(
+            "importing ServiceDaemon from repro.service is deprecated; "
+            "use repro.service.ServiceClient (or import ServiceDaemon "
+            "explicitly from repro.service.daemon)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ServiceDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

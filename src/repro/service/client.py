@@ -1,0 +1,332 @@
+"""ServiceClient: the one API in front of the sharded service.
+
+Everything that used to talk to :class:`ServiceDaemon` directly — the
+soak driver, the smoke benches, tests, the CLI — now goes through
+:class:`ServiceClient`, which wires the three service halves together
+behind one surface:
+
+* the **sharded daemon** (:class:`~repro.service.daemon
+  .ShardedServiceDaemon`): per-shard WALs, fold journal, admission;
+* the **ingestion front** (:class:`~repro.service.ingest.IngestFront`),
+  when ``transport="queue"``: a bounded queue + dispatcher threads
+  between producers and the WALs;
+* the **result store** (:class:`~repro.service.store.ResultStore`):
+  every window close is published to it, and :meth:`query` answers from
+  it — including after a hard kill, because the client heals the store
+  from the daemon's journals on construction.
+
+The two transports share one interface.  ``transport="inproc"`` calls
+the daemon inline (submission admitted on the caller's thread);
+``transport="queue"`` routes through the front (submission admitted on
+a dispatcher thread, the caller blocks on the acknowledgment future).
+Either way :meth:`submit` returns the daemon's explicit
+:class:`~repro.service.daemon.AdmissionResult` and an acknowledged
+``ACCEPTED`` means a journaled share — the queue adds concurrency, not
+new semantics.
+
+Restart-resume is the constructor: build a new client over the same
+service directory and the daemon recovers (re-verifying journaled
+closes bit-for-bit), the store replays its own log, and
+``store.ingest`` idempotently pulls in any close the kill separated
+from its store publish.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.core.metrics import WindowSummary
+from repro.errors import ServiceError
+from repro.service.daemon import (
+    AdmissionResult,
+    ServiceConfig,
+    ShardedServiceDaemon,
+)
+from repro.service.ingest import IngestFront
+from repro.service.store import DeviceBill, ResultStore
+
+__all__ = ["ServiceClient", "query_store"]
+
+#: Transports the client speaks; both present the same interface.
+TRANSPORTS = ("inproc", "queue")
+
+#: The result store's filename inside a service directory.
+STORE_NAME = "results.store"
+
+
+class ServiceClient:
+    """One handle over daemon + ingestion front + result store.
+
+    ``service_dir`` is the service instance's home: shard journals, the
+    fold journal and the result store all live under it, so "the same
+    service" across restarts means "the same directory".  ``shards``,
+    ``transport``, ``capacity`` and ``dispatchers`` size the scale-out;
+    defaults give the PR-7 shape (one shard, in-process calls).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        service_dir: str | os.PathLike,
+        shards: int = 1,
+        transport: str = "inproc",
+        capacity: int = 1024,
+        dispatchers: int | None = None,
+    ):
+        if transport not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        self.service_dir = pathlib.Path(service_dir)
+        self.transport = transport
+        self._stopped = False
+        self.daemon = ShardedServiceDaemon(config, self.service_dir, shards=shards)
+        self.store = ResultStore(
+            self.service_dir / STORE_NAME, fsync=config.fsync
+        )
+        # Heal the store <-> fold gap: a kill between the fold append
+        # and the store publish leaves a journaled close the store never
+        # saw; ingest is idempotent, so this is a no-op otherwise.
+        self.store.ingest(self.service_dir)
+        self._front: IngestFront | None = None
+        if transport == "queue":
+            self._front = IngestFront(
+                self.daemon,
+                capacity=capacity,
+                dispatchers=dispatchers or max(1, shards),
+            )
+
+    # -- convenience passthroughs ----------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self.daemon.config
+
+    @property
+    def shards(self) -> int:
+        return self.daemon.shards
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the daemon restarted over an existing journal set."""
+        return self.daemon.recovered
+
+    @property
+    def paused(self) -> bool:
+        return self.daemon.paused
+
+    @property
+    def pending(self) -> int:
+        return self.daemon.pending
+
+    @property
+    def accepted_total(self) -> int:
+        return self.daemon.accepted_total
+
+    @property
+    def accepted_per_shard(self) -> tuple[int, ...]:
+        return self.daemon.accepted_per_shard
+
+    @property
+    def open_windows(self) -> tuple[int, ...]:
+        return self.daemon.open_windows
+
+    def shard_of(self, device: int) -> int:
+        return self.daemon.shard_of(device)
+
+    # -- ingestion -------------------------------------------------------------
+
+    def submit(
+        self, device: int, seq: int, window: int, value: int
+    ) -> AdmissionResult:
+        """Submit one reading; blocks until its admission is decided.
+
+        Same signature and semantics on both transports; on ``queue``
+        the decision happens on a dispatcher thread and this call waits
+        for the acknowledgment future, so journal-before-ack holds.
+        """
+        if self._stopped:
+            raise ServiceError("service client is stopped")
+        if self._front is not None:
+            return self._front.submit(device, seq, window, value).result()
+        return self.daemon.submit(device, seq, window, value)
+
+    def submit_async(self, device: int, seq: int, window: int, value: int):
+        """Pipelined submit: returns a future over the admission.
+
+        On the queue transport this is the raw front enqueue; in-process
+        it resolves immediately (the admission already happened).
+        """
+        if self._stopped:
+            raise ServiceError("service client is stopped")
+        if self._front is not None:
+            return self._front.submit(device, seq, window, value)
+        from concurrent.futures import Future
+
+        future: Future[AdmissionResult] = Future()
+        try:
+            future.set_result(self.daemon.submit(device, seq, window, value))
+        except BaseException as exc:  # noqa: BLE001 - mirrored queue behavior
+            future.set_exception(exc)
+        return future
+
+    def barrier(self) -> None:
+        """Flush in-flight submissions (no-op on the inproc transport)."""
+        if self._front is not None:
+            self._front.barrier()
+
+    def pause(self) -> None:
+        self.daemon.pause()
+
+    def resume(self) -> None:
+        self.daemon.resume()
+
+    # -- window lifecycle ------------------------------------------------------
+
+    def close_window(self, window: int) -> WindowSummary:
+        """Close one window across every shard and publish it to the store.
+
+        Runs behind :meth:`barrier`, so "close window N" means the same
+        thing it means against a bare daemon: everything acknowledged
+        before the close is in, everything after is late.
+        """
+        self.barrier()
+        summary = self.daemon.close_window(window)
+        if summary.window not in self.store.windows:
+            self.store.publish(summary, self.daemon.last_close_submissions)
+        return summary
+
+    def mark_degraded(self, window: int) -> None:
+        self.daemon.mark_degraded(window)
+
+    def window_records(self) -> list[WindowSummary]:
+        """Closed windows as the daemon holds them, in window order."""
+        return self.daemon.window_records()
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(
+        self, device: int | None = None, window: int | None = None
+    ) -> dict:
+        """Query the result store: windows, one window, or one device.
+
+        * no arguments — every journaled close (summaries) plus the full
+          per-device billing extract;
+        * ``window=N`` — that window's close summary and contributions;
+        * ``device=D`` — that device's exact bill.
+
+        Answers come from the store, i.e. from journaled
+        ``WINDOW_CLOSE`` records only: a window lost to a hard kill
+        before its fold landed is simply absent, never partial.
+        """
+        return query_store(self.store, device=device, window=window)
+
+    def billing_extract(self) -> dict[int, DeviceBill]:
+        return self.store.billing_extract()
+
+    # -- retention -------------------------------------------------------------
+
+    def compact(self, through_window: int) -> int:
+        return self.store.compact(through_window)
+
+    def retain(self, keep_windows: int) -> int:
+        return self.store.retain(keep_windows)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> list[WindowSummary]:
+        """Graceful shutdown: flush, close every open window, stop."""
+        self.barrier()
+        summaries = [self.close_window(w) for w in self.open_windows]
+        self.stop()
+        return summaries
+
+    def stop(self) -> None:
+        """Graceful stop: flush the front, sync and release everything."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._front is not None:
+            self._front.stop()
+            self._front = None
+        self.daemon.stop()
+        self.store.sync()
+        self.store.close()
+
+    def hard_stop(self) -> None:
+        """Simulate a hard kill: drop everything, no flush, no drain.
+
+        In-flight queue submissions are lost exactly as a real kill
+        would lose them — pre-ack, so producers re-send under the
+        ``(device, seq)`` identity and nothing double-counts.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._front is not None:
+            self._front.kill()
+            self._front = None
+        self.daemon.hard_stop()
+        self.store.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def query_store(
+    store: ResultStore, device: int | None = None, window: int | None = None
+) -> dict:
+    """The one query shape over a result store (client and CLI share it)."""
+    if device is not None and window is not None:
+        raise ServiceError("query by device or by window, not both")
+    if window is not None:
+        summary = store.window(window)
+        return {
+            "window": window,
+            "closed": summary is not None,
+            "summary": None if summary is None else _summary_dict(summary),
+            "contributions": [
+                {"device": s.device, "seq": s.seq, "value": s.value}
+                for s in store.contributions(window)
+            ],
+        }
+    if device is not None:
+        bill = store.billing_extract().get(device)
+        return {
+            "device": device,
+            "total": bill.total if bill else 0,
+            "windows": bill.windows if bill else 0,
+            "through_window": bill.through_window if bill else -1,
+        }
+    return {
+        "windows": [_summary_dict(s) for s in store.window_summaries()],
+        "devices": {
+            str(bill.device): {
+                "total": bill.total,
+                "windows": bill.windows,
+                "through_window": bill.through_window,
+            }
+            for bill in store.billing_extract().values()
+        },
+    }
+
+
+def _summary_dict(summary: WindowSummary) -> dict:
+    return {
+        "window": summary.window,
+        "accepted": summary.accepted,
+        "devices": summary.devices,
+        "duplicates": summary.duplicates,
+        "late": summary.late,
+        "shed": summary.shed,
+        "retried": summary.retried,
+        "total": summary.total,
+        "expected": summary.expected,
+        "exact": summary.total == summary.expected,
+        "degraded": summary.degraded,
+        "recovered": summary.recovered,
+    }

@@ -38,6 +38,8 @@ either durably in a window's accepted set or deterministically refused.
 from __future__ import annotations
 
 import os
+import pathlib
+import threading
 import time
 from dataclasses import dataclass, replace
 from enum import Enum
@@ -45,7 +47,7 @@ from enum import Enum
 from repro.core.metrics import WindowSummary
 from repro.errors import ServiceError, WireError
 from repro.service import wal
-from repro.service.windows import aggregate_window
+from repro.service.windows import aggregate_shards, aggregate_window
 from repro.service.wire import ShareSubmission
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "AdmissionResult",
     "ServiceConfig",
     "ServiceDaemon",
+    "ShardedServiceDaemon",
 ]
 
 
@@ -368,6 +371,405 @@ class ServiceDaemon:
         return [self._closed[w] for w in sorted(self._closed)]
 
     def __enter__(self) -> "ServiceDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ShardedServiceDaemon:
+    """The scaled-out daemon: one journal per shard, one fold journal.
+
+    Shards are MPC cells with *routed* membership: submission for device
+    ``d`` lands on shard ``d % shards``, is journaled in that shard's own
+    WAL (``shard-NNN.wal``) before acknowledgment, and stays there until
+    the window closes.  At close every shard's accepted set becomes one
+    cell of the cross-cell Shamir fold (:func:`~repro.service.windows
+    .aggregate_shards`) and the folded :class:`WindowSummary` is
+    journaled to ``fold.wal`` — the authoritative close record.
+
+    Concurrency: the class is **thread-safe**, and each shard's WAL is
+    the serialization point — per-shard locks serialize journal-
+    before-ack within a shard while producers for different shards run
+    concurrently; window closes take every shard lock (in index order)
+    so a close is a consistent cut across shards.
+
+    Crash safety is the single-journal contract, shard by shard:
+
+    * kill between a shard append and its ack → the share is journaled;
+      the client re-sends and is answered ``DUPLICATE``;
+    * kill before the fold record lands → the window is still open on
+      recovery (every shard's accepted set replays from its own WAL) and
+      re-closing re-derives the same bits, because the folded total is a
+      pure function of the per-shard accepted sets and the seed;
+    * kill after → recovery re-verifies the journaled fold against
+      recomputation from the shard WALs and fails loudly on mismatch.
+
+    ``config.window_capacity`` bounds each *shard's* per-window accepted
+    set (the shed decision is shard-local so it never needs cross-shard
+    coordination); ``config.queue_capacity`` stays a global bound.  With
+    ``shards=1`` aggregation uses ``config.cells`` exactly like
+    :class:`ServiceDaemon`, so single-shard runs are bit-identical to
+    the single-journal daemon.
+    """
+
+    #: Shard journal filename pattern (index-stable across restarts).
+    SHARD_PATTERN = "shard-{index:03d}.wal"
+    FOLD_NAME = "fold.wal"
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        journal_dir: str | os.PathLike,
+        shards: int = 1,
+    ):
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        self.config = config
+        self.shards = shards
+        self.journal_dir = pathlib.Path(journal_dir)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        for existing in self.journal_dir.glob("shard-*.wal"):
+            try:
+                index = int(existing.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if index >= shards:
+                raise ServiceError(
+                    f"journal dir {self.journal_dir} holds {existing.name} "
+                    f"but this daemon runs {shards} shard(s); resharding a "
+                    "journal directory is not supported"
+                )
+        self._journals = [
+            wal.WindowJournal(
+                self.journal_dir / self.SHARD_PATTERN.format(index=index),
+                fsync=config.fsync,
+            )
+            for index in range(shards)
+        ]
+        self._fold = wal.WindowJournal(
+            self.journal_dir / self.FOLD_NAME, fsync=config.fsync
+        )
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        self._state = threading.Lock()
+        #: per-shard (device, seq) identities ever journaled.
+        self._seen: list[set[tuple[int, int]]] = [set() for _ in range(shards)]
+        #: per-shard window -> accepted submissions, append order.
+        self._open: list[dict[int, list[ShareSubmission]]] = [
+            {} for _ in range(shards)
+        ]
+        self._closed: dict[int, WindowSummary] = {}
+        self._deadline = -1
+        self._duplicates: dict[int, int] = {}
+        self._shed: dict[int, int] = {}
+        self._retried: dict[int, int] = {}
+        self._late: dict[int, int] = {}
+        self.late_total = 0
+        self._degraded_windows: set[int] = set()
+        self._paused = False
+        self._pending = 0
+        #: submissions folded by the most recent close (store publication).
+        self.last_close_submissions: tuple[ShareSubmission, ...] = ()
+        self.recovered = (
+            any(journal.records for journal in self._journals)
+            or self._fold.records > 0
+        )
+        self._recover()
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of(self, device: int) -> int:
+        """The shard (journal, cell) a device's submissions live on."""
+        return device % self.shards
+
+    def _aggregate(self, shard_subs: dict[int, list[ShareSubmission]], window: int):
+        if self.shards == 1:
+            # Bit-identical to the single-journal daemon: one shard's set
+            # sliced into config.cells cells, exactly ServiceDaemon's fold.
+            return aggregate_window(
+                shard_subs.get(0, []), self.config.seed, window, self.config.cells
+            )
+        return aggregate_shards(shard_subs, self.config.seed, window)
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild per-shard state; re-verify every folded close."""
+        pending: dict[tuple[int, int], list[ShareSubmission]] = {}
+        for index, journal in enumerate(self._journals):
+            state = journal.replay()
+            if state.skipped:
+                raise ServiceError(
+                    f"shard journal {journal.path} holds {state.skipped} "
+                    "undecodable records"
+                )
+            if state.closes:
+                raise ServiceError(
+                    f"shard journal {journal.path} holds close records; "
+                    "closes belong to the fold journal"
+                )
+            for submission in state.accepted:
+                if submission.device % self.shards != index:
+                    raise ServiceError(
+                        f"shard journal {journal.path} holds device "
+                        f"{submission.device}, which routes to shard "
+                        f"{submission.device % self.shards}"
+                    )
+                identity = (submission.device, submission.seq)
+                if identity in self._seen[index]:
+                    raise ServiceError(
+                        f"shard journal {journal.path} holds a duplicate "
+                        f"submission identity {identity}"
+                    )
+                self._seen[index].add(identity)
+                pending.setdefault((index, submission.window), []).append(
+                    submission
+                )
+        fold_state = self._fold.replay()
+        if fold_state.skipped:
+            raise ServiceError(
+                f"fold journal {self._fold.path} holds {fold_state.skipped} "
+                "undecodable records"
+            )
+        if fold_state.accepted:
+            raise ServiceError(
+                f"fold journal {self._fold.path} holds submissions; "
+                "shares belong to the shard journals"
+            )
+        for window, summary in sorted(fold_state.closes.items()):
+            shard_subs = {
+                index: pending.pop((index, window), [])
+                for index in range(self.shards)
+            }
+            count = sum(len(subs) for subs in shard_subs.values())
+            if count != summary.accepted:
+                raise ServiceError(
+                    f"window {window} fold record counts {summary.accepted} "
+                    f"submissions; shard journals hold {count}"
+                )
+            check = self._aggregate(shard_subs, window)
+            if check.total != summary.total or check.expected != summary.expected:
+                raise ServiceError(
+                    f"window {window} journaled total {summary.total} does "
+                    f"not match its recomputation {check.total}"
+                )
+            self._closed[window] = replace(summary, recovered=self.recovered)
+            self._deadline = max(self._deadline, window)
+        for (index, window), submissions in sorted(pending.items()):
+            if window <= self._deadline:
+                raise ServiceError(
+                    f"shard {index} journal holds submissions for window "
+                    f"{window} past the recovered deadline {self._deadline}"
+                )
+            self._open[index][window] = submissions
+            self._pending += len(submissions)
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(
+        self, device: int, seq: int, window: int, value: int
+    ) -> AdmissionResult:
+        """Admit one submission on its shard; journal before acknowledging."""
+        try:
+            submission = ShareSubmission(
+                device=device, seq=seq, window=window, value=value
+            )
+        except WireError as exc:
+            raise ServiceError(f"malformed submission: {exc}") from exc
+        shard = submission.device % self.shards
+        with self._shard_locks[shard]:
+            with self._state:
+                if window <= self._deadline or window in self._closed:
+                    self.late_total += 1
+                    self._late[window] = self._late.get(window, 0) + 1
+                    return AdmissionResult(Admission.LATE, window)
+            if (device, seq) in self._seen[shard]:
+                with self._state:
+                    self._duplicates[window] = self._duplicates.get(window, 0) + 1
+                return AdmissionResult(Admission.DUPLICATE, window)
+            with self._state:
+                if self._paused:
+                    self._retried[window] = self._retried.get(window, 0) + 1
+                    return AdmissionResult(
+                        Admission.RETRY_AFTER, window,
+                        retry_after_s=self.config.retry_after_s,
+                    )
+            accepted = self._open[shard].get(window, ())
+            if len(accepted) >= self.config.window_capacity:
+                with self._state:
+                    self._shed[window] = self._shed.get(window, 0) + 1
+                return AdmissionResult(Admission.SHED, window)
+            with self._state:
+                if self._pending >= self.config.queue_capacity:
+                    self._retried[window] = self._retried.get(window, 0) + 1
+                    return AdmissionResult(
+                        Admission.RETRY_AFTER, window,
+                        retry_after_s=self.config.retry_after_s,
+                    )
+            self._journals[shard].append_submission(submission)
+            self._seen[shard].add((device, seq))
+            self._open[shard].setdefault(window, []).append(submission)
+            with self._state:
+                self._pending += 1
+            return AdmissionResult(Admission.ACCEPTED, window)
+
+    # -- backpressure / fault hooks --------------------------------------------
+
+    def pause(self) -> None:
+        """Stop admitting (``RETRY_AFTER``) until :meth:`resume`."""
+        with self._state:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._state:
+            self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def pending(self) -> int:
+        """Accepted submissions whose window has not closed yet."""
+        return self._pending
+
+    @property
+    def open_windows(self) -> tuple[int, ...]:
+        windows: set[int] = set()
+        for per_shard in self._open:
+            windows.update(per_shard)
+        return tuple(sorted(windows))
+
+    @property
+    def accepted_total(self) -> int:
+        """Submissions ever journaled, across every shard."""
+        return sum(len(seen) for seen in self._seen)
+
+    @property
+    def accepted_per_shard(self) -> tuple[int, ...]:
+        """Per-shard journaled identity counts (shard-aware fault anchors)."""
+        return tuple(len(seen) for seen in self._seen)
+
+    @property
+    def journal_records(self) -> int:
+        """Valid records across every shard journal plus the fold journal."""
+        return sum(j.records for j in self._journals) + self._fold.records
+
+    # -- window lifecycle ------------------------------------------------------
+
+    def _acquire_all(self) -> None:
+        for lock in self._shard_locks:
+            lock.acquire()
+
+    def _release_all(self) -> None:
+        for lock in reversed(self._shard_locks):
+            lock.release()
+
+    def close_window(self, window: int) -> WindowSummary:
+        """Close one window everywhere: fold across shards, journal, retire."""
+        self._acquire_all()
+        try:
+            with self._state:
+                if window in self._closed or window <= self._deadline:
+                    raise ServiceError(f"window {window} is already closed")
+                skipped = sorted(
+                    w
+                    for per_shard in self._open
+                    for w in per_shard
+                    if w < window
+                )
+                if skipped:
+                    raise ServiceError(
+                        f"cannot close window {window} past open windows "
+                        f"{skipped}; windows close in order"
+                    )
+            shard_subs = {
+                index: self._open[index].pop(window, [])
+                for index in range(self.shards)
+            }
+            count = sum(len(subs) for subs in shard_subs.values())
+            started = time.perf_counter_ns()
+            result = self._aggregate(shard_subs, window)
+            close_latency_us = (time.perf_counter_ns() - started) // 1000
+            with self._state:
+                summary = WindowSummary(
+                    window=window,
+                    accepted=count,
+                    devices=len(
+                        {s.device for subs in shard_subs.values() for s in subs}
+                    ),
+                    duplicates=self._duplicates.pop(window, 0),
+                    late=self._late.pop(window, 0),
+                    shed=self._shed.pop(window, 0),
+                    retried=self._retried.pop(window, 0),
+                    total=result.total,
+                    expected=result.expected,
+                    degraded=window in self._degraded_windows,
+                    close_latency_us=close_latency_us,
+                    recovered=self.recovered,
+                )
+            self._fold.append_close(summary)
+            with self._state:
+                self._closed[window] = summary
+                self._degraded_windows.discard(window)
+                self._deadline = window
+                self._pending -= count
+            self.last_close_submissions = tuple(
+                sorted(
+                    (s for subs in shard_subs.values() for s in subs),
+                    key=lambda s: (s.device, s.seq),
+                )
+            )
+            return summary
+        finally:
+            self._release_all()
+
+    def mark_degraded(self, window: int) -> None:
+        """Flag an open window as coverage-degraded at its deadline."""
+        with self._state:
+            if window in self._closed or window <= self._deadline:
+                raise ServiceError(f"window {window} is already closed")
+            self._degraded_windows.add(window)
+
+    def drain(self) -> list[WindowSummary]:
+        """Graceful shutdown: close every open window, in order."""
+        summaries = [self.close_window(w) for w in self.open_windows]
+        self.stop()
+        return summaries
+
+    def stop(self) -> None:
+        """Release every journal (graceful; windows stay as they are)."""
+        for journal in self._journals:
+            journal.sync()
+            journal.close()
+        self._fold.sync()
+        self._fold.close()
+
+    def hard_stop(self) -> None:
+        """Simulate a hard kill: drop every journal handle, no drain.
+
+        Takes the shard locks so an in-flight append either completes
+        (journaled ⇒ durable, ack or no ack) or never starts — the
+        thread-level kill model is record-atomic, mirroring what the
+        OS gives a real ``kill -9`` at the fsync'd frame boundary (the
+        torn-tail tests cover the mid-write byte-level case directly).
+        """
+        self._acquire_all()
+        try:
+            for journal in self._journals:
+                journal.close()
+            self._fold.close()
+        finally:
+            self._release_all()
+
+    # -- reporting -------------------------------------------------------------
+
+    def window_records(self) -> list[WindowSummary]:
+        """Closed windows, in window order."""
+        with self._state:
+            return [self._closed[w] for w in sorted(self._closed)]
+
+    def __enter__(self) -> "ShardedServiceDaemon":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -27,6 +27,7 @@ from repro.service.wire import ShareSubmission
 
 __all__ = [
     "device_ids",
+    "expected_device_total",
     "expected_window_total",
     "metering_reading",
     "window_submissions",
@@ -56,6 +57,22 @@ def expected_window_total(
     return sum(
         metering_reading(device, window, base_load_wh)
         for device in device_ids(devices)
+    )
+
+
+def expected_device_total(
+    device: int, windows: int, base_load_wh: int = 0
+) -> int:
+    """The per-device billing oracle: one meter's exact bill over a run.
+
+    The sum of :func:`metering_reading` over the first ``windows``
+    billing periods — what the result store's extract must report for a
+    device with full coverage, bit for bit, kills and compactions
+    notwithstanding.
+    """
+    return sum(
+        metering_reading(device, window, base_load_wh)
+        for window in range(windows)
     )
 
 

@@ -1,33 +1,52 @@
 """The soak driver: a full service lifetime, faults included, in one call.
 
-:func:`run_service_soak` stands up a :class:`~repro.service.daemon.ServiceDaemon`,
-streams the deterministic metering load at it window by window, fires
-the plan's service faults at their anchored submission offsets —
-``kill_daemon`` hard-kills the daemon and restarts it from the journal,
-``pause_ingest`` forces a stretch of ``RETRY_AFTER`` answers the driver
-must retry through — closes each window at its deadline, and returns the
-scenario payload the registry tables and checks.
+:func:`run_service_soak` stands up a :class:`~repro.service.client
+.ServiceClient` over a service directory — ``shards`` journals behind
+one API, fed by ``producers`` concurrent threads over the spec's
+transport — streams the deterministic metering load at it window by
+window, fires the plan's service faults at their anchored submission
+offsets (``kill_daemon`` hard-kills the whole service and restarts it
+from the journals, anchored on one shard's accepted count when the
+event names a shard; ``pause_ingest`` forces a stretch of
+``RETRY_AFTER`` answers the driver must retry through), closes each
+window at its deadline, and returns the scenario payload the registry
+tables and checks.
 
-The payload's two verdicts are the PR's contract:
+The payload's verdicts are the PR's contract:
 
 * ``all_exact`` — every closed window's reconstructed total equals the
   modular-sum oracle over its accepted set, kills and all;
 * ``oracle_match`` — every full-coverage window's total equals the batch
   ``metering`` scenario's true billing total for that period
-  (:func:`~repro.service.loadgen.expected_window_total`).
+  (:func:`~repro.service.loadgen.expected_window_total`);
+* ``billing_exact`` — the result store's per-device extract equals the
+  per-device loadgen oracle
+  (:func:`~repro.service.loadgen.expected_device_total`) bit for bit
+  (``None`` when drops make full coverage impossible).
+
+Concurrency discipline: producers share one client holder; whichever
+producer observes an accepted-count anchor performs the kill+restart
+itself while holding the control lock, and every other producer treats
+a submission error as a dead service — re-send through the fresh
+client, where the ``(device, seq)`` identity turns an
+already-journaled share into a harmless ``DUPLICATE``.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
 from collections import deque
+from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
-from repro.service.daemon import Admission, ServiceConfig, ServiceDaemon
+from repro.service.client import ServiceClient
+from repro.service.daemon import Admission, ServiceConfig
 from repro.service.loadgen import (
     device_ids,
+    expected_device_total,
     expected_window_total,
     window_submissions,
 )
@@ -44,12 +63,30 @@ def _percentile(values: list[float], fraction: float) -> float:
     return ordered[rank]
 
 
-def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
+@dataclass
+class _Drive:
+    """Shared mutable soak state (guarded by ``ctl`` unless noted)."""
+
+    client: ServiceClient
+    ctl: threading.Lock = field(default_factory=threading.Lock)
+    attempts: int = 0
+    accepted: int = 0
+    shard_accepted: dict[int, int] = field(default_factory=dict)
+    duplicates: int = 0
+    late: int = 0
+    dropped: int = 0
+    pause_left: int = 0
+    contributors: set[int] = field(default_factory=set)
+    recoveries: list[dict] = field(default_factory=list)
+    errors: list[BaseException] = field(default_factory=list)
+
+
+def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict:
     """Drive one soak per ``spec`` (a ``ServiceSoakSpec``); return the payload.
 
-    ``journal`` pins the journal file (the CI smoke uses this to kill
-    and resume across *processes*); by default each soak gets a fresh
-    temporary journal so runs never inherit stale state.
+    ``service_dir`` pins the service directory (the CI smoke uses this
+    to kill and resume across *processes*); by default each soak gets a
+    fresh temporary directory so runs never inherit stale state.
     """
     config = ServiceConfig(
         seed=spec.seed,
@@ -59,115 +96,195 @@ def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
         fsync=spec.fsync,
     )
     cleanup: tempfile.TemporaryDirectory | None = None
-    if journal is None:
+    if service_dir is None:
         cleanup = tempfile.TemporaryDirectory(prefix="repro-service-soak-")
-        journal = os.path.join(cleanup.name, "soak.wal")
+        service_dir = os.path.join(cleanup.name, "service")
 
-    kills = deque(
-        sorted(
-            set(spec.kill_at)
-            | {e.round for e in spec.faults.events if e.kind == "kill_daemon"}
+    def new_client() -> ServiceClient:
+        return ServiceClient(
+            config,
+            service_dir,
+            shards=spec.shards,
+            transport=spec.transport,
         )
-    )
+
+    # Kill anchors: global accepted counts from `kill_at` sugar, plus
+    # per-shard accepted counts from shard-targeted kill_daemon events.
+    kills_global = deque(sorted(set(spec.kill_at)))
+    kills_shard: dict[int, deque] = {}
+    for event in spec.faults.events:
+        if event.kind == "kill_daemon":
+            kills_shard.setdefault(event.cell, deque()).append(event.round)
+    for shard in kills_shard:
+        kills_shard[shard] = deque(sorted(set(kills_shard[shard])))
     pauses = {
         e.round: e.duration
         for e in spec.faults.events
         if e.kind == "pause_ingest"
     }
     ids = device_ids(spec.devices)
-    throttle = 1.0 / spec.rate if spec.rate > 0 else 0.0
+    throttle = spec.producers / spec.rate if spec.rate > 0 else 0.0
 
-    daemon = ServiceDaemon(config, journal=journal)
-    attempts = 0
-    accepted = 0
-    duplicates = 0
-    late = 0
-    dropped = 0
-    pause_left = 0
-    recoveries: list[dict] = []
-    rows: list[dict] = []
-    try:
-        started = time.perf_counter()
-        for window in range(spec.windows):
-            stream = deque(window_submissions(
-                ids, window, spec.base_load_wh, spec.seed
-            ))
-            contributors: set[int] = set()
-            stall = 0
-            while stream:
-                submission = stream.popleft()
-                if pause_left == 0 and attempts in pauses:
-                    daemon.pause()
-                    pause_left = pauses.pop(attempts)
-                attempts += 1
-                if throttle:
-                    time.sleep(throttle)
-                result = daemon.submit(
+    drive = _Drive(client=new_client())
+
+    def kill_restart(window: int, shard: int | None) -> None:
+        """Hard-kill and restart the service (caller holds ``ctl``)."""
+        drive.client.hard_stop()
+        t0 = time.perf_counter()
+        drive.client = new_client()
+        record = {
+            "at_accepted": drive.accepted,
+            "window": window,
+            "replayed_records": drive.client.daemon.journal_records,
+            "recovery_s": round(time.perf_counter() - t0, 6),
+        }
+        if shard is not None:
+            record["shard"] = shard
+        drive.recoveries.append(record)
+
+    def note_accepted(submission, window: int) -> None:
+        """Post-ACCEPTED bookkeeping + anchored kills (takes ``ctl``)."""
+        shard = submission.device % spec.shards
+        fire: int | None | bool = False
+        with drive.ctl:
+            drive.accepted += 1
+            drive.shard_accepted[shard] = drive.shard_accepted.get(shard, 0) + 1
+            drive.contributors.add(submission.device)
+            dup_due = (
+                spec.duplicate_every
+                and drive.accepted % spec.duplicate_every == 0
+            )
+            if kills_global and drive.accepted == kills_global[0]:
+                kills_global.popleft()
+                fire = None
+            elif (
+                shard in kills_shard
+                and kills_shard[shard]
+                and drive.shard_accepted[shard] == kills_shard[shard][0]
+            ):
+                kills_shard[shard].popleft()
+                fire = shard
+            if fire is not False:
+                kill_restart(window, fire)
+        if dup_due:
+            # A lost-ack client re-sends; dedup must hold — through the
+            # restart, if the kill just fired.
+            while True:
+                try:
+                    echo = drive.client.submit(
+                        submission.device,
+                        submission.seq,
+                        submission.window,
+                        submission.value,
+                    )
+                except Exception:
+                    time.sleep(0.0005)
+                    continue
+                break
+            if echo.admission is not Admission.DUPLICATE:
+                raise ServiceError(
+                    f"re-sent submission was {echo.admission}, not DUPLICATE"
+                )
+            with drive.ctl:
+                drive.duplicates += 1
+
+    def produce(chunk: list, window: int) -> None:
+        """One producer thread's share of one window's stream."""
+        pending = deque(chunk)
+        stall = 0
+        resend = False
+        while pending:
+            submission = pending.popleft()
+            if not resend:
+                with drive.ctl:
+                    if drive.pause_left == 0 and drive.attempts in pauses:
+                        drive.client.pause()
+                        drive.pause_left = pauses.pop(drive.attempts)
+                    drive.attempts += 1
+            if throttle:
+                time.sleep(throttle)
+            try:
+                result = drive.client.submit(
                     submission.device,
                     submission.seq,
                     submission.window,
                     submission.value,
                 )
-                if result.accepted:
-                    stall = 0
-                    accepted += 1
-                    contributors.add(submission.device)
-                    if (
-                        spec.duplicate_every
-                        and accepted % spec.duplicate_every == 0
-                    ):
-                        # A lost-ack client re-sends; dedup must hold.
-                        echo = daemon.submit(
-                            submission.device,
-                            submission.seq,
-                            submission.window,
-                            submission.value,
-                        )
-                        if echo.admission is not Admission.DUPLICATE:
-                            raise ServiceError(
-                                f"re-sent submission was {echo.admission}, "
-                                "not DUPLICATE"
-                            )
-                        duplicates += 1
-                    if kills and accepted == kills[0]:
-                        kills.popleft()
-                        daemon.hard_stop()
-                        t0 = time.perf_counter()
-                        daemon = ServiceDaemon(config, journal=journal)
-                        recoveries.append({
-                            "at_accepted": accepted,
-                            "window": window,
-                            "replayed_records": daemon.journal.records,
-                            "recovery_s": round(time.perf_counter() - t0, 6),
-                        })
-                elif result.retryable:
-                    stream.append(submission)
-                    if daemon.paused:
-                        pause_left -= 1
-                        if pause_left <= 0:
-                            daemon.resume()
-                    else:
-                        # Global-queue pressure only clears when a window
-                        # closes; if every queued share is stuck behind
-                        # it, the deadline fires and they miss the window.
-                        stall += 1
-                        if stall > len(stream):
-                            dropped += len(stream)
-                            stream.clear()
-                else:
-                    # LATE/SHED/DUPLICATE are final; the device's reading
-                    # missed this window.
-                    dropped += 1
-            if contributors != set(ids):
-                daemon.mark_degraded(window)
-            summary = daemon.close_window(window)
+            except Exception:
+                # The service died under us (another producer's kill is
+                # mid-restart, or ours raced its dispatchers).  Re-send
+                # through the fresh client; dedup absorbs the ambiguity.
+                pending.appendleft(submission)
+                resend = True
+                time.sleep(0.0005)
+                continue
+            if result.accepted:
+                stall = 0
+                note_accepted(submission, window)
+                resend = False
+            elif resend and result.admission is Admission.DUPLICATE:
+                # The pre-kill send was journaled after all: the ack was
+                # lost to the kill, not the share.  It counts.
+                note_accepted(submission, window)
+                resend = False
+            elif result.retryable:
+                pending.append(submission)
+                resend = False
+                with drive.ctl:
+                    if drive.client.paused:
+                        drive.pause_left -= 1
+                        if drive.pause_left <= 0:
+                            drive.client.resume()
+                        continue
+                # Global-queue pressure only clears when a window
+                # closes; if every queued share is stuck behind it, the
+                # deadline fires and they miss the window.
+                stall += 1
+                if stall > len(pending):
+                    with drive.ctl:
+                        drive.dropped += len(pending)
+                    pending.clear()
+            else:
+                # LATE/SHED/DUPLICATE are final; the device's reading
+                # missed this window.
+                resend = False
+                with drive.ctl:
+                    drive.dropped += 1
+
+    rows: list[dict] = []
+    try:
+        started = time.perf_counter()
+        for window in range(spec.windows):
+            stream = window_submissions(ids, window, spec.base_load_wh, spec.seed)
+            drive.contributors = set()
+            if spec.producers == 1:
+                produce(stream, window)
+            else:
+                chunks = [stream[p :: spec.producers] for p in range(spec.producers)]
+                threads = [
+                    threading.Thread(
+                        target=_trap(produce, drive), args=(chunk, window),
+                        name=f"soak-producer-{p}",
+                    )
+                    for p, chunk in enumerate(chunks)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if drive.errors:
+                    raise drive.errors[0]
+            drive.client.barrier()
+            if len(drive.contributors) != len(ids):
+                drive.client.mark_degraded(window)
+            summary = drive.client.close_window(window)
             if spec.late_replays and window + 1 < spec.windows:
                 # Deadline check: a straggler past the close must be
                 # refused deterministically, never aggregated.
                 replay = window_submissions(
                     ids, window, spec.base_load_wh, spec.seed
                 )[0]
-                echo = daemon.submit(
+                echo = drive.client.submit(
                     replay.device, replay.seq, replay.window, replay.value
                 )
                 if echo.admission is not Admission.LATE:
@@ -175,7 +292,7 @@ def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
                         f"post-deadline submission was {echo.admission}, "
                         "not LATE"
                     )
-                late += 1
+                drive.late += 1
             oracle_wh = expected_window_total(ids, window, spec.base_load_wh)
             full_coverage = summary.accepted == len(ids)
             rows.append({
@@ -197,23 +314,44 @@ def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
                 else None,
             })
         elapsed = time.perf_counter() - started
-        records = daemon.journal.records
-        daemon.stop()
+        records = drive.client.daemon.journal_records
+        extract = drive.client.billing_extract()
+        store_windows = drive.client.store.windows
+        billing_exact: bool | None
+        if drive.dropped == 0:
+            billing_exact = len(extract) == len(ids) and all(
+                extract[device].total
+                == expected_device_total(device, spec.windows, spec.base_load_wh)
+                for device in ids
+            )
+        else:
+            billing_exact = None
+        per_shard = [
+            drive.shard_accepted.get(shard, 0) for shard in range(spec.shards)
+        ]
+        drive.client.stop()
     finally:
         if cleanup is not None:
             cleanup.cleanup()
 
     return {
         "windows": rows,
-        "accepted": accepted,
-        "attempts": attempts,
-        "duplicates_rejected": duplicates,
-        "late_rejected": late,
-        "dropped": dropped,
-        "kills": len(recoveries),
-        "kills_unfired": len(kills),
-        "recoveries": recoveries,
+        "shards": spec.shards,
+        "producers": spec.producers,
+        "transport": spec.transport,
+        "accepted": drive.accepted,
+        "accepted_per_shard": per_shard,
+        "attempts": drive.attempts,
+        "duplicates_rejected": drive.duplicates,
+        "late_rejected": drive.late,
+        "dropped": drive.dropped,
+        "kills": len(drive.recoveries),
+        "kills_unfired": len(kills_global)
+        + sum(len(q) for q in kills_shard.values()),
+        "recoveries": drive.recoveries,
         "journal_records": records,
+        "store_windows": len(store_windows),
+        "billing_exact": billing_exact,
         "all_exact": all(row["exact"] for row in rows),
         "oracle_match": all(
             row["oracle_match"] in (True, None) for row in rows
@@ -222,8 +360,23 @@ def run_service_soak(spec, journal: str | os.PathLike | None = None) -> dict:
             row["total"] for row in rows if row["total"] is not None
         ),
         "elapsed_s": round(elapsed, 6),
-        "shares_per_sec": round(accepted / elapsed, 3) if elapsed > 0 else 0.0,
+        "shares_per_sec": round(drive.accepted / elapsed, 3)
+        if elapsed > 0
+        else 0.0,
         "p99_close_ms": round(
             _percentile([row["close_ms"] for row in rows], 0.99), 3
         ),
     }
+
+
+def _trap(target, drive: _Drive):
+    """Wrap a producer body so thread exceptions surface to the driver."""
+
+    def runner(*args):
+        try:
+            target(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on join
+            with drive.ctl:
+                drive.errors.append(exc)
+
+    return runner

@@ -32,12 +32,47 @@ from repro.errors import WireError
 from repro.service import wire
 from repro.service.wire import ShareSubmission
 
-__all__ = ["JournalState", "WindowJournal", "journal_path"]
+__all__ = [
+    "JournalState",
+    "WindowJournal",
+    "journal_path",
+    "replay_journal",
+    "service_dir",
+]
 
 
 def journal_path(name: str) -> pathlib.Path:
     """Default journal location under the active disk-cache root."""
     return diskcache.cache_dir() / "service" / f"{name}.wal"
+
+
+def service_dir(name: str) -> pathlib.Path:
+    """Default journal *directory* for a sharded service instance."""
+    return diskcache.cache_dir() / "service" / name
+
+
+def replay_journal(path: str | os.PathLike) -> JournalState:
+    """Read-only replay of one journal file (see :meth:`WindowJournal.replay`).
+
+    Never truncates or opens the file for appending, so it is safe
+    against a journal a live daemon (or another process) holds open —
+    the read side the result store and ``repro query`` build on.  A
+    missing file replays as empty.
+    """
+    state = JournalState()
+    for payload in diskcache.read_log_records(path):
+        try:
+            record = wire.decode_record(payload)
+        except WireError:
+            state.skipped += 1
+            continue
+        if isinstance(record, ShareSubmission):
+            state.accepted.append(record)
+        elif isinstance(record, WindowSummary):
+            state.closes[record.window] = record
+        else:
+            state.skipped += 1
+    return state
 
 
 @dataclass
@@ -103,8 +138,13 @@ class WindowJournal:
                 continue
             if isinstance(record, ShareSubmission):
                 state.accepted.append(record)
-            else:
+            elif isinstance(record, WindowSummary):
                 state.closes[record.window] = record
+            else:
+                # A decodable wire record that is not a journal record
+                # (e.g. a result-store DeviceTotal written to the wrong
+                # file) is foreign, not fatal — same per-record stance.
+                state.skipped += 1
         return state
 
     def sync(self) -> None:

@@ -39,7 +39,12 @@ from repro.sss.aggregation import reconstruct_many_from_sums
 from repro.sss.scheme import ShamirScheme
 from repro.service.wire import ShareSubmission
 
-__all__ = ["WindowAggregate", "aggregate_window", "window_seed"]
+__all__ = [
+    "WindowAggregate",
+    "aggregate_shards",
+    "aggregate_window",
+    "window_seed",
+]
 
 
 def window_seed(seed: int, window: int) -> int:
@@ -138,4 +143,60 @@ def aggregate_window(
     totals, degree = cross_cell_aggregate(cell_results, iterations=1, seed=wseed)
     return WindowAggregate(
         total=totals[0], expected=expected, cells=num_cells, degree=degree
+    )
+
+
+def aggregate_shards(
+    shard_submissions: dict[int, Sequence[ShareSubmission]],
+    seed: int,
+    window: int,
+) -> WindowAggregate:
+    """Fold per-shard accepted sets into one window total (sharded daemon).
+
+    Each shard is one MPC cell whose membership is fixed by routing
+    (``device % shards``), not by sorted slicing — but the determinism
+    discipline is identical to :func:`aggregate_window`: submissions are
+    canonicalised by ``(device, seq)`` *within* each shard, every cell's
+    deal is seeded by ``child_seed(window_seed, "cell", shard_index)``
+    (the shard index, stable however many shards sat empty), and cell
+    sums fold through :func:`cross_cell_aggregate` under the window
+    seed.  The folded total is therefore a pure function of the
+    per-shard accepted sets and the campaign seed — the kill-anywhere
+    recovery contract, per shard and for the fold.
+
+    For one shard this is bit-identical to
+    ``aggregate_window(submissions, seed, window, cells=1)``.
+    """
+    prime = PrimeField().prime
+    per_shard = [
+        (shard, sorted(shard_submissions[shard], key=lambda s: (s.device, s.seq)))
+        for shard in sorted(shard_submissions)
+        if shard_submissions[shard]
+    ]
+    expected = sum(
+        s.value % prime for _, ordered in per_shard for s in ordered
+    ) % prime
+    if not per_shard:
+        return WindowAggregate(total=None, expected=0, cells=0, degree=0)
+
+    wseed = window_seed(seed, window)
+    cell_results: list[CellResult] = []
+    for shard, ordered in per_shard:
+        chunk_values = [s.value % prime for s in ordered]
+        cell_sum = _cell_sum(
+            chunk_values,
+            [s.device for s in ordered],
+            child_seed(wseed, "cell", shard),
+        )
+        cell_results.append(
+            CellResult(
+                index=shard,
+                node_ids=tuple(s.device for s in ordered),
+                sums=(cell_sum,),
+                expected=(sum(chunk_values) % prime,),
+            )
+        )
+    totals, degree = cross_cell_aggregate(cell_results, iterations=1, seed=wseed)
+    return WindowAggregate(
+        total=totals[0], expected=expected, cells=len(per_shard), degree=degree
     )

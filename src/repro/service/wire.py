@@ -37,7 +37,11 @@ from repro.errors import WireError
 __all__ = [
     "SUBMIT",
     "WINDOW_CLOSE",
+    "DEVICE_TOTAL",
+    "STORE_CHECKPOINT",
+    "DeviceTotal",
     "ShareSubmission",
+    "StoreCheckpoint",
     "encode_record",
     "decode_record",
     "frame",
@@ -47,6 +51,8 @@ __all__ = [
 #: Record kind tags (one byte on the wire).
 SUBMIT = 1
 WINDOW_CLOSE = 2
+DEVICE_TOTAL = 3
+STORE_CHECKPOINT = 4
 
 #: Transport frame magic (the journal uses AppendLog's own framing).
 FRAME_MAGIC = b"RW"
@@ -89,10 +95,63 @@ class ShareSubmission:
             raise WireError("ShareSubmission.value must be an integer")
 
 
+@dataclass(frozen=True, slots=True)
+class DeviceTotal:
+    """One device's compacted billing total (result-store records only).
+
+    The result store's compaction folds the per-window contributions of
+    retired windows into one of these per device: ``total`` is the exact
+    integer sum of the device's accepted readings over ``windows``
+    closed windows up to and including ``through_window``.  Folding is
+    associative, so repeated compactions merge totals without ever
+    changing a device's billed sum — the bit-for-bit retention contract.
+    """
+
+    device: int
+    through_window: int
+    windows: int
+    total: int
+
+    def __post_init__(self) -> None:
+        for name in ("device", "through_window", "windows"):
+            field_value = getattr(self, name)
+            if not isinstance(field_value, int) or isinstance(field_value, bool):
+                raise WireError(f"DeviceTotal.{name} must be an integer")
+            if field_value < 0:
+                raise WireError(f"DeviceTotal.{name} must be >= 0")
+        if not isinstance(self.total, int) or isinstance(self.total, bool):
+            raise WireError("DeviceTotal.total must be an integer")
+
+
+@dataclass(frozen=True, slots=True)
+class StoreCheckpoint:
+    """The result store's compaction horizon (result-store records only).
+
+    Every window ``<= through_window`` has been folded into
+    :class:`DeviceTotal` records (or was empty and retired).  The store
+    refuses to re-ingest or re-publish windows at or below its horizon,
+    which is what makes journal ingest idempotent *across* compactions —
+    without it, a reopen would pull a retired window back out of the
+    daemon's journals and double-bill it.
+    """
+
+    through_window: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.through_window, int) or isinstance(
+            self.through_window, bool
+        ):
+            raise WireError("StoreCheckpoint.through_window must be an integer")
+        if self.through_window < 0:
+            raise WireError("StoreCheckpoint.through_window must be >= 0")
+
+
 #: kind tag -> record dataclass; the decode side of the registry.
 RECORD_TYPES: dict[int, type] = {
     SUBMIT: ShareSubmission,
     WINDOW_CLOSE: WindowSummary,
+    DEVICE_TOTAL: DeviceTotal,
+    STORE_CHECKPOINT: StoreCheckpoint,
 }
 
 

@@ -285,3 +285,49 @@ class TestNewScenarios:
             result = session.run(QuickstartSpec(crypto_mode=CryptoMode.STUB))
         assert result.payload["all_correct"]
         assert result.payload["num_nodes"] == 8
+
+
+class TestDictSpecs:
+    """``Session.run`` takes plain mappings: the JSON-file path, inline."""
+
+    DICT_SPEC = {
+        "scenario": "service_soak",
+        "devices": 6,
+        "windows": 2,
+        "cells": 2,
+        "shards": 2,
+        "kill_at": [4],
+        "duplicate_every": 0,
+        "late_replays": 0,
+        "fsync": False,
+    }
+
+    def test_dict_spec_is_bit_identical_to_explicit_spec(self):
+        from repro.cli import _strip_volatile
+        from repro.scenarios import ServiceSoakSpec
+
+        explicit = ServiceSoakSpec.from_dict(
+            {k: v for k, v in self.DICT_SPEC.items() if k != "scenario"}
+        )
+        with Session() as session:
+            from_dict = session.run(dict(self.DICT_SPEC))
+            from_spec = session.run(explicit)
+        assert from_dict.spec == explicit
+        # Identical up to wall-clock noise: the same volatile keys the
+        # `repro compare` command strips.
+        assert _strip_volatile(from_dict.payload) == _strip_volatile(
+            from_spec.payload
+        )
+        assert from_dict.scenario == "service_soak"
+
+    def test_dict_spec_requires_scenario_key(self):
+        with pytest.raises(SpecError, match="scenario"):
+            Session().run({"devices": 6})
+
+    def test_dict_spec_unknown_scenario(self):
+        with pytest.raises(SpecError, match="unknown scenario"):
+            Session().run({"scenario": "time-travel"})
+
+    def test_dict_spec_bad_field_is_spec_error(self):
+        with pytest.raises(SpecError, match="does not accept"):
+            Session().run({"scenario": "service_soak", "warp": 9})

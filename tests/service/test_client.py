@@ -1,0 +1,224 @@
+"""ServiceClient tests: one API, two transports, restart-resume queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import Admission, ServiceClient, ServiceConfig
+from repro.service.client import STORE_NAME
+
+
+def config(**overrides) -> ServiceConfig:
+    base = dict(seed=77, cells=2, fsync=False)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def feed_window(client: ServiceClient, window: int, devices: int) -> None:
+    for device in range(devices):
+        result = client.submit(device, window, window, 100 + device)
+        assert result.accepted
+
+
+@pytest.fixture
+def service_dir(tmp_path):
+    return tmp_path / "service"
+
+
+class TestTransportsShareOneInterface:
+    @pytest.mark.parametrize("transport", ["inproc", "queue"])
+    def test_submit_close_query_round_trip(self, tmp_path, transport):
+        with ServiceClient(
+            config(), tmp_path / transport, shards=2, transport=transport
+        ) as client:
+            feed_window(client, 0, devices=6)
+            summary = client.close_window(0)
+            assert summary.accepted == 6
+            assert summary.exact
+            answer = client.query(window=0)
+            assert answer["closed"]
+            assert answer["summary"]["total"] == summary.total
+            assert len(answer["contributions"]) == 6
+
+    def test_transports_produce_identical_bits(self, tmp_path):
+        extracts = []
+        for transport in ("inproc", "queue"):
+            with ServiceClient(
+                config(), tmp_path / transport, shards=2, transport=transport
+            ) as client:
+                for window in range(2):
+                    feed_window(client, window, devices=6)
+                    client.close_window(window)
+                extracts.append(
+                    {d: b.total for d, b in client.billing_extract().items()}
+                )
+        assert extracts[0] == extracts[1]
+
+    def test_submit_async_resolves_on_both_transports(self, tmp_path):
+        for transport in ("inproc", "queue"):
+            with ServiceClient(
+                config(), tmp_path / transport, transport=transport
+            ) as client:
+                future = client.submit_async(1, 0, 0, 42)
+                assert future.result().admission is Admission.ACCEPTED
+                assert client.submit_async(1, 0, 0, 42).result().admission \
+                    is Admission.DUPLICATE
+
+    def test_queue_barrier_flushes_before_close(self, service_dir):
+        with ServiceClient(
+            config(), service_dir, shards=2, transport="queue", dispatchers=2
+        ) as client:
+            futures = [
+                client.submit_async(device, 0, 0, 100 + device)
+                for device in range(8)
+            ]
+            summary = client.close_window(0)  # barrier runs inside
+            assert summary.accepted == 8
+            assert all(f.result().accepted for f in futures)
+
+    def test_unknown_transport_rejected(self, service_dir):
+        with pytest.raises(ServiceError, match="unknown transport"):
+            ServiceClient(config(), service_dir, transport="carrier-pigeon")
+
+
+class TestRestartResume:
+    def test_restart_recovers_and_resumes(self, service_dir):
+        client = ServiceClient(config(), service_dir, shards=2)
+        feed_window(client, 0, devices=4)
+        closed = client.close_window(0)
+        # Kill mid-window-1: two journaled shares, no close.
+        assert client.submit(0, 1, 1, 200).accepted
+        assert client.submit(1, 1, 1, 201).accepted
+        client.hard_stop()
+
+        revived = ServiceClient(config(), service_dir, shards=2)
+        assert revived.recovered
+        assert revived.open_windows == (1,)
+        # Re-sends of journaled shares dedup; the missing ones land.
+        assert revived.submit(0, 1, 1, 200).admission is Admission.DUPLICATE
+        assert revived.submit(2, 1, 1, 202).accepted
+        assert revived.submit(3, 1, 1, 203).accepted
+        resumed = revived.close_window(1)
+        assert resumed.recovered
+        assert resumed.accepted == 4
+        records = revived.window_records()
+        assert [s.window for s in records] == [0, 1]
+        assert records[0].total == closed.total
+        revived.stop()
+
+    def test_query_after_hard_kill_serves_journaled_closes_only(
+        self, service_dir
+    ):
+        client = ServiceClient(config(), service_dir, shards=2)
+        feed_window(client, 0, devices=4)
+        client.close_window(0)
+        assert client.submit(0, 1, 1, 99).accepted  # window 1 in flight
+        client.hard_stop()
+
+        revived = ServiceClient(config(), service_dir, shards=2)
+        answer = revived.query()
+        assert [w["window"] for w in answer["windows"]] == [0]
+        assert revived.query(window=1)["closed"] is False
+        assert revived.query(window=1)["contributions"] == []
+        # The in-flight share is journaled (it was acked) but unbilled
+        # until its window durably closes.
+        assert revived.query(device=0)["windows"] == 1
+        revived.stop()
+
+    def test_store_heals_from_journals_when_publish_was_lost(
+        self, service_dir
+    ):
+        client = ServiceClient(config(), service_dir, shards=2)
+        feed_window(client, 0, devices=4)
+        client.close_window(0)
+        client.hard_stop()
+        # Lose the store entirely: only the daemon journals survive.
+        (service_dir / STORE_NAME).unlink()
+        revived = ServiceClient(config(), service_dir, shards=2)
+        answer = revived.query()
+        assert [w["window"] for w in answer["windows"]] == [0]
+        assert answer["devices"]["2"]["total"] == 102
+        revived.stop()
+
+    def test_restart_resume_queue_transport(self, service_dir):
+        client = ServiceClient(
+            config(), service_dir, shards=2, transport="queue"
+        )
+        feed_window(client, 0, devices=4)
+        client.close_window(0)
+        client.hard_stop()
+        with pytest.raises(ServiceError, match="stopped"):
+            client.submit(9, 1, 1, 1)
+        revived = ServiceClient(
+            config(), service_dir, shards=2, transport="queue"
+        )
+        assert revived.recovered
+        feed_window(revived, 1, devices=4)
+        assert revived.close_window(1).accepted == 4
+        revived.stop()
+
+
+class TestQueriesAndLifecycle:
+    def test_query_by_device_and_by_window_disjoint(self, service_dir):
+        with ServiceClient(config(), service_dir) as client:
+            feed_window(client, 0, devices=3)
+            client.close_window(0)
+            with pytest.raises(ServiceError, match="not both"):
+                client.query(device=1, window=0)
+            bill = client.query(device=1)
+            assert bill == {
+                "device": 1, "total": 101, "windows": 1, "through_window": 0
+            }
+            assert client.query(device=42)["total"] == 0
+
+    def test_compact_and_retain_keep_bills(self, service_dir):
+        with ServiceClient(config(), service_dir) as client:
+            for window in range(4):
+                feed_window(client, window, devices=3)
+                client.close_window(window)
+            before = client.query()["devices"]
+            assert client.compact(0) == 1
+            assert client.retain(keep_windows=1) == 2
+            after = client.query()
+            assert [w["window"] for w in after["windows"]] == [3]
+            assert after["devices"] == before
+
+    def test_drain_closes_every_open_window(self, service_dir):
+        client = ServiceClient(config(), service_dir, shards=2)
+        feed_window(client, 0, devices=2)
+        feed_window(client, 1, devices=3)
+        summaries = client.drain()
+        assert [s.window for s in summaries] == [0, 1]
+        assert [s.accepted for s in summaries] == [2, 3]
+
+    def test_shard_of_routes_by_modulo(self, service_dir):
+        with ServiceClient(config(), service_dir, shards=3) as client:
+            assert [client.shard_of(d) for d in range(6)] == [0, 1, 2, 0, 1, 2]
+            assert client.shards == 3
+
+    def test_pause_resume_passthrough(self, service_dir):
+        with ServiceClient(config(), service_dir) as client:
+            client.pause()
+            assert client.paused
+            held = client.submit(1, 0, 0, 9)
+            assert held.retryable
+            client.resume()
+            assert client.submit(1, 0, 0, 9).accepted
+
+
+class TestDeprecatedDaemonImport:
+    def test_package_level_daemon_import_warns(self):
+        import repro.service as service
+
+        with pytest.warns(DeprecationWarning, match="ServiceClient"):
+            daemon_cls = service.ServiceDaemon
+        from repro.service.daemon import ServiceDaemon
+
+        assert daemon_cls is ServiceDaemon
+
+    def test_other_missing_names_raise_attribute_error(self):
+        import repro.service as service
+
+        with pytest.raises(AttributeError):
+            service.does_not_exist

@@ -6,12 +6,8 @@ import pytest
 
 from repro import diskcache
 from repro.errors import ServiceError
-from repro.service import (
-    Admission,
-    ServiceConfig,
-    ServiceDaemon,
-    WindowJournal,
-)
+from repro.service import Admission, ServiceConfig, WindowJournal
+from repro.service.daemon import ServiceDaemon
 from repro.service.windows import aggregate_window
 from repro.service.wire import ShareSubmission
 

@@ -80,22 +80,129 @@ class TestKillRestartBitIdentity:
         assert payload["all_exact"] and payload["oracle_match"]
 
     def test_torn_tail_after_kill_recovers(self, tmp_path):
-        journal = tmp_path / "torn.wal"
+        service_dir = tmp_path / "torn-service"
         spec = small_spec()
         baseline = window_totals(run_service_soak(spec))
-        # First soak leaves a journal; corrupt its tail with a partial
-        # frame, then a fresh soak on the same path must refuse stale
-        # state... so instead emulate the in-soak scenario: run with a
-        # kill, then verify the journal replays clean.
-        payload = run_service_soak(small_spec(kill_at=(3,)), journal=journal)
+        # A soak with a kill leaves journals behind; corrupt the shard
+        # journal's tail with a partial frame, then verify both journals
+        # still replay clean (torn tails truncate, closed windows hold).
+        payload = run_service_soak(
+            small_spec(kill_at=(3,)), service_dir=service_dir
+        )
         assert window_totals(payload) == baseline
-        whole = journal.read_bytes()
-        journal.write_bytes(whole + whole[: 7])  # torn partial frame
+        shard_wal = service_dir / "shard-000.wal"
+        whole = shard_wal.read_bytes()
+        shard_wal.write_bytes(whole + whole[:7])  # torn partial frame
         from repro.service.wal import WindowJournal
 
-        state = WindowJournal(journal, fsync=False).replay()
+        state = WindowJournal(shard_wal, fsync=False).replay()
         assert state.skipped == 0
-        assert len(state.closes) == spec.windows
+        assert len(state.accepted) == spec.devices * spec.windows
+        fold = WindowJournal(service_dir / "fold.wal", fsync=False).replay()
+        assert len(fold.closes) == spec.windows
+
+
+class TestShardedScaleOut:
+    def sharded_spec(self, **overrides) -> ServiceSoakSpec:
+        base = dict(
+            devices=10,
+            windows=2,
+            seed=4242,
+            base_load_wh=120,
+            shards=4,
+            duplicate_every=0,
+            late_replays=0,
+            fsync=False,
+        )
+        base.update(overrides)
+        return ServiceSoakSpec(**base)
+
+    def test_sharded_kill_offset_sweep_reproduces_totals(self):
+        """Kill the sharded service at every accepted offset; same bits.
+
+        The sharded analogue of the single-journal sweep: 4 journals, a
+        hard kill after each possible number of accepted shares, and the
+        per-window folded totals and per-device billing must match the
+        uninterrupted run exactly.
+        """
+        spec = self.sharded_spec()
+        oracle = run_service_soak(spec)
+        assert oracle["all_exact"] and oracle["oracle_match"]
+        assert oracle["billing_exact"] is True
+        baseline = window_totals(oracle)
+        total = spec.devices * spec.windows
+        for offset in range(1, total + 1):
+            payload = run_service_soak(self.sharded_spec(kill_at=(offset,)))
+            assert payload["kills"] == 1, f"kill at {offset} never fired"
+            assert window_totals(payload) == baseline, (
+                f"kill at accepted offset {offset} changed sharded totals"
+            )
+            assert payload["all_exact"] and payload["oracle_match"]
+            assert payload["billing_exact"] is True
+
+    def test_concurrent_producers_match_serial_totals(self):
+        serial = run_service_soak(self.sharded_spec())
+        concurrent = run_service_soak(
+            self.sharded_spec(producers=4, transport="queue")
+        )
+        assert window_totals(concurrent) == window_totals(serial)
+        assert concurrent["billing_exact"] is True
+        assert concurrent["accepted_per_shard"] == serial["accepted_per_shard"]
+
+    def test_concurrent_producers_survive_kills(self):
+        baseline = window_totals(run_service_soak(self.sharded_spec()))
+        payload = run_service_soak(
+            self.sharded_spec(
+                producers=4, transport="queue", kill_at=(4, 13),
+                duplicate_every=3,
+            )
+        )
+        assert payload["kills"] == 2
+        assert window_totals(payload) == baseline
+        assert payload["all_exact"] and payload["billing_exact"] is True
+
+    def test_shard_targeted_kill_anchors_on_shard_traffic(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="kill_daemon", cell=3, round=2),)
+        )
+        payload = run_service_soak(self.sharded_spec(faults=plan))
+        assert payload["kills"] == 1
+        assert payload["recoveries"][0]["shard"] == 3
+        assert payload["all_exact"] and payload["billing_exact"] is True
+
+    def test_shard_kill_targeting_missing_shard_rejected(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="kill_daemon", cell=7, round=2),)
+        )
+        with pytest.raises(Exception, match="shard"):
+            self.sharded_spec(faults=plan)
+
+    def test_shard_kill_anchor_beyond_shard_traffic_rejected(self):
+        # Shard 2 of 4 sees devices 2 and 6: 2 devices * 2 windows = 4.
+        plan = FaultPlan(
+            events=(FaultEvent(kind="kill_daemon", cell=2, round=5),)
+        )
+        with pytest.raises(Exception, match="at most 4"):
+            self.sharded_spec(faults=plan)
+
+    def test_pause_needs_single_producer(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="pause_ingest", round=3, duration=2),)
+        )
+        with pytest.raises(Exception, match="producers == 1"):
+            self.sharded_spec(producers=2, transport="queue", faults=plan)
+
+    def test_more_shards_than_devices_rejected(self):
+        with pytest.raises(Exception, match="shards"):
+            self.sharded_spec(devices=3, shards=4)
+
+    def test_single_shard_payload_matches_pre_sharding_totals(self):
+        """shards=1 must stay bit-identical to the single-journal daemon."""
+        spec = small_spec()
+        single = run_service_soak(spec)
+        assert single["shards"] == 1
+        explicit = run_service_soak(small_spec(shards=1))
+        assert window_totals(explicit) == window_totals(single)
 
 
 class TestFaultsAndBackpressure:
@@ -190,7 +297,7 @@ class TestScenarioAndCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "hard kill(s)" in out
-        assert "journal holds" in out
+        assert "journals hold" in out
 
     def test_cli_malformed_faults_exit_2(self, capsys):
         code = main([
