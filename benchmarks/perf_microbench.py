@@ -51,6 +51,11 @@ repository root so future PRs have a perf trajectory to compare against:
    wide chains), plus the batched Bernoulli mask sampler vs the scalar
    one.  The loop ratios are honest (< 1 on CPython — big-int masks are
    already bit-parallel); the sampler ratio is the tracked win.
+9. **service_transport** — the socket transport against real shard
+   processes: accepted shares/sec through journal-before-ack over TCP,
+   the p99 per-share round trip, and the supervisor's shard-restart
+   recovery time after a SIGKILL.  Absolute figures only, no speedup
+   gate.
 
 The in-process campaign tiers (2+3) run with the disk cache disabled so
 "cold" keeps meaning "first time in any process state"; tier 5 measures
@@ -619,6 +624,82 @@ def bench_service(iterations: int) -> dict:
     }
 
 
+def bench_service_transport(iterations: int) -> dict:
+    """Socket transport: cross-process round trips and shard-restart cost.
+
+    One client over real shard processes (TCP localhost, fsync'd WALs):
+    every submission is timed individually for the round-trip
+    distribution, then one shard is SIGKILLed and the monitor's respawn
+    is timed as ``shard_restart_recovery_s``.  All absolute figures, no
+    ``*speedup`` key — the regression gate records the tier without
+    enforcing jittery cross-process wall-clock numbers.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import ServiceConfig
+    from repro.service.transport import RetryPolicy
+
+    devices = int(os.environ.get("REPRO_BENCH_SERVICE_DEVICES", "40"))
+    windows = max(2, iterations)
+    retry = RetryPolicy(max_attempts=60, total_deadline_s=60.0)
+    round_trips: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-socket-") as tmp:
+        client = ServiceClient(
+            ServiceConfig(seed=17, cells=3, fsync=True),
+            pathlib.Path(tmp) / "service",
+            shards=2,
+            transport="socket",
+        )
+        try:
+            accepted = 0
+            started = time.perf_counter()
+            for window in range(windows):
+                for device in range(devices):
+                    t0 = time.perf_counter()
+                    result = client.submit(
+                        device, window, window, 100 + device, retry=retry
+                    )
+                    round_trips.append(time.perf_counter() - t0)
+                    if not result.accepted:
+                        raise RuntimeError(
+                            f"socket bench: share refused: {result}"
+                        )
+                    accepted += 1
+                summary = client.close_window(window)
+                if summary.total != summary.expected:
+                    raise RuntimeError(
+                        "socket bench: a window total missed its oracle"
+                    )
+            elapsed = time.perf_counter() - started
+            client.kill_shard(0)
+            deadline = time.monotonic() + 30.0
+            while client.restarts < 1:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "socket bench: the monitor never restarted shard 0"
+                    )
+                time.sleep(0.005)
+            recovery_s = client.supervisor.restart_log[-1]["recovery_s"]
+            probe = client.submit(0, windows, windows, 1, retry=retry)
+            if not probe.accepted:
+                raise RuntimeError(
+                    f"socket bench: restarted shard refused a share: {probe}"
+                )
+        finally:
+            client.stop()
+    round_trips.sort()
+    p99 = round_trips[min(len(round_trips) - 1,
+                          int(0.99 * (len(round_trips) - 1) + 0.5))]
+    return {
+        "devices": devices,
+        "windows": windows,
+        "shards": 2,
+        "accepted": accepted,
+        "socket_shares_per_sec": round(accepted / elapsed, 3),
+        "p99_round_trip_ms": round(p99 * 1000.0, 3),
+        "shard_restart_recovery_s": recovery_s,
+    }
+
+
 # -- tier 5: cold start vs the persisted commissioning cache ---------------------
 
 _CHILD_SNIPPET = """
@@ -731,6 +812,10 @@ def main() -> int:
     service = bench_service(iterations)
     print(f"  {service}")
 
+    print("== service transport (socket round trips + shard-restart cost) ==")
+    transport = bench_service_transport(iterations)
+    print(f"  {transport}")
+
     print("== cold start (fresh subprocesses, persisted commissioning cache) ==")
     cold = bench_cold_start(iterations)
     print(f"  STUB: {cold['stub']}")
@@ -758,6 +843,7 @@ def main() -> int:
         "sharded_campaign": sharded,
         "chaos_campaign": chaos,
         "service_throughput": service,
+        "service_transport": transport,
         "cold_start": cold,
         "targets": {
             "figure1_stub_steady_speedup_min": 5.0,

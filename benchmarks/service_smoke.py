@@ -187,7 +187,7 @@ def _resume_probe(
     probe = {
         "probe": "resume",
         "recovery_s": round(recovery_s, 6),
-        "replayed_records": client.daemon.journal_records,
+        "replayed_records": client.journal_records,
         "violations": [],
     }
     if not client.recovered:

@@ -1,0 +1,279 @@
+"""CI smoke for the socket transport's kill-anywhere contract.
+
+Three probes over real shard *processes* (TCP localhost, one daemon
+process per shard journal, supervisor restart):
+
+1. **Oracle** — an uninterrupted socket ``service_soak`` must close
+   every window exact against both its accepted-set reconstruction and
+   the batch metering billing oracle.
+2. **CLI kill** — ``repro run service_soak --transport socket
+   --kill-at N`` in a *separate OS process*: the whole service (every
+   shard process) is SIGKILLed mid-window and restarted from the WALs;
+   the saved record's window totals must be bit-identical to the
+   oracle's.
+3. **Shard faults** — a soak whose plan SIGKILLs single shard
+   processes mid-window (``kill_shard_process``) and injects lost acks
+   (``drop_connection``) and stalled replies (``delay_response``); the
+   retrying client must ride every fault out and the totals must again
+   match the oracle bit for bit.
+
+The oracle and fault runs pin their service directories under
+``--out-dir``; after each run ``repro query`` extracts the per-device
+billing from the journals, and the two extracts must be identical.
+The extracts, saved records and a manifest land in ``--out-dir`` as
+the artifact CI uploads.
+
+Run:  PYTHONPATH=src python benchmarks/socket_smoke.py --out-dir socket-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+from repro.faultplan import FaultEvent, FaultPlan  # noqa: E402
+from repro.scenarios.spec import ServiceSoakSpec  # noqa: E402
+from repro.service.soak import run_service_soak  # noqa: E402
+
+#: One fixed workload for every probe.
+DEVICES = 8
+WINDOWS = 2
+SEED = 60222
+BASE_LOAD_WH = 210
+CELLS = 2
+SHARDS = 2
+PRODUCERS = 2
+#: The CLI probe hard-kills the whole service after this many accepts.
+KILL_AT = 5
+
+
+def _spec(**overrides) -> ServiceSoakSpec:
+    base = dict(
+        devices=DEVICES,
+        windows=WINDOWS,
+        seed=SEED,
+        base_load_wh=BASE_LOAD_WH,
+        cells=CELLS,
+        shards=SHARDS,
+        producers=PRODUCERS,
+        transport="socket",
+        duplicate_every=0,
+        late_replays=0,
+        fsync=True,
+    )
+    base.update(overrides)
+    return ServiceSoakSpec(**base)
+
+
+def _rows(payload: dict) -> list[tuple]:
+    """The bit-identity core of a soak payload (recovery flags aside)."""
+    return [
+        (row["window"], row["total"], row["expected"], row["accepted"])
+        for row in payload["windows"]
+    ]
+
+
+def _check_exact(payload: dict, probe: dict) -> None:
+    if not payload["all_exact"]:
+        probe["violations"].append("a window total was inexact")
+    if not payload["oracle_match"]:
+        probe["violations"].append("a window total missed the billing oracle")
+    if payload["billing_exact"] is not True:
+        probe["violations"].append("the store extract missed the billing oracle")
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _query_extract(service_dir: pathlib.Path) -> dict:
+    """``repro query --json`` over a (now idle) service directory."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "query", str(service_dir), "--json"],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def _oracle_probe(out_dir: pathlib.Path) -> tuple[dict, list[tuple], dict]:
+    service_dir = out_dir / "oracle-service"
+    start = time.perf_counter()
+    payload = run_service_soak(_spec(), service_dir=service_dir)
+    probe = {
+        "probe": "oracle",
+        "elapsed_s": round(time.perf_counter() - start, 3),
+        "shards": payload["shards"],
+        "violations": [],
+    }
+    _check_exact(payload, probe)
+    extract = _query_extract(service_dir)
+    (out_dir / "oracle_extract.json").write_text(
+        json.dumps(extract, indent=2, sort_keys=True) + "\n"
+    )
+    return probe, _rows(payload), extract
+
+
+def _cli_kill_probe(out_dir: pathlib.Path, baseline: list[tuple]) -> dict:
+    record_path = out_dir / "cli_kill_record.json"
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "run", "service_soak",
+            "--transport", "socket",
+            "--kill-at", str(KILL_AT),
+            "--devices", str(DEVICES),
+            "--windows", str(WINDOWS),
+            "--seed", str(SEED),
+            "--base-load-wh", str(BASE_LOAD_WH),
+            "--cells", str(CELLS),
+            "--shards", str(SHARDS),
+            "--producers", str(PRODUCERS),
+            "--duplicate-every", "0",
+            "--late-replays", "0",
+            "--save", str(record_path),
+        ],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+    )
+    probe = {
+        "probe": "cli-kill",
+        "exit_code": completed.returncode,
+        "violations": [],
+    }
+    if completed.returncode != 0:
+        probe["violations"].append(
+            f"repro run service_soak --transport socket exited "
+            f"{completed.returncode}: {completed.stderr.strip()[:300]}"
+        )
+        return probe
+    payload = json.loads(record_path.read_text())["payload"]
+    _check_exact(payload, probe)
+    if payload["kills"] != 1:
+        probe["violations"].append(
+            f"expected 1 whole-service kill, payload says {payload['kills']}"
+        )
+    if _rows(payload) != baseline:
+        probe["violations"].append(
+            "killed-run window totals are not bit-identical to the "
+            f"uninterrupted oracle: {_rows(payload)} != {baseline}"
+        )
+    return probe
+
+
+def _shard_fault_probe(
+    out_dir: pathlib.Path, baseline: list[tuple], oracle_extract: dict
+) -> dict:
+    service_dir = out_dir / "fault-service"
+    faults = FaultPlan(events=(
+        FaultEvent(kind="kill_shard_process", cell=0, round=2),
+        FaultEvent(kind="kill_shard_process", cell=1, round=5),
+        FaultEvent(kind="drop_connection", cell=1, round=3, duration=1),
+        FaultEvent(kind="delay_response", cell=0, round=9, duration=1),
+    ))
+    start = time.perf_counter()
+    payload = run_service_soak(_spec(faults=faults), service_dir=service_dir)
+    probe = {
+        "probe": "shard-faults",
+        "elapsed_s": round(time.perf_counter() - start, 3),
+        "shard_kills": payload["shard_kills"],
+        "shard_restarts": payload["shard_restarts"],
+        "violations": [],
+    }
+    _check_exact(payload, probe)
+    if payload["shard_kills"] != 2:
+        probe["violations"].append(
+            f"expected 2 shard-process kills, fired {payload['shard_kills']}"
+        )
+    if payload["shard_restarts"] < payload["shard_kills"]:
+        probe["violations"].append(
+            f"{payload['shard_kills']} kills but only "
+            f"{payload['shard_restarts']} supervisor restarts"
+        )
+    if payload["kills_unfired"] or payload["injections_unfired"]:
+        probe["violations"].append("planned socket faults never fired")
+    if _rows(payload) != baseline:
+        probe["violations"].append(
+            "fault-run window totals are not bit-identical to the "
+            f"uninterrupted oracle: {_rows(payload)} != {baseline}"
+        )
+    extract = _query_extract(service_dir)
+    (out_dir / "fault_extract.json").write_text(
+        json.dumps(extract, indent=2, sort_keys=True) + "\n"
+    )
+    # Billing bit-identity: per-device bills and window totals.  (The
+    # admission side-counters legitimately differ — the drop fault's
+    # re-send is one extra DUPLICATE the oracle never saw.)
+    if extract["devices"] != oracle_extract["devices"]:
+        probe["violations"].append(
+            "per-device billing extract diverged from the oracle's"
+        )
+    fault_totals = [
+        (w["window"], w["total"], w["expected"], w["accepted"])
+        for w in extract["windows"]
+    ]
+    oracle_totals = [
+        (w["window"], w["total"], w["expected"], w["accepted"])
+        for w in oracle_extract["windows"]
+    ]
+    if fault_totals != oracle_totals:
+        probe["violations"].append(
+            "journaled window totals diverged from the oracle's"
+        )
+    return probe
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="socket-smoke",
+        help="where the billing extracts, records and manifest land",
+    )
+    args = parser.parse_args(argv)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    oracle, baseline, oracle_extract = _oracle_probe(out_dir)
+    probes = [
+        oracle,
+        _cli_kill_probe(out_dir, baseline),
+        _shard_fault_probe(out_dir, baseline, oracle_extract),
+    ]
+    failed = [p["probe"] for p in probes if p["violations"]]
+    (out_dir / "manifest.json").write_text(
+        json.dumps({"probes": probes, "failed": failed}, indent=2) + "\n"
+    )
+    for probe in probes:
+        status = "ok" if not probe["violations"] else "FAILED"
+        print(f"{probe['probe']:12s} {status}")
+        for violation in probe["violations"]:
+            print(f"  - {violation}", file=sys.stderr)
+    if failed:
+        print(f"failed probes: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(
+        f"kill-anywhere bit-identity held across the socket boundary "
+        f"({SHARDS} shard processes, {PRODUCERS} producers); "
+        f"extracts in {out_dir}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

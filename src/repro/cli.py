@@ -267,6 +267,9 @@ VOLATILE_KEYS = frozenset({
     "worker_retries",
     "journal_records",
     "replayed_records",
+    # The heartbeat monitor may restart a shard more times than the plan
+    # killed it (scheduling decides how many pings a crash swallows).
+    "shard_restarts",
 })
 
 
@@ -341,12 +344,23 @@ def _cmd_compare(args) -> int:
 def _cmd_query(args) -> int:
     from repro.service.client import STORE_NAME, query_store
     from repro.service.store import ResultStore
+    from repro.service.wal import live_service_pid
 
     service_dir = pathlib.Path(args.service_dir)
     if not service_dir.is_dir():
         raise SpecError(f"no service directory at {service_dir}")
     store = ResultStore(service_dir / STORE_NAME, readonly=True)
-    store.ingest(service_dir)
+    live_pid = live_service_pid(service_dir)
+    if live_pid is None:
+        store.ingest(service_dir)
+    else:
+        # A live service owns the journals; answer from the store's last
+        # checkpoint rather than racing its writers.
+        print(
+            f"note: service is live (pid {live_pid}); answering from the "
+            "last store checkpoint — totals may trail open windows",
+            file=sys.stderr,
+        )
     answer = query_store(store, device=args.device, window=args.window)
     if args.json:
         print(json.dumps(answer, indent=2, sort_keys=True))

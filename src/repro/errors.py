@@ -104,6 +104,20 @@ class WireError(ServiceError):
     """A wire frame or record could not be decoded (CRC, tag, framing)."""
 
 
+class TransportError(ServiceError):
+    """The socket transport lost a connection or missed a deadline.
+
+    Raised by :mod:`repro.service.transport` for *delivery* failures —
+    a dropped connection, a request past its deadline, a peer gone
+    mid-frame — never for malformed bytes (that is :class:`WireError`).
+    The distinction is the retry taxonomy: a ``TransportError`` leaves
+    the request outcome unknown, so an idempotent sender re-sends under
+    its ``(device, seq)`` identity and treats ``DUPLICATE`` as success;
+    a ``WireError`` means the peer spoke garbage and retrying is
+    pointless.
+    """
+
+
 class ConfigurationError(ReproError):
     """Invalid protocol or experiment configuration."""
 

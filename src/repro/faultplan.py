@@ -15,10 +15,29 @@ from typing import Any, Mapping
 from repro.errors import SpecError
 from repro.sim.seeds import child_seed
 
-__all__ = ["CAMPAIGN_KINDS", "FAULT_KINDS", "SERVICE_KINDS", "FaultEvent", "FaultPlan"]
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "FAULT_KINDS",
+    "SERVICE_KINDS",
+    "SOCKET_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+]
 
 #: Fault kinds interpreted by the batch chaos campaign (cell-targeted).
 CAMPAIGN_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
+
+#: Fault kinds interpreted by the service soak driver against the
+#: *socket* transport only — they need a real process boundary:
+#: ``kill_shard_process`` SIGKILLs shard ``cell``'s daemon process once
+#: that shard has accepted ``round`` submissions (the supervisor's
+#: monitor restarts it from its WAL); ``drop_connection`` makes shard
+#: ``cell`` admit-then-drop its next ``duration`` submission connections
+#: without replying (lost acks), armed once ``round`` submissions have
+#: been accepted globally; ``delay_response`` makes shard ``cell`` stall
+#: its next ``duration`` admission replies past the client's request
+#: deadline, armed the same way.
+SOCKET_KINDS = ("kill_shard_process", "drop_connection", "delay_response")
 
 #: Fault kinds interpreted by the service soak driver (daemon-targeted):
 #: ``kill_daemon`` hard-kills the daemon after ``round`` accepted
@@ -26,8 +45,9 @@ CAMPAIGN_KINDS = ("crash", "straggle", "corrupt", "kill_worker")
 #: service ``cell`` selects the shard whose accepted count anchors the
 #: kill, so a plan can land the kill relative to one journal's traffic;
 #: ``pause_ingest`` pauses admission at submission offset ``round`` for
-#: ``duration`` submissions (``cell`` unused; keep it 0).
-SERVICE_KINDS = ("kill_daemon", "pause_ingest")
+#: ``duration`` submissions (``cell`` unused; keep it 0).  The
+#: ``SOCKET_KINDS`` ride along, valid only under ``transport="socket"``.
+SERVICE_KINDS = ("kill_daemon", "pause_ingest") + SOCKET_KINDS
 
 #: Recognized fault kinds, in documentation order.
 FAULT_KINDS = CAMPAIGN_KINDS + SERVICE_KINDS
@@ -196,10 +216,10 @@ class FaultPlan:
                     f"fault kind {event.kind!r} is campaign-only (valid in "
                     f"batch chaos campaigns, not service soaks)"
                 )
-            if event.kind == "kill_daemon":
+            if event.kind in ("kill_daemon", "kill_shard_process"):
                 if event.cell >= shards:
                     raise SpecError(
-                        f"kill_daemon targets shard {event.cell} of a "
+                        f"{event.kind} targets shard {event.cell} of a "
                         f"{shards}-shard service"
                     )
                 # Anchored on *accepted* counts: fires once the target
@@ -209,9 +229,20 @@ class FaultPlan:
                     bound = shard_submissions[event.cell]
                 if not 1 <= event.round <= bound:
                     raise SpecError(
-                        f"kill_daemon anchors at accepted count "
+                        f"{event.kind} anchors at accepted count "
                         f"{event.round} on shard {event.cell}; that shard "
                         f"accepts at most {bound} submissions"
+                    )
+            elif event.kind in ("drop_connection", "delay_response"):
+                if event.cell >= shards:
+                    raise SpecError(
+                        f"{event.kind} targets shard {event.cell} of a "
+                        f"{shards}-shard service"
+                    )
+                if not 1 <= event.round <= submissions:
+                    raise SpecError(
+                        f"{event.kind} arms at accepted count {event.round} "
+                        f"of a {submissions}-submission soak"
                     )
             elif event.round >= submissions:
                 raise SpecError(

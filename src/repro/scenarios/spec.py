@@ -30,7 +30,7 @@ import typing
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from repro.faultplan import FaultPlan
+from repro.faultplan import SOCKET_KINDS, FaultPlan
 from repro.core.config import CryptoMode
 from repro.errors import SpecError
 
@@ -443,9 +443,14 @@ class ServiceSoakSpec(ScenarioSpec):
     cell of the window fold); ``producers`` feeds it from that many
     concurrent threads; ``transport`` picks how they reach the daemon
     (``"inproc"`` = direct calls, ``"queue"`` = through the bounded
-    ingestion front).  ``pause_ingest`` events need ``producers == 1``
-    — a pause window anchored on a global submission offset has no
-    deterministic meaning when several producers race past it.
+    ingestion front, ``"socket"`` = over TCP to one daemon *process*
+    per shard under supervisor restart).  ``pause_ingest`` events need
+    ``producers == 1`` — a pause window anchored on a global submission
+    offset has no deterministic meaning when several producers race
+    past it.  The socket-only fault kinds (``kill_shard_process``,
+    ``drop_connection``, ``delay_response``) need
+    ``transport="socket"`` — they inject at a process boundary the
+    in-process transports do not have.
     """
 
     devices: int = 12
@@ -476,10 +481,10 @@ class ServiceSoakSpec(ScenarioSpec):
         self._at_least("base_load_wh", self.base_load_wh, 0)
         self._at_least("duplicate_every", self.duplicate_every, 0)
         self._at_least("late_replays", self.late_replays, 0)
-        if self.transport not in ("inproc", "queue"):
+        if self.transport not in ("inproc", "queue", "socket"):
             raise SpecError(
-                f"ServiceSoakSpec.transport must be 'inproc' or 'queue', "
-                f"got {self.transport!r}"
+                f"ServiceSoakSpec.transport must be 'inproc', 'queue' or "
+                f"'socket', got {self.transport!r}"
             )
         if self.shards > self.devices:
             raise SpecError(
@@ -507,6 +512,15 @@ class ServiceSoakSpec(ScenarioSpec):
             shards=self.shards,
             shard_submissions=tuple(n * self.windows for n in shard_devices),
         )
+        socket_only = sorted(
+            {e.kind for e in self.faults.events if e.kind in SOCKET_KINDS}
+        )
+        if socket_only and self.transport != "socket":
+            raise SpecError(
+                f"fault kind(s) {', '.join(socket_only)} need "
+                f"transport='socket' (they inject at a process boundary); "
+                f"got transport={self.transport!r}"
+            )
         if self.producers > 1 and any(
             e.kind == "pause_ingest" for e in self.faults.events
         ):

@@ -33,9 +33,18 @@ own):
 * :mod:`repro.service.client` — :class:`ServiceClient`: the one API.
 * :mod:`repro.service.loadgen` — the deterministic metering load
   generator feeding soaks, benches and CI smoke.
+* :mod:`repro.service.transport` — the length-prefixed socket
+  transport: framed records over TCP localhost, per-request deadlines,
+  and the client-side :class:`RetryPolicy` (decorrelated-jitter
+  backoff, ``retry_after_s`` honoured, total-deadline capped).
+* :mod:`repro.service.supervisor` — :class:`ShardSupervisor`: one OS
+  process per shard journal plus a fold coordinator, heartbeat
+  liveness monitoring, and WAL-replay restart of crashed shards into
+  bit-identical state.
 * :mod:`repro.service.soak` — the soak driver interpreting
-  ``kill_daemon`` / ``pause_ingest`` fault events against a live
-  service.
+  ``kill_daemon`` / ``pause_ingest`` (and, over the socket transport,
+  ``kill_shard_process`` / ``drop_connection`` / ``delay_response``)
+  fault events against a live service.
 """
 
 from repro.service.client import ServiceClient
@@ -47,6 +56,7 @@ from repro.service.daemon import (
 )
 from repro.service.ingest import IngestFront
 from repro.service.store import DeviceBill, ResultStore
+from repro.service.transport import RetryPolicy
 from repro.service.wire import ShareSubmission
 from repro.service.wal import WindowJournal
 
@@ -56,8 +66,10 @@ __all__ = [
     "DeviceBill",
     "IngestFront",
     "ResultStore",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
+    "ShardSupervisor",
     "ShardedServiceDaemon",
     "ShareSubmission",
     "WindowJournal",
@@ -65,6 +77,12 @@ __all__ = [
 
 
 def __getattr__(name: str):
+    if name == "ShardSupervisor":
+        # Lazy: pulls in multiprocessing, which most importers (and the
+        # inproc/queue transports) never need.
+        from repro.service.supervisor import ShardSupervisor
+
+        return ShardSupervisor
     if name == "ServiceDaemon":
         # Direct daemon use still works, but the supported surface is
         # ServiceClient; steer imports there without breaking them.

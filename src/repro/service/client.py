@@ -15,14 +15,24 @@ behind one surface:
   it — including after a hard kill, because the client heals the store
   from the daemon's journals on construction.
 
-The two transports share one interface.  ``transport="inproc"`` calls
+The three transports share one interface.  ``transport="inproc"`` calls
 the daemon inline (submission admitted on the caller's thread);
 ``transport="queue"`` routes through the front (submission admitted on
-a dispatcher thread, the caller blocks on the acknowledgment future).
-Either way :meth:`submit` returns the daemon's explicit
+a dispatcher thread, the caller blocks on the acknowledgment future);
+``transport="socket"`` replaces the in-process daemon with a
+:class:`~repro.service.supervisor.ShardSupervisor` — one daemon
+*process* per shard journal, reached over TCP localhost, supervised and
+restarted on crash.  Every transport returns the daemon's explicit
 :class:`~repro.service.daemon.AdmissionResult` and an acknowledged
-``ACCEPTED`` means a journaled share — the queue adds concurrency, not
-new semantics.
+``ACCEPTED`` means a journaled share — queue and socket add concurrency
+and a process boundary, not new semantics.
+
+Retry semantics are opt-in and transport-uniform: pass
+``retry=RetryPolicy(...)`` to :meth:`submit` (or set a client-wide
+default at construction) and transient outcomes — ``RETRY_AFTER``
+backpressure on any transport, connection loss and deadline misses on
+``socket`` — are absorbed by decorrelated-jitter re-sends under the
+idempotent ``(device, seq)`` identity.
 
 Restart-resume is the constructor: build a new client over the same
 service directory and the daemon recovers (re-verifying journaled
@@ -45,11 +55,12 @@ from repro.service.daemon import (
 )
 from repro.service.ingest import IngestFront
 from repro.service.store import DeviceBill, ResultStore
+from repro.service.transport import RetryPolicy
 
 __all__ = ["ServiceClient", "query_store"]
 
-#: Transports the client speaks; both present the same interface.
-TRANSPORTS = ("inproc", "queue")
+#: Transports the client speaks; all present the same interface.
+TRANSPORTS = ("inproc", "queue", "socket")
 
 #: The result store's filename inside a service directory.
 STORE_NAME = "results.store"
@@ -73,6 +84,8 @@ class ServiceClient:
         transport: str = "inproc",
         capacity: int = 1024,
         dispatchers: int | None = None,
+        retry: RetryPolicy | None = None,
+        request_deadline_s: float = 5.0,
     ):
         if transport not in TRANSPORTS:
             raise ServiceError(
@@ -81,7 +94,24 @@ class ServiceClient:
         self.service_dir = pathlib.Path(service_dir)
         self.transport = transport
         self._stopped = False
-        self.daemon = ShardedServiceDaemon(config, self.service_dir, shards=shards)
+        self._retry = retry
+        self.daemon: ShardedServiceDaemon | None = None
+        self.supervisor = None
+        if transport == "socket":
+            from repro.service.supervisor import ShardSupervisor
+
+            self.supervisor = ShardSupervisor(
+                config,
+                self.service_dir,
+                shards=shards,
+                request_deadline_s=request_deadline_s,
+            )
+            self._core = self.supervisor
+        else:
+            self.daemon = ShardedServiceDaemon(
+                config, self.service_dir, shards=shards
+            )
+            self._core = self.daemon
         self.store = ResultStore(
             self.service_dir / STORE_NAME, fsync=config.fsync
         )
@@ -101,56 +131,91 @@ class ServiceClient:
 
     @property
     def config(self) -> ServiceConfig:
-        return self.daemon.config
+        return self._core.config
 
     @property
     def shards(self) -> int:
-        return self.daemon.shards
+        return self._core.shards
 
     @property
     def recovered(self) -> bool:
         """Whether the daemon restarted over an existing journal set."""
-        return self.daemon.recovered
+        return self._core.recovered
 
     @property
     def paused(self) -> bool:
-        return self.daemon.paused
+        return self._core.paused
 
     @property
     def pending(self) -> int:
-        return self.daemon.pending
+        return self._core.pending
 
     @property
     def accepted_total(self) -> int:
-        return self.daemon.accepted_total
+        return self._core.accepted_total
 
     @property
     def accepted_per_shard(self) -> tuple[int, ...]:
-        return self.daemon.accepted_per_shard
+        return self._core.accepted_per_shard
 
     @property
     def open_windows(self) -> tuple[int, ...]:
-        return self.daemon.open_windows
+        return self._core.open_windows
+
+    @property
+    def journal_records(self) -> int:
+        """Valid records across every shard journal plus the fold journal
+        (on the socket transport, summed over the live shard processes)."""
+        return self._core.journal_records
+
+    @property
+    def restarts(self) -> int:
+        """Shard-process restarts the supervisor performed (socket only)."""
+        return self.supervisor.restarts if self.supervisor is not None else 0
 
     def shard_of(self, device: int) -> int:
-        return self.daemon.shard_of(device)
+        return self._core.shard_of(device)
 
     # -- ingestion -------------------------------------------------------------
 
-    def submit(
+    def _submit_once(
         self, device: int, seq: int, window: int, value: int
     ) -> AdmissionResult:
-        """Submit one reading; blocks until its admission is decided.
-
-        Same signature and semantics on both transports; on ``queue``
-        the decision happens on a dispatcher thread and this call waits
-        for the acknowledgment future, so journal-before-ack holds.
-        """
         if self._stopped:
             raise ServiceError("service client is stopped")
         if self._front is not None:
             return self._front.submit(device, seq, window, value).result()
-        return self.daemon.submit(device, seq, window, value)
+        return self._core.submit(device, seq, window, value)
+
+    def submit(
+        self,
+        device: int,
+        seq: int,
+        window: int,
+        value: int,
+        retry: RetryPolicy | None = None,
+    ) -> AdmissionResult:
+        """Submit one reading; blocks until its admission is decided.
+
+        Same signature and semantics on every transport; on ``queue``
+        the decision happens on a dispatcher thread and this call waits
+        for the acknowledgment future; on ``socket`` it crosses the
+        process boundary and may raise
+        :class:`~repro.errors.TransportError`.
+
+        With ``retry`` (or a client-wide policy from the constructor),
+        transient outcomes are retried under the policy: ``RETRY_AFTER``
+        answers on any transport, plus connection loss / deadline misses
+        on ``socket`` — where a re-send answered ``DUPLICATE`` means the
+        original landed, and is returned as-is (success for idempotent
+        callers).
+        """
+        policy = retry if retry is not None else self._retry
+        if policy is None:
+            return self._submit_once(device, seq, window, value)
+        return policy.run(
+            lambda: self._submit_once(device, seq, window, value)
+        )
 
     def submit_async(self, device: int, seq: int, window: int, value: int):
         """Pipelined submit: returns a future over the admission.
@@ -166,7 +231,7 @@ class ServiceClient:
 
         future: Future[AdmissionResult] = Future()
         try:
-            future.set_result(self.daemon.submit(device, seq, window, value))
+            future.set_result(self._core.submit(device, seq, window, value))
         except BaseException as exc:  # noqa: BLE001 - mirrored queue behavior
             future.set_exception(exc)
         return future
@@ -177,10 +242,32 @@ class ServiceClient:
             self._front.barrier()
 
     def pause(self) -> None:
-        self.daemon.pause()
+        self._core.pause()
 
     def resume(self) -> None:
-        self.daemon.resume()
+        self._core.resume()
+
+    # -- socket-only fault/process hooks ---------------------------------------
+
+    def _require_supervisor(self):
+        if self.supervisor is None:
+            raise ServiceError(
+                "shard-process operations need transport='socket'"
+            )
+        return self.supervisor
+
+    def kill_shard(self, index: int) -> int:
+        """SIGKILL one shard process (socket transport only); the
+        supervisor's monitor restarts it from its WAL."""
+        return self._require_supervisor().kill_shard(index)
+
+    def inject_drop(self, index: int, count: int) -> None:
+        """Drop the next ``count`` admission acks on shard ``index``."""
+        self._require_supervisor().inject_drop(index, count)
+
+    def inject_delay(self, index: int, count: int, delay_s: float) -> None:
+        """Delay the next ``count`` admission replies on shard ``index``."""
+        self._require_supervisor().inject_delay(index, count, delay_s)
 
     # -- window lifecycle ------------------------------------------------------
 
@@ -192,17 +279,17 @@ class ServiceClient:
         before the close is in, everything after is late.
         """
         self.barrier()
-        summary = self.daemon.close_window(window)
+        summary = self._core.close_window(window)
         if summary.window not in self.store.windows:
-            self.store.publish(summary, self.daemon.last_close_submissions)
+            self.store.publish(summary, self._core.last_close_submissions)
         return summary
 
     def mark_degraded(self, window: int) -> None:
-        self.daemon.mark_degraded(window)
+        self._core.mark_degraded(window)
 
     def window_records(self) -> list[WindowSummary]:
         """Closed windows as the daemon holds them, in window order."""
-        return self.daemon.window_records()
+        return self._core.window_records()
 
     # -- queries ---------------------------------------------------------------
 
@@ -250,7 +337,7 @@ class ServiceClient:
         if self._front is not None:
             self._front.stop()
             self._front = None
-        self.daemon.stop()
+        self._core.stop()
         self.store.sync()
         self.store.close()
 
@@ -267,14 +354,22 @@ class ServiceClient:
         if self._front is not None:
             self._front.kill()
             self._front = None
-        self.daemon.hard_stop()
+        self._core.hard_stop()
         self.store.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # An exception is unwinding the ``with`` body: a graceful
+            # stop would block on dispatcher flushes (and can itself
+            # raise, masking the real error).  Hard-stop guarantees the
+            # threads and shard processes die; journal-before-ack makes
+            # that always safe.
+            self.hard_stop()
+        else:
+            self.stop()
 
 
 def query_store(

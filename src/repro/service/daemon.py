@@ -440,6 +440,20 @@ class ShardedServiceDaemon:
                     f"but this daemon runs {shards} shard(s); resharding a "
                     "journal directory is not supported"
                 )
+        # One live service per directory: advisory flock, dies with the
+        # process, so a kill -9 never wedges the directory.  Read-side
+        # tools probe it to answer from checkpoints instead of failing.
+        self._dirlock = wal.ServiceDirLock(self.journal_dir)
+        self._dirlock.acquire()
+        try:
+            self._init_state()
+        except BaseException:
+            self._dirlock.release()
+            raise
+
+    def _init_state(self) -> None:
+        """Open the journals, rebuild state, verify (lock already held)."""
+        config, shards = self.config, self.shards
         self._journals = [
             wal.WindowJournal(
                 self.journal_dir / self.SHARD_PATTERN.format(index=index),
@@ -744,6 +758,7 @@ class ShardedServiceDaemon:
             journal.close()
         self._fold.sync()
         self._fold.close()
+        self._dirlock.release()
 
     def hard_stop(self) -> None:
         """Simulate a hard kill: drop every journal handle, no drain.
@@ -761,6 +776,7 @@ class ShardedServiceDaemon:
             self._fold.close()
         finally:
             self._release_all()
+        self._dirlock.release()
 
     # -- reporting -------------------------------------------------------------
 

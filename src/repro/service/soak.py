@@ -8,7 +8,11 @@ window, fires the plan's service faults at their anchored submission
 offsets (``kill_daemon`` hard-kills the whole service and restarts it
 from the journals, anchored on one shard's accepted count when the
 event names a shard; ``pause_ingest`` forces a stretch of
-``RETRY_AFTER`` answers the driver must retry through), closes each
+``RETRY_AFTER`` answers the driver must retry through; on the socket
+transport ``kill_shard_process`` SIGKILLs one live shard daemon for the
+supervisor's monitor to restart, and ``drop_connection`` /
+``delay_response`` inject lost acks and stalled replies the client's
+:class:`~repro.service.transport.RetryPolicy` rides out), closes each
 window at its deadline, and returns the scenario payload the registry
 tables and checks.
 
@@ -44,6 +48,7 @@ from dataclasses import dataclass, field
 from repro.errors import ServiceError
 from repro.service.client import ServiceClient
 from repro.service.daemon import Admission, ServiceConfig
+from repro.service.transport import RetryPolicy
 from repro.service.loadgen import (
     device_ids,
     expected_device_total,
@@ -79,6 +84,8 @@ class _Drive:
     contributors: set[int] = field(default_factory=set)
     recoveries: list[dict] = field(default_factory=list)
     errors: list[BaseException] = field(default_factory=list)
+    shard_kills: int = 0
+    restart_base: int = 0
 
 
 def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict:
@@ -117,6 +124,21 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
             kills_shard.setdefault(event.cell, deque()).append(event.round)
     for shard in kills_shard:
         kills_shard[shard] = deque(sorted(set(kills_shard[shard])))
+    # Socket-only faults: SIGKILLs of single shard processes anchored on
+    # that shard's accepted count, and connection drops / reply delays
+    # armed at global accepted counts.
+    proc_kills: dict[int, deque] = {}
+    for event in spec.faults.events:
+        if event.kind == "kill_shard_process":
+            proc_kills.setdefault(event.cell, deque()).append(event.round)
+    for shard in proc_kills:
+        proc_kills[shard] = deque(sorted(set(proc_kills[shard])))
+    injections: dict[int, list[tuple[str, int, int]]] = {}
+    for event in spec.faults.events:
+        if event.kind in ("drop_connection", "delay_response"):
+            injections.setdefault(event.round, []).append(
+                (event.kind, event.cell, event.duration)
+            )
     pauses = {
         e.round: e.duration
         for e in spec.faults.events
@@ -124,18 +146,28 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
     }
     ids = device_ids(spec.devices)
     throttle = spec.producers / spec.rate if spec.rate > 0 else 0.0
+    # On the socket transport the producers lean on the client-side
+    # RetryPolicy for transient failures (drops, delays, restarts) —
+    # unless the plan paces ingest with pause_ingest, whose accounting
+    # needs the producer to *see* the RETRY_AFTER answers itself.
+    retry = (
+        RetryPolicy(max_attempts=40, total_deadline_s=60.0)
+        if spec.transport == "socket" and not pauses
+        else None
+    )
 
     drive = _Drive(client=new_client())
 
     def kill_restart(window: int, shard: int | None) -> None:
         """Hard-kill and restart the service (caller holds ``ctl``)."""
+        drive.restart_base += drive.client.restarts
         drive.client.hard_stop()
         t0 = time.perf_counter()
         drive.client = new_client()
         record = {
             "at_accepted": drive.accepted,
             "window": window,
-            "replayed_records": drive.client.daemon.journal_records,
+            "replayed_records": drive.client.journal_records,
             "recovery_s": round(time.perf_counter() - t0, 6),
         }
         if shard is not None:
@@ -164,6 +196,22 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
             ):
                 kills_shard[shard].popleft()
                 fire = shard
+            if (
+                shard in proc_kills
+                and proc_kills[shard]
+                and drive.shard_accepted[shard] == proc_kills[shard][0]
+            ):
+                # A *single shard process* dies; the supervisor restarts
+                # it from its WAL while the rest of the service keeps
+                # serving — the retrying client rides it out.
+                proc_kills[shard].popleft()
+                drive.client.kill_shard(shard)
+                drive.shard_kills += 1
+            for kind, cell, duration in injections.pop(drive.accepted, ()):
+                if kind == "drop_connection":
+                    drive.client.inject_drop(cell, duration)
+                else:
+                    drive.client.inject_delay(cell, duration, 0.05)
             if fire is not False:
                 kill_restart(window, fire)
         if dup_due:
@@ -209,6 +257,7 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
                     submission.seq,
                     submission.window,
                     submission.value,
+                    retry=retry,
                 )
             except Exception:
                 # The service died under us (another producer's kill is
@@ -222,9 +271,12 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
                 stall = 0
                 note_accepted(submission, window)
                 resend = False
-            elif resend and result.admission is Admission.DUPLICATE:
-                # The pre-kill send was journaled after all: the ack was
-                # lost to the kill, not the share.  It counts.
+            elif result.admission is Admission.DUPLICATE and (
+                resend or retry is not None
+            ):
+                # The earlier send was journaled after all: the ack was
+                # lost to the kill (or dropped by a fault and re-sent
+                # inside the retry policy), not the share.  It counts.
                 note_accepted(submission, window)
                 resend = False
             elif result.retryable:
@@ -314,7 +366,8 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
                 else None,
             })
         elapsed = time.perf_counter() - started
-        records = drive.client.daemon.journal_records
+        records = drive.client.journal_records
+        shard_restarts = drive.restart_base + drive.client.restarts
         extract = drive.client.billing_extract()
         store_windows = drive.client.store.windows
         billing_exact: bool | None
@@ -347,7 +400,11 @@ def run_service_soak(spec, service_dir: str | os.PathLike | None = None) -> dict
         "dropped": drive.dropped,
         "kills": len(drive.recoveries),
         "kills_unfired": len(kills_global)
-        + sum(len(q) for q in kills_shard.values()),
+        + sum(len(q) for q in kills_shard.values())
+        + sum(len(q) for q in proc_kills.values()),
+        "injections_unfired": sum(len(v) for v in injections.values()),
+        "shard_kills": drive.shard_kills,
+        "shard_restarts": shard_restarts,
         "recoveries": drive.recoveries,
         "journal_records": records,
         "store_windows": len(store_windows),

@@ -1,0 +1,899 @@
+"""Shard-process supervision: one OS process per shard journal.
+
+:class:`ShardSupervisor` is the cross-process form of
+:class:`~repro.service.daemon.ShardedServiceDaemon`: the same WAL
+layout (``shard-NNN.wal`` per shard, ``fold.wal`` for authoritative
+closes), the same admission state machine, the same recovery
+verification — but each shard journal is owned by its *own daemon
+process* (:func:`_shard_main`), reached over the localhost socket
+transport (:mod:`repro.service.transport`), and the fold is coordinated
+by the supervisor in the parent.
+
+Responsibilities, by half:
+
+* **Shard process** (:class:`ShardServer`, running inside the child):
+  replays its WAL on start (truncating any torn tail — it is the
+  journal's owner), binds an ephemeral TCP port, publishes
+  ``{pid, port}`` through an atomically-replaced port file, and then
+  serves admission with the daemon's exact journal-before-ack
+  discipline.  ``CLOSE`` is idempotent (accepted submissions are kept
+  by window after the deadline advances), so a supervisor whose close
+  request lost its reply can simply re-send it.
+* **Supervisor** (parent): holds the service-directory lock, re-verifies
+  every journaled fold close against recomputation *before* spawning
+  anything, spawns one process per shard, monitors liveness (process
+  exit + heartbeat pings) and respawns crashed shards into bit-identical
+  state from their WALs, serializes window closes (collect each shard's
+  window set over the wire, fold, journal to ``fold.wal``), and exposes
+  the same surface :class:`~repro.service.client.ServiceClient` expects
+  of a daemon.
+
+Fault injection hooks (driven by the soak's ``FaultPlan``):
+``kill_shard`` SIGKILLs a shard process (the monitor restarts it);
+``inject_drop`` makes a shard admit-then-drop the next N submission
+connections without replying (a true lost ack); ``inject_delay`` makes
+it stall the next N admission replies past any configured deadline.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import threading
+import time
+from dataclasses import replace
+
+from repro.core.metrics import WindowSummary
+from repro.errors import ServiceError, TransportError, WireError
+from repro.service import wal, wire
+from repro.service.daemon import Admission, AdmissionResult, ServiceConfig
+from repro.service.transport import (
+    OP_CLOSE_WINDOW,
+    OP_FAULT_DELAY,
+    OP_FAULT_DROP,
+    OP_PAUSE,
+    OP_PING,
+    OP_RESUME,
+    OP_SHUTDOWN,
+    OP_STAT_ACCEPTED,
+    OP_STAT_RECORDS,
+    DROP_CONNECTION,
+    ShardEndpoint,
+    SocketRecordServer,
+    admission_from_reply,
+    admission_to_reply,
+)
+from repro.service.windows import aggregate_shards, aggregate_window
+from repro.service.wire import ShareSubmission
+
+__all__ = ["ShardServer", "ShardSupervisor"]
+
+#: Port-file name per shard (same index discipline as the WALs).
+PORT_PATTERN = "shard-{index:03d}.port"
+
+
+def _port_path(journal_dir: pathlib.Path, index: int) -> pathlib.Path:
+    return journal_dir / PORT_PATTERN.format(index=index)
+
+
+def _write_port_file(path: pathlib.Path, port: int) -> None:
+    """Publish ``{pid, port}`` atomically (readers never see a torn file)."""
+    tmp = path.with_suffix(".port.tmp")
+    tmp.write_text(json.dumps({"pid": os.getpid(), "port": port}))
+    os.replace(tmp, path)
+
+
+def _read_port_file(path: pathlib.Path) -> dict | None:
+    try:
+        info = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(info, dict):
+        return None
+    pid, port = info.get("pid"), info.get("port")
+    if not isinstance(pid, int) or not isinstance(port, int):
+        return None
+    return {"pid": pid, "port": port}
+
+
+class ShardServer:
+    """One shard's in-process state machine (runs inside the child).
+
+    The admission ladder is the daemon's, shard-locally: LATE (against
+    the shard's own deadline) ≺ DUPLICATE ≺ paused RETRY_AFTER ≺ SHED at
+    ``window_capacity`` ≺ RETRY_AFTER at ``queue_capacity`` (which on
+    the socket path bounds *this shard's* pending set — shards share no
+    memory, so the bound cannot be global) ≺ journal-append-fsync ≺
+    ACCEPTED.  Accepted submissions are retained by window even after
+    the deadline advances, which makes ``CLOSE`` idempotent under
+    supervisor retries.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        shards: int,
+        journal_path: str | os.PathLike,
+        deadline: int,
+        paused: bool,
+        window_capacity: int,
+        queue_capacity: int,
+        retry_after_s: float,
+        fsync: bool,
+    ):
+        self.index = index
+        self.shards = shards
+        self.journal = wal.WindowJournal(journal_path, fsync=fsync)
+        self.window_capacity = window_capacity
+        self.queue_capacity = queue_capacity
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._seen: set[tuple[int, int]] = set()
+        self._by_window: dict[int, list[ShareSubmission]] = {}
+        self._deadline = deadline
+        self._paused = paused
+        self._pending = 0
+        self._drop_pending = 0
+        self._delay_pending = 0
+        self._delay_s = 0.0
+        self._server: SocketRecordServer | None = None
+        self._replay()
+
+    def _replay(self) -> None:
+        state = self.journal.replay()
+        if state.skipped or state.closes:
+            raise ServiceError(
+                f"shard journal {self.journal.path} holds foreign records"
+            )
+        for submission in state.accepted:
+            self._seen.add((submission.device, submission.seq))
+            self._by_window.setdefault(submission.window, []).append(submission)
+            if submission.window > self._deadline:
+                self._pending += 1
+
+    # -- request handling ------------------------------------------------------
+
+    def handle(self, record):
+        if isinstance(record, ShareSubmission):
+            return self._handle_submit(record)
+        if isinstance(record, wire.ServiceRequest):
+            return self._handle_control(record)
+        raise ServiceError(
+            f"shard {self.index} cannot serve {type(record).__name__} frames"
+        )
+
+    def _admit(self, s: ShareSubmission) -> AdmissionResult:
+        if s.device % self.shards != self.index:
+            raise ServiceError(
+                f"device {s.device} routes to shard {s.device % self.shards}, "
+                f"not {self.index}"
+            )
+        if s.window <= self._deadline:
+            return AdmissionResult(Admission.LATE, s.window)
+        if (s.device, s.seq) in self._seen:
+            return AdmissionResult(Admission.DUPLICATE, s.window)
+        if self._paused:
+            return AdmissionResult(
+                Admission.RETRY_AFTER, s.window, retry_after_s=self.retry_after_s
+            )
+        if len(self._by_window.get(s.window, ())) >= self.window_capacity:
+            return AdmissionResult(Admission.SHED, s.window)
+        if self._pending >= self.queue_capacity:
+            return AdmissionResult(
+                Admission.RETRY_AFTER, s.window, retry_after_s=self.retry_after_s
+            )
+        self.journal.append_submission(s)
+        self._seen.add((s.device, s.seq))
+        self._by_window.setdefault(s.window, []).append(s)
+        self._pending += 1
+        return AdmissionResult(Admission.ACCEPTED, s.window)
+
+    def _handle_submit(self, s: ShareSubmission):
+        with self._lock:
+            result = self._admit(s)
+            drop = delay = False
+            if result.accepted and self._drop_pending > 0:
+                self._drop_pending -= 1
+                drop = True
+            elif self._delay_pending > 0:
+                self._delay_pending -= 1
+                delay = True
+        if drop:
+            # The share is journaled and admitted; the ack is lost.  The
+            # client's re-send comes back DUPLICATE — which is the point.
+            return DROP_CONNECTION
+        if delay:
+            time.sleep(self._delay_s)
+        return [admission_to_reply(result)]
+
+    def _handle_control(self, request: wire.ServiceRequest):
+        op = request.op
+        if op == OP_PING:
+            return [wire.ServiceReply(op=op, ok=True, value=self.index)]
+        if op == OP_CLOSE_WINDOW:
+            return self._handle_close(request.window)
+        if op == OP_PAUSE:
+            with self._lock:
+                self._paused = True
+            return [wire.ServiceReply(op=op, ok=True)]
+        if op == OP_RESUME:
+            with self._lock:
+                self._paused = False
+            return [wire.ServiceReply(op=op, ok=True)]
+        if op == OP_STAT_RECORDS:
+            return [wire.ServiceReply(op=op, ok=True, value=self.journal.records)]
+        if op == OP_STAT_ACCEPTED:
+            return [wire.ServiceReply(op=op, ok=True, value=len(self._seen))]
+        if op == OP_FAULT_DROP:
+            with self._lock:
+                self._drop_pending += max(0, request.value)
+            return [wire.ServiceReply(op=op, ok=True)]
+        if op == OP_FAULT_DELAY:
+            with self._lock:
+                self._delay_pending += max(0, request.window)
+                self._delay_s = request.value / 1_000_000.0
+            return [wire.ServiceReply(op=op, ok=True)]
+        if op == OP_SHUTDOWN:
+            if self._server is not None:
+                self._server.stop()
+            return [wire.ServiceReply(op=op, ok=True)]
+        raise ServiceError(f"unknown control op {op}")
+
+    def _handle_close(self, window: int):
+        with self._lock:
+            strays = sorted(
+                w
+                for w, subs in self._by_window.items()
+                if self._deadline < w < window and subs
+            )
+            if strays:
+                raise ServiceError(
+                    f"shard {self.index} cannot close window {window} past "
+                    f"open windows {strays}; windows close in order"
+                )
+            submissions = list(self._by_window.get(window, ()))
+            if window > self._deadline:
+                for w, subs in self._by_window.items():
+                    if self._deadline < w <= window:
+                        self._pending -= len(subs)
+                self._deadline = window
+        return [
+            wire.ServiceReply(op=OP_CLOSE_WINDOW, ok=True, value=len(submissions)),
+            *submissions,
+        ]
+
+    # -- lifetime --------------------------------------------------------------
+
+    def run(self, port_file: pathlib.Path) -> None:
+        """Bind, publish the port, serve until SHUTDOWN; then sync out."""
+        self._server = SocketRecordServer(self.handle)
+        _write_port_file(port_file, self._server.port)
+        try:
+            self._server.serve_forever()
+        finally:
+            # Give in-flight connection threads a beat to finish their
+            # current request before the journal handle goes away.
+            time.sleep(0.05)
+            with self._lock:
+                self.journal.sync()
+                self.journal.close()
+
+
+def _shard_main(
+    index: int,
+    shards: int,
+    journal_path: str,
+    port_file: str,
+    deadline: int,
+    paused: bool,
+    window_capacity: int,
+    queue_capacity: int,
+    retry_after_s: float,
+    fsync: bool,
+) -> None:
+    """Child-process entry point (spawn-safe: flat picklable args only)."""
+    # The supervisor owns process-group signals; a shard dies by SIGKILL
+    # or by SHUTDOWN, never by an inherited SIGINT from a test runner.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = ShardServer(
+        index=index,
+        shards=shards,
+        journal_path=journal_path,
+        deadline=deadline,
+        paused=paused,
+        window_capacity=window_capacity,
+        queue_capacity=queue_capacity,
+        retry_after_s=retry_after_s,
+        fsync=fsync,
+    )
+    server.run(pathlib.Path(port_file))
+
+
+class ShardSupervisor:
+    """Own one daemon process per shard journal; coordinate the fold.
+
+    Presents the :class:`~repro.service.daemon.ShardedServiceDaemon`
+    surface (``submit``/``close_window``/``pause``/``window_records``/
+    ``hard_stop``...) so :class:`~repro.service.client.ServiceClient`
+    can treat ``transport="socket"`` as one more backend.  Extra,
+    socket-only surface: :meth:`kill_shard`, :meth:`inject_drop`,
+    :meth:`inject_delay`, and ``restarts``.
+    """
+
+    SHARD_PATTERN = "shard-{index:03d}.wal"
+    FOLD_NAME = "fold.wal"
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        journal_dir: str | os.PathLike,
+        shards: int = 1,
+        request_deadline_s: float = 5.0,
+        control_deadline_s: float = 15.0,
+        heartbeat_s: float = 0.05,
+        heartbeat_misses: int = 5,
+    ):
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        if heartbeat_s <= 0 or heartbeat_misses < 1:
+            raise ServiceError("heartbeat settings must be positive")
+        self.config = config
+        self.shards = shards
+        self.journal_dir = pathlib.Path(journal_dir)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.request_deadline_s = request_deadline_s
+        self.control_deadline_s = control_deadline_s
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_misses = heartbeat_misses
+        for existing in self.journal_dir.glob("shard-*.wal"):
+            try:
+                index = int(existing.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if index >= shards:
+                raise ServiceError(
+                    f"journal dir {self.journal_dir} holds {existing.name} "
+                    f"but this service runs {shards} shard(s); resharding a "
+                    "journal directory is not supported"
+                )
+        self._lock = wal.ServiceDirLock(self.journal_dir)
+        self._lock.acquire()
+        try:
+            self._state = threading.Lock()
+            self._close_lock = threading.Lock()
+            self._closed: dict[int, WindowSummary] = {}
+            self._deadline = -1
+            self._shard_accepted = [0] * shards
+            self._closed_accepted = 0
+            self._duplicates: dict[int, int] = {}
+            self._shed: dict[int, int] = {}
+            self._retried: dict[int, int] = {}
+            self._late: dict[int, int] = {}
+            self.late_total = 0
+            self._degraded_windows: set[int] = set()
+            self._paused = False
+            self._stopped = False
+            self.last_close_submissions: tuple[ShareSubmission, ...] = ()
+            self.restarts = 0
+            self.restart_log: list[dict] = []
+            self.recovered = False
+            self._recover()
+            self._fold = wal.WindowJournal(
+                self.journal_dir / self.FOLD_NAME, fsync=config.fsync
+            )
+            self._ctx = multiprocessing.get_context("spawn")
+            self._processes: list = [None] * shards
+            self._spawn_locks = [threading.Lock() for _ in range(shards)]
+            self._endpoints = [
+                ShardEndpoint(
+                    self._resolver(index), request_deadline_s=request_deadline_s
+                )
+                for index in range(shards)
+            ]
+            self._monitor_endpoints = [
+                ShardEndpoint(
+                    self._resolver(index),
+                    request_deadline_s=min(1.0, request_deadline_s),
+                )
+                for index in range(shards)
+            ]
+            for index in range(shards):
+                self._spawn(index)
+            self._monitor_stop = threading.Event()
+            self._monitor_thread = threading.Thread(
+                target=self._monitor, name="shard-monitor", daemon=True
+            )
+            self._monitor_thread.start()
+        except BaseException:
+            self._lock.release()
+            raise
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Read-only pre-spawn verification, mirroring the daemon's.
+
+        Every fold close must recompute bit-for-bit from the shard WALs
+        (the same invariants ``ShardedServiceDaemon._recover`` enforces)
+        — a supervisor never hands a shard process a journal it has not
+        proven consistent with the authoritative fold.
+        """
+        shard_states = []
+        for index in range(self.shards):
+            path = self.journal_dir / self.SHARD_PATTERN.format(index=index)
+            state = wal.replay_journal(path)
+            if state.skipped:
+                raise ServiceError(
+                    f"shard journal {path} holds {state.skipped} "
+                    "undecodable records"
+                )
+            if state.closes:
+                raise ServiceError(
+                    f"shard journal {path} holds close records; closes "
+                    "belong to the fold journal"
+                )
+            seen: set[tuple[int, int]] = set()
+            for submission in state.accepted:
+                if submission.device % self.shards != index:
+                    raise ServiceError(
+                        f"shard journal {path} holds device "
+                        f"{submission.device}, which routes to shard "
+                        f"{submission.device % self.shards}"
+                    )
+                identity = (submission.device, submission.seq)
+                if identity in seen:
+                    raise ServiceError(
+                        f"shard journal {path} holds a duplicate "
+                        f"submission identity {identity}"
+                    )
+                seen.add(identity)
+            shard_states.append(state)
+            self._shard_accepted[index] = len(state.accepted)
+        fold_state = wal.replay_journal(self.journal_dir / self.FOLD_NAME)
+        if fold_state.skipped:
+            raise ServiceError(
+                f"fold journal {self.journal_dir / self.FOLD_NAME} holds "
+                f"{fold_state.skipped} undecodable records"
+            )
+        if fold_state.accepted:
+            raise ServiceError(
+                "fold journal holds submissions; shares belong to the "
+                "shard journals"
+            )
+        self.recovered = bool(fold_state.closes) or any(
+            s.accepted for s in shard_states
+        )
+        by_shard_window: dict[tuple[int, int], list[ShareSubmission]] = {}
+        for index, state in enumerate(shard_states):
+            for submission in state.accepted:
+                by_shard_window.setdefault(
+                    (index, submission.window), []
+                ).append(submission)
+        for window, summary in sorted(fold_state.closes.items()):
+            shard_subs = {
+                index: by_shard_window.pop((index, window), [])
+                for index in range(self.shards)
+            }
+            count = sum(len(subs) for subs in shard_subs.values())
+            if count != summary.accepted:
+                raise ServiceError(
+                    f"window {window} fold record counts {summary.accepted} "
+                    f"submissions; shard journals hold {count}"
+                )
+            check = self._aggregate(shard_subs, window)
+            if check.total != summary.total or check.expected != summary.expected:
+                raise ServiceError(
+                    f"window {window} journaled total {summary.total} does "
+                    f"not match its recomputation {check.total}"
+                )
+            self._closed[window] = replace(summary, recovered=self.recovered)
+            self._closed_accepted += summary.accepted
+            self._deadline = max(self._deadline, window)
+        for (index, window), _subs in sorted(by_shard_window.items()):
+            if window <= self._deadline:
+                raise ServiceError(
+                    f"shard {index} journal holds submissions for window "
+                    f"{window} past the recovered deadline {self._deadline}"
+                )
+
+    def _aggregate(self, shard_subs: dict[int, list[ShareSubmission]], window: int):
+        if self.shards == 1:
+            return aggregate_window(
+                shard_subs.get(0, []), self.config.seed, window, self.config.cells
+            )
+        return aggregate_shards(shard_subs, self.config.seed, window)
+
+    # -- process lifecycle -----------------------------------------------------
+
+    def _resolver(self, index: int):
+        def resolve() -> tuple[str, int]:
+            process = self._processes[index]
+            info = _read_port_file(_port_path(self.journal_dir, index))
+            if (
+                info is None
+                or process is None
+                or process.pid is None
+                or info["pid"] != process.pid
+            ):
+                raise TransportError(f"shard {index} has no live port")
+            return ("127.0.0.1", info["port"])
+
+        return resolve
+
+    def _spawn(self, index: int, timeout_s: float = 30.0) -> float:
+        """Start (or restart) one shard process; wait for its port file."""
+        port_file = _port_path(self.journal_dir, index)
+        try:
+            port_file.unlink()
+        except FileNotFoundError:
+            pass
+        with self._state:
+            deadline, paused = self._deadline, self._paused
+        started = time.perf_counter()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(
+                index,
+                self.shards,
+                str(self.journal_dir / self.SHARD_PATTERN.format(index=index)),
+                str(port_file),
+                deadline,
+                paused,
+                self.config.window_capacity,
+                self.config.queue_capacity,
+                self.config.retry_after_s,
+                self.config.fsync,
+            ),
+            name=f"repro-shard-{index:03d}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[index] = process
+        while True:
+            info = _read_port_file(port_file)
+            if info is not None and info["pid"] == process.pid:
+                return time.perf_counter() - started
+            if not process.is_alive():
+                raise ServiceError(
+                    f"shard {index} process died during startup "
+                    f"(exit {process.exitcode})"
+                )
+            if time.perf_counter() - started > timeout_s:
+                process.kill()
+                raise ServiceError(
+                    f"shard {index} did not publish a port within {timeout_s}s"
+                )
+            time.sleep(0.005)
+
+    def _respawn(self, index: int) -> None:
+        recovery_s = self._spawn(index)
+        with self._state:
+            self.restarts += 1
+            self.restart_log.append(
+                {"shard": index, "recovery_s": round(recovery_s, 6)}
+            )
+
+    def _monitor(self) -> None:
+        misses = [0] * self.shards
+        tick = 0
+        while not self._monitor_stop.wait(self.heartbeat_s):
+            tick += 1
+            for index in range(self.shards):
+                if self._monitor_stop.is_set():
+                    return
+                with self._spawn_locks[index]:
+                    process = self._processes[index]
+                    if process is None:
+                        continue
+                    if not process.is_alive():
+                        # A crashed shard restarts into bit-identical
+                        # state from its WAL (replay on child start).
+                        misses[index] = 0
+                        self._respawn(index)
+                        continue
+                    if tick % 4 != 0:
+                        continue
+                    try:
+                        self._monitor_endpoints[index].request(
+                            wire.ServiceRequest(op=OP_PING)
+                        )
+                    except (TransportError, WireError, ServiceError):
+                        misses[index] += 1
+                    else:
+                        misses[index] = 0
+                    if misses[index] >= self.heartbeat_misses:
+                        misses[index] = 0
+                        process.kill()
+                        process.join()
+                        self._respawn(index)
+
+    # -- admission -------------------------------------------------------------
+
+    def shard_of(self, device: int) -> int:
+        return device % self.shards
+
+    def submit(
+        self, device: int, seq: int, window: int, value: int
+    ) -> AdmissionResult:
+        """Route one submission to its shard over the socket.
+
+        The LATE gate runs supervisor-side against the authoritative
+        fold deadline, so a shard that restarted with a stale deadline
+        can never accept a share for a closed window.
+        """
+        try:
+            submission = ShareSubmission(
+                device=device, seq=seq, window=window, value=value
+            )
+        except WireError as exc:
+            raise ServiceError(f"malformed submission: {exc}") from exc
+        with self._state:
+            if self._stopped:
+                raise ServiceError("shard supervisor is stopped")
+            if window <= self._deadline or window in self._closed:
+                self.late_total += 1
+                self._late[window] = self._late.get(window, 0) + 1
+                return AdmissionResult(Admission.LATE, window)
+        shard = self.shard_of(device)
+        reply = self._endpoints[shard].request(submission)
+        if not isinstance(reply, wire.AdmissionReply):
+            raise WireError(
+                f"shard {shard} answered a submission with "
+                f"{type(reply).__name__}"
+            )
+        result = admission_from_reply(reply)
+        with self._state:
+            if result.accepted:
+                self._shard_accepted[shard] += 1
+            elif result.admission is Admission.DUPLICATE:
+                self._duplicates[window] = self._duplicates.get(window, 0) + 1
+            elif result.admission is Admission.SHED:
+                self._shed[window] = self._shed.get(window, 0) + 1
+            elif result.admission is Admission.RETRY_AFTER:
+                self._retried[window] = self._retried.get(window, 0) + 1
+            elif result.admission is Admission.LATE:
+                self.late_total += 1
+                self._late[window] = self._late.get(window, 0) + 1
+        return result
+
+    # -- control plane ---------------------------------------------------------
+
+    def _control(self, index: int, request: wire.ServiceRequest, trailing=None):
+        """One control request, retried through shard restarts."""
+        started = time.monotonic()
+        while True:
+            try:
+                return self._endpoints[index].request(request, trailing=trailing)
+            except TransportError as exc:
+                if time.monotonic() - started > self.control_deadline_s:
+                    raise ServiceError(
+                        f"shard {index} unreachable for control op "
+                        f"{request.op}: {exc}"
+                    ) from exc
+                time.sleep(0.02)
+
+    def _stat(self, op: int) -> int:
+        total = 0
+        for index in range(self.shards):
+            reply = self._control(index, wire.ServiceRequest(op=op))
+            total += reply.value
+        return total
+
+    def pause(self) -> None:
+        with self._state:
+            self._paused = True
+        for index in range(self.shards):
+            self._control(index, wire.ServiceRequest(op=OP_PAUSE))
+
+    def resume(self) -> None:
+        with self._state:
+            self._paused = False
+        for index in range(self.shards):
+            self._control(index, wire.ServiceRequest(op=OP_RESUME))
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def pending(self) -> int:
+        """Accepted-but-unclosed submissions, exact even across lost acks
+        (shard journals are the ground truth, not supervisor counters)."""
+        return self._stat(OP_STAT_ACCEPTED) - self._closed_accepted
+
+    @property
+    def accepted_total(self) -> int:
+        return self._stat(OP_STAT_ACCEPTED)
+
+    @property
+    def accepted_per_shard(self) -> tuple[int, ...]:
+        return tuple(self._shard_accepted)
+
+    @property
+    def open_windows(self) -> tuple[int, ...]:
+        # The supervisor does not mirror per-window sets; closes are
+        # driven by the soak/client on a schedule, not by introspection.
+        return ()
+
+    @property
+    def journal_records(self) -> int:
+        return self._stat(OP_STAT_RECORDS) + self._fold.records
+
+    # -- fault injection -------------------------------------------------------
+
+    def kill_shard(self, index: int) -> int:
+        """SIGKILL one shard process (the monitor restarts it); returns
+        the killed pid."""
+        if not 0 <= index < self.shards:
+            raise ServiceError(f"no shard {index} in a {self.shards}-shard service")
+        process = self._processes[index]
+        if process is None or process.pid is None:
+            raise ServiceError(f"shard {index} has no live process")
+        pid = process.pid
+        process.kill()
+        return pid
+
+    def inject_drop(self, index: int, count: int) -> None:
+        """Make shard ``index`` admit-then-drop its next ``count``
+        submission connections without replying (lost acks)."""
+        self._control(
+            index, wire.ServiceRequest(op=OP_FAULT_DROP, value=count)
+        )
+
+    def inject_delay(self, index: int, count: int, delay_s: float) -> None:
+        """Make shard ``index`` stall its next ``count`` admission
+        replies by ``delay_s`` (deadline-miss injection)."""
+        self._control(
+            index,
+            wire.ServiceRequest(
+                op=OP_FAULT_DELAY,
+                window=count,
+                value=int(delay_s * 1_000_000),
+            ),
+        )
+
+    # -- window lifecycle ------------------------------------------------------
+
+    def mark_degraded(self, window: int) -> None:
+        with self._state:
+            if window in self._closed or window <= self._deadline:
+                raise ServiceError(f"window {window} is already closed")
+            self._degraded_windows.add(window)
+
+    def close_window(self, window: int) -> WindowSummary:
+        """Close one window across every shard process; fold; journal.
+
+        Each shard's ``CLOSE`` atomically advances that shard's deadline
+        and returns its accepted set for the window; the request is
+        retried through restarts (it is idempotent shard-side), so a
+        kill *during* a close still converges.  The fold lands in
+        ``fold.wal`` before the window is considered closed — a
+        supervisor death before that append leaves the window open, and
+        recovery re-closes it onto the same bits.
+        """
+        with self._close_lock:
+            with self._state:
+                if self._stopped:
+                    raise ServiceError("shard supervisor is stopped")
+                if window in self._closed or window <= self._deadline:
+                    raise ServiceError(f"window {window} is already closed")
+            shard_subs: dict[int, list[ShareSubmission]] = {}
+            for index in range(self.shards):
+                reply, extras = self._control(
+                    index,
+                    wire.ServiceRequest(op=OP_CLOSE_WINDOW, window=window),
+                    trailing=OP_CLOSE_WINDOW,
+                )
+                submissions = []
+                for record in extras:
+                    if not isinstance(record, ShareSubmission):
+                        raise WireError(
+                            f"shard {index} streamed {type(record).__name__} "
+                            "inside a close"
+                        )
+                    if record.window != window:
+                        raise ServiceError(
+                            f"shard {index} answered close({window}) with a "
+                            f"window-{record.window} submission"
+                        )
+                    submissions.append(record)
+                shard_subs[index] = submissions
+            count = sum(len(subs) for subs in shard_subs.values())
+            started = time.perf_counter_ns()
+            result = self._aggregate(shard_subs, window)
+            close_latency_us = (time.perf_counter_ns() - started) // 1000
+            with self._state:
+                summary = WindowSummary(
+                    window=window,
+                    accepted=count,
+                    devices=len(
+                        {s.device for subs in shard_subs.values() for s in subs}
+                    ),
+                    duplicates=self._duplicates.pop(window, 0),
+                    late=self._late.pop(window, 0),
+                    shed=self._shed.pop(window, 0),
+                    retried=self._retried.pop(window, 0),
+                    total=result.total,
+                    expected=result.expected,
+                    degraded=window in self._degraded_windows,
+                    close_latency_us=close_latency_us,
+                    recovered=self.recovered,
+                )
+            self._fold.append_close(summary)
+            with self._state:
+                self._closed[window] = summary
+                self._closed_accepted += count
+                self._degraded_windows.discard(window)
+                self._deadline = window
+            self.last_close_submissions = tuple(
+                sorted(
+                    (s for subs in shard_subs.values() for s in subs),
+                    key=lambda s: (s.device, s.seq),
+                )
+            )
+            return summary
+
+    def window_records(self) -> list[WindowSummary]:
+        with self._state:
+            return [self._closed[w] for w in sorted(self._closed)]
+
+    # -- shutdown --------------------------------------------------------------
+
+    def _stop_monitor(self) -> None:
+        self._monitor_stop.set()
+        if self._monitor_thread.is_alive():
+            self._monitor_thread.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Graceful stop: SHUTDOWN every shard, reap, release the lock."""
+        with self._state:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._stop_monitor()
+        for index in range(self.shards):
+            try:
+                self._endpoints[index].request(
+                    wire.ServiceRequest(op=OP_SHUTDOWN)
+                )
+            except (TransportError, WireError, ServiceError):
+                pass
+        for process in self._processes:
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        self._teardown()
+
+    def hard_stop(self) -> None:
+        """The kill model: SIGKILL every shard process, no drain.
+
+        Journal-before-ack makes this safe at any instant — every
+        acknowledged share is fsync'd in some shard WAL, and the next
+        supervisor over this directory re-verifies and resumes
+        bit-identically.
+        """
+        with self._state:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._stop_monitor()
+        for process in self._processes:
+            if process is not None and process.is_alive():
+                process.kill()
+        for process in self._processes:
+            if process is not None:
+                process.join(timeout=5.0)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for endpoint in self._endpoints + self._monitor_endpoints:
+            endpoint.close()
+        self._fold.sync()
+        self._fold.close()
+        self._lock.release()

@@ -26,19 +26,111 @@ import os
 import pathlib
 from dataclasses import dataclass, field
 
+try:  # pragma: no cover - fcntl is POSIX-only; locks degrade to no-ops
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
 from repro import diskcache
 from repro.core.metrics import WindowSummary
-from repro.errors import WireError
+from repro.errors import ServiceError, WireError
 from repro.service import wire
 from repro.service.wire import ShareSubmission
 
 __all__ = [
     "JournalState",
+    "LOCK_NAME",
+    "ServiceDirLock",
     "WindowJournal",
     "journal_path",
+    "live_service_pid",
     "replay_journal",
     "service_dir",
 ]
+
+#: The advisory lock file marking a service directory as live.
+LOCK_NAME = "service.lock"
+
+
+class ServiceDirLock:
+    """One live service per directory, enforced with ``flock``.
+
+    The holder (a :class:`~repro.service.daemon.ShardedServiceDaemon` or
+    a :class:`~repro.service.supervisor.ShardSupervisor`) takes an
+    exclusive non-blocking ``flock`` on ``<dir>/service.lock`` and
+    writes its pid into the file; a second service over the same
+    directory fails fast with :class:`ServiceError` instead of
+    interleaving journal appends.  The lock is advisory and dies with
+    the process, so a ``kill -9`` never wedges the directory — exactly
+    the crash model the journals are built for.  Read-side tools probe
+    it with :func:`live_service_pid` and degrade to checkpoint answers.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.path = pathlib.Path(directory) / LOCK_NAME
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> None:
+        if self._handle is not None or fcntl is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            pid = _read_lock_pid(self.path)
+            handle.close()
+            raise ServiceError(
+                f"service directory {self.path.parent} is already live"
+                + (f" (locked by pid {pid})" if pid else "")
+            ) from None
+        handle.truncate(0)
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._handle = handle
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+
+def _read_lock_pid(path: pathlib.Path) -> int | None:
+    try:
+        return int(path.read_text().strip() or 0) or None
+    except (OSError, ValueError):
+        return None
+
+
+def live_service_pid(directory: str | os.PathLike) -> int | None:
+    """The pid holding a directory's service lock, or ``None`` if free.
+
+    Non-destructive probe: opens its own descriptor, tries the exclusive
+    lock, and releases it immediately on success — the read side
+    (``repro query``) uses this to decide between a full journal ingest
+    and a checkpoint-only answer with a staleness warning.
+    """
+    path = pathlib.Path(directory) / LOCK_NAME
+    if fcntl is None or not path.exists():
+        return None
+    try:
+        with open(path, "r") as handle:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return _read_lock_pid(path) or -1
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    except OSError:
+        return None
+    return None
 
 
 def journal_path(name: str) -> pathlib.Path:

@@ -17,6 +17,14 @@ Record kinds carried on the wire / in the window journal:
 * :class:`~repro.core.metrics.WindowSummary` — one closed window
   (``WINDOW_CLOSE`` frames).
 
+Record kinds carried on the *socket* transport only (never journaled):
+
+* :class:`AdmissionReply` — the daemon's answer to a ``SUBMIT`` frame,
+  the :class:`~repro.service.daemon.AdmissionResult` contract as bytes.
+* :class:`ServiceRequest` / :class:`ServiceReply` — the control plane
+  (ping, close-window, pause/resume, stats, fault injection, shutdown).
+* :class:`ErrorReply` — a structured failure the peer can re-raise.
+
 Framing: ``encode_record`` produces ``kind + field-count + fields``;
 :func:`frame` wraps that in ``magic + length + crc32`` for transport
 (the window journal instead rides :class:`repro.diskcache.AppendLog`,
@@ -39,7 +47,15 @@ __all__ = [
     "WINDOW_CLOSE",
     "DEVICE_TOTAL",
     "STORE_CHECKPOINT",
+    "ADMISSION_REPLY",
+    "SERVICE_REQUEST",
+    "SERVICE_REPLY",
+    "ERROR_REPLY",
+    "AdmissionReply",
     "DeviceTotal",
+    "ErrorReply",
+    "ServiceReply",
+    "ServiceRequest",
     "ShareSubmission",
     "StoreCheckpoint",
     "encode_record",
@@ -53,6 +69,11 @@ SUBMIT = 1
 WINDOW_CLOSE = 2
 DEVICE_TOTAL = 3
 STORE_CHECKPOINT = 4
+#: Socket-transport-only kinds (a journal replay treats them as foreign).
+ADMISSION_REPLY = 5
+SERVICE_REQUEST = 6
+SERVICE_REPLY = 7
+ERROR_REPLY = 8
 
 #: Transport frame magic (the journal uses AppendLog's own framing).
 FRAME_MAGIC = b"RW"
@@ -146,12 +167,100 @@ class StoreCheckpoint:
             raise WireError("StoreCheckpoint.through_window must be >= 0")
 
 
+@dataclass(frozen=True, slots=True)
+class AdmissionReply:
+    """One ``submit`` outcome as a transport frame.
+
+    ``admission`` carries the :class:`~repro.service.daemon.Admission`
+    *value string* (``"accepted"``, ``"duplicate"``, ...) so the reply
+    round-trips without this module importing the daemon's enum; the
+    transport converts to/from :class:`AdmissionResult` at the edges
+    and rejects unknown strings there.
+    """
+
+    admission: str
+    window: int
+    retry_after_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.admission, str) or not self.admission:
+            raise WireError("AdmissionReply.admission must be a non-empty str")
+        if not isinstance(self.window, int) or isinstance(self.window, bool):
+            raise WireError("AdmissionReply.window must be an integer")
+        if self.retry_after_s is not None and not isinstance(
+            self.retry_after_s, float
+        ):
+            raise WireError("AdmissionReply.retry_after_s must be float or None")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceRequest:
+    """One control-plane request to a shard server (``op`` from
+    :mod:`repro.service.transport`; ``window``/``value`` are op-specific
+    operands, 0 when unused)."""
+
+    op: int
+    window: int = 0
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("op", "window", "value"):
+            field_value = getattr(self, name)
+            if not isinstance(field_value, int) or isinstance(field_value, bool):
+                raise WireError(f"ServiceRequest.{name} must be an integer")
+        if self.op < 1:
+            raise WireError("ServiceRequest.op must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceReply:
+    """A shard server's answer to a :class:`ServiceRequest`.
+
+    ``value`` is op-specific (a stat counter, a submission count for a
+    close — the close's submission frames follow this reply on the same
+    connection).
+    """
+
+    op: int
+    ok: bool
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("op", "value"):
+            field_value = getattr(self, name)
+            if not isinstance(field_value, int) or isinstance(field_value, bool):
+                raise WireError(f"ServiceReply.{name} must be an integer")
+        if not isinstance(self.ok, bool):
+            raise WireError("ServiceReply.ok must be a bool")
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorReply:
+    """A structured failure frame (``code`` names the exception class to
+    re-raise on the client: ``"service"`` → :class:`ServiceError`,
+    ``"wire"`` → :class:`WireError`)."""
+
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        for name in ("code", "message"):
+            if not isinstance(getattr(self, name), str):
+                raise WireError(f"ErrorReply.{name} must be a str")
+        if not self.code:
+            raise WireError("ErrorReply.code must be non-empty")
+
+
 #: kind tag -> record dataclass; the decode side of the registry.
 RECORD_TYPES: dict[int, type] = {
     SUBMIT: ShareSubmission,
     WINDOW_CLOSE: WindowSummary,
     DEVICE_TOTAL: DeviceTotal,
     STORE_CHECKPOINT: StoreCheckpoint,
+    ADMISSION_REPLY: AdmissionReply,
+    SERVICE_REQUEST: ServiceRequest,
+    SERVICE_REPLY: ServiceReply,
+    ERROR_REPLY: ErrorReply,
 }
 
 
@@ -169,6 +278,11 @@ def _encode_scalar(value: Any) -> bytes:
         return b"I" + len(raw).to_bytes(2, "big") + raw
     if isinstance(value, float):
         return b"f" + _DOUBLE.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise WireError("string field too large to frame")
+        return b"s" + len(raw).to_bytes(2, "big") + raw
     raise WireError(
         f"wire records carry flat scalars only, got {type(value).__name__}"
     )
@@ -196,6 +310,16 @@ def _decode_scalar(data: bytes, offset: int) -> tuple[Any, int]:
         if tag == b"f":
             (value,) = _DOUBLE.unpack_from(data, offset + 1)
             return value, offset + 1 + _DOUBLE.size
+        if tag == b"s":
+            length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            end = offset + 3 + length
+            raw = data[offset + 3 : end]
+            if len(raw) < length:
+                raise WireError("truncated string field")
+            try:
+                return raw.decode("utf-8"), end
+            except UnicodeDecodeError:
+                raise WireError("string field is not valid UTF-8") from None
     except struct.error:
         raise WireError("truncated scalar field") from None
     raise WireError(f"unknown scalar tag {tag!r}")

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import ServiceError
-from repro.service import Admission, ServiceClient, ServiceConfig
+from repro.service import Admission, RetryPolicy, ServiceClient, ServiceConfig
 from repro.service.client import STORE_NAME
 
 
@@ -205,6 +207,82 @@ class TestQueriesAndLifecycle:
             assert held.retryable
             client.resume()
             assert client.submit(1, 0, 0, 9).accepted
+
+
+class TestRetryOptIn:
+    @pytest.mark.parametrize("transport", ["inproc", "queue"])
+    def test_retry_param_accepted_on_every_transport(self, tmp_path, transport):
+        with ServiceClient(
+            config(), tmp_path / transport, transport=transport
+        ) as client:
+            result = client.submit(1, 0, 0, 42, retry=RetryPolicy(seed=1))
+            assert result.accepted
+
+    def test_retry_rides_out_backpressure(self, service_dir):
+        with ServiceClient(config(), service_dir) as client:
+            client.pause()
+            resumer = threading.Timer(0.05, client.resume)
+            resumer.start()
+            try:
+                result = client.submit(
+                    1, 0, 0, 42, retry=RetryPolicy(seed=1)
+                )
+            finally:
+                resumer.join()
+            assert result.accepted
+
+    def test_retry_budget_exhaustion_is_service_error(self, service_dir):
+        with ServiceClient(config(), service_dir) as client:
+            client.pause()
+            policy = RetryPolicy(max_attempts=3, backoff_base_s=0.0, seed=1)
+            with pytest.raises(ServiceError, match="retry budget exhausted"):
+                client.submit(1, 0, 0, 42, retry=policy)
+
+    def test_client_wide_default_policy(self, service_dir):
+        with ServiceClient(
+            config(), service_dir, retry=RetryPolicy(seed=1)
+        ) as client:
+            assert client.submit(1, 0, 0, 42).accepted
+
+    def test_final_outcomes_are_never_retried(self, service_dir):
+        with ServiceClient(
+            config(), service_dir, retry=RetryPolicy(seed=1)
+        ) as client:
+            assert client.submit(1, 0, 0, 42).accepted
+            echo = client.submit(1, 0, 0, 42)
+            assert echo.admission is Admission.DUPLICATE
+
+
+class TestContextManagerExitPaths:
+    @pytest.mark.parametrize("transport", ["inproc", "queue"])
+    def test_exception_path_hard_stops(self, tmp_path, transport, monkeypatch):
+        calls = []
+        client = ServiceClient(
+            config(), tmp_path / transport, transport=transport
+        )
+        original = client.hard_stop
+        monkeypatch.setattr(
+            client, "hard_stop", lambda: (calls.append("hard"), original())[1]
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            with client:
+                client.submit(1, 0, 0, 42)
+                raise RuntimeError("boom")
+        assert calls == ["hard"]
+        # The directory lock went with it: a successor may open.
+        with ServiceClient(config(), tmp_path / transport) as successor:
+            assert successor.recovered
+
+    def test_clean_path_stops_gracefully(self, service_dir, monkeypatch):
+        client = ServiceClient(config(), service_dir)
+        calls = []
+        original = client.stop
+        monkeypatch.setattr(
+            client, "stop", lambda: (calls.append("stop"), original())[1]
+        )
+        with client:
+            client.submit(1, 0, 0, 42)
+        assert calls == ["stop"]
 
 
 class TestDeprecatedDaemonImport:
