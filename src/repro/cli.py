@@ -407,6 +407,20 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Lazy import: the analyzer (ast walking, baseline IO) is pure
+    # overhead for every other command, and cli/lintkit share a layer
+    # rank so a module-level import would trip the linter's own DAG.
+    from repro.lintkit.runner import main as lint_main
+
+    forwarded = ["--root", args.root]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.verbose:
+        forwarded.append("--verbose")
+    return lint_main(forwarded)
+
+
 def _cmd_scenarios(args) -> int:
     entries = registry.all_scenarios()
     if args.json:
@@ -519,6 +533,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable answer"
     )
     query_parser.set_defaults(handler=_cmd_query)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the source tree's machine-enforced invariants "
+        "(layering, determinism, lock discipline, error taxonomy)",
+    )
+    lint_parser.add_argument(
+        "--root", default=".",
+        help="repo root containing src/repro (default: cwd)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined (suppressed) findings",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registered scenarios"

@@ -118,6 +118,19 @@ class TransportError(ServiceError):
     """
 
 
+class LintError(ReproError):
+    """A machine-checked invariant was violated.
+
+    Raised by :mod:`repro.lintkit` in two situations: the static
+    analyzer found a rule violation it cannot attribute to the checked-in
+    baseline, or the runtime lock-order watchdog (``REPRO_LOCKDEP=1``)
+    observed a service-layer lock acquisition that inverts the canonical
+    order or closes a cycle in the acquisition graph.  Both mean the
+    *code* broke a contract the repo enforces — this is never a data or
+    configuration failure.
+    """
+
+
 class ConfigurationError(ReproError):
     """Invalid protocol or experiment configuration."""
 

@@ -1,0 +1,56 @@
+"""Invariant-enforcing static analysis + runtime lock-order watchdog.
+
+``repro.lintkit`` machine-checks the contracts the rest of the repo
+only promises: the layer DAG (no upward or cyclic module-level
+imports), determinism (no ambient clock/entropy in compute paths), the
+service lock discipline (canonical order, init-time creation, no
+blocking under locks), and the error/wire taxonomy (every ``raise``
+maps to :mod:`repro.errors`; every wire kind has codec + fuzz
+coverage).  Run it as ``repro lint`` or ``python -m repro.lintkit``;
+intentional exceptions live in ``lint-baseline.json`` with reasons.
+
+The runtime half, :mod:`repro.lintkit.lockdep`, wraps the service
+layer's locks when ``REPRO_LOCKDEP=1`` and raises
+:class:`repro.errors.LintError` at the first acquisition that could
+deadlock — see DESIGN.md "Invariant enforcement".
+
+The analyzer symbols are loaded lazily so that the hot import path
+(``repro.service`` → :mod:`repro.lintkit.lockdep`) never pays for the
+AST machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lintkit.findings import Baseline, Finding, load_baseline
+    from repro.lintkit.runner import LintReport, main, run_lint
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "load_baseline",
+    "main",
+    "run_lint",
+]
+
+_EXPORTS = {
+    "Baseline": ("repro.lintkit.findings", "Baseline"),
+    "Finding": ("repro.lintkit.findings", "Finding"),
+    "load_baseline": ("repro.lintkit.findings", "load_baseline"),
+    "LintReport": ("repro.lintkit.runner", "LintReport"),
+    "main": ("repro.lintkit.runner", "main"),
+    "run_lint": ("repro.lintkit.runner", "run_lint"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.lintkit' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,10 @@
+"""``python -m repro.lintkit`` — run the invariant linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lintkit.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

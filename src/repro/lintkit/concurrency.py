@@ -1,0 +1,200 @@
+"""Concurrency rules for :mod:`repro.service`.
+
+The service stack's crash-safety story (journal-before-ack, record-atomic
+kills) only holds if its locks are acquired in one canonical order and
+never wrap blocking work that could stall the whole daemon.  Three
+static rules enforce the lexically checkable part; the runtime watchdog
+(:mod:`repro.lintkit.lockdep`) covers acquisition chains that cross
+function boundaries.
+
+``lock-order``
+    a ``with self.<lock>`` nested inside another whose static rank is
+    greater-or-equal — the canonical order is close(10) < spawn(20) <
+    shard(30) < state(40) < endpoint(50), matching
+    ``lockdep.SERVICE_LOCK_RANKS``
+``lock-init``
+    ``threading.Lock()`` / ``ordered_lock()`` created outside
+    ``__init__`` (or module level) — late-created locks race their own
+    creation and dodge the watchdog's rank table
+``lock-blocking``
+    a blocking call (``sleep``, ``join``, ``recv*``, ``fsync``/``sync``,
+    ``accept``, ``select``, ``wait``) lexically inside a ``with
+    self.<lock>`` block
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.lintkit.findings import Finding
+from repro.lintkit.modules import SourceModule
+
+__all__ = ["STATIC_LOCK_RANKS", "BLOCKING_CALLS", "check_concurrency"]
+
+# Attribute name -> static rank.  Mirrors lockdep.SERVICE_LOCK_RANKS but
+# keys on the attribute the source uses, which is all a lexical pass can
+# see.  `_lock` is the transport-endpoint / shard-server innermost lock.
+STATIC_LOCK_RANKS: Dict[str, int] = {
+    "_close_lock": 10,
+    "_spawn_locks": 20,
+    "_shard_locks": 30,
+    "_state": 40,
+    "_lock": 50,
+}
+
+BLOCKING_CALLS = frozenset(
+    {
+        "sleep",
+        "join",
+        "recv",
+        "recv_into",
+        "recv_record",
+        "recvfrom",
+        "fsync",
+        "sync",
+        "select",
+        "accept",
+        "wait",
+        "flock",
+    }
+)
+
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "ordered_lock"}
+
+
+def _lock_attr(expr: ast.AST) -> Optional[str]:
+    """Name of the lock attribute in ``self.X`` / ``self.X[i]``, if any."""
+
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in STATIC_LOCK_RANKS
+    ):
+        return expr.attr
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_lock_constructor(node: ast.Call) -> bool:
+    name = _call_name(node)
+    if name not in _LOCK_CONSTRUCTORS:
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return isinstance(func.value, ast.Name) and func.value.id in ("threading", "lockdep")
+    return True
+
+
+def check_concurrency(mods: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in mods:
+        if not (mod.name == "repro.service" or mod.name.startswith("repro.service.")):
+            continue
+        _scan(mod, mod.tree, func_name=None, held=[], findings=findings)
+    return findings
+
+
+def _scan(
+    mod: SourceModule,
+    node: ast.AST,
+    func_name: Optional[str],
+    held: List[Tuple[int, str, int]],  # (rank, attr, line)
+    findings: List[Finding],
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _scan(mod, child, func_name=child.name, held=[], findings=findings)
+            continue
+        if isinstance(child, ast.Lambda):
+            continue
+        if isinstance(child, ast.Call):
+            _check_call(mod, child, func_name, held, findings)
+            # fall through: arguments may contain nested withs? (no — but
+            # nested calls matter for lock constructors inside args)
+            _scan(mod, child, func_name, held, findings)
+            continue
+        if isinstance(child, ast.With):
+            entered: List[Tuple[int, str, int]] = []
+            for item in child.items:
+                attr = _lock_attr(item.context_expr)
+                if attr is None:
+                    continue
+                rank = STATIC_LOCK_RANKS[attr]
+                outer = held + entered
+                if outer:
+                    worst_rank, worst_attr, worst_line = max(outer)
+                    if rank <= worst_rank:
+                        findings.append(
+                            Finding(
+                                rule="lock-order",
+                                path=mod.rel,
+                                line=item.context_expr.lineno,
+                                detail=f"{attr} under {worst_attr}",
+                                message=(
+                                    f"acquiring self.{attr} (rank {rank}) while "
+                                    f"holding self.{worst_attr} (rank {worst_rank}, "
+                                    f"line {worst_line}) inverts the canonical "
+                                    "lock order"
+                                ),
+                                hint="acquire in rank order (close < spawn < shard "
+                                "< state < endpoint); for same-rank arrays use "
+                                "ascending index via _acquire_all",
+                            )
+                        )
+                entered.append((rank, attr, item.context_expr.lineno))
+            _scan(mod, child, func_name, held + entered, findings)
+            continue
+        _scan(mod, child, func_name, held, findings)
+
+
+def _check_call(
+    mod: SourceModule,
+    node: ast.Call,
+    func_name: Optional[str],
+    held: List[Tuple[int, str, int]],
+    findings: List[Finding],
+) -> None:
+    if _is_lock_constructor(node) and func_name not in (None, "__init__"):
+        findings.append(
+            Finding(
+                rule="lock-init",
+                path=mod.rel,
+                line=node.lineno,
+                detail=f"lock created in {func_name}",
+                message=(
+                    f"lock constructed inside {func_name}() — locks must be "
+                    "created in __init__ (or at module level) so every thread "
+                    "sees the same object and the watchdog knows its rank"
+                ),
+                hint="move the construction to __init__ via "
+                "lintkit.lockdep.ordered_lock(name)",
+            )
+        )
+    name = _call_name(node)
+    if held and name in BLOCKING_CALLS:
+        _, worst_attr, _ = max(held)
+        findings.append(
+            Finding(
+                rule="lock-blocking",
+                path=mod.rel,
+                line=node.lineno,
+                detail=f"{name} under {worst_attr}",
+                message=(
+                    f"blocking call {name}() while holding self.{worst_attr} — "
+                    "a stall here wedges every thread queued on the lock"
+                ),
+                hint="copy what you need under the lock, release, then block",
+            )
+        )

@@ -1,0 +1,255 @@
+"""Determinism rules: no ambient entropy or wall-clock in compute paths.
+
+The repo's core promise is bit-identical replay: same spec, same seeds,
+same bytes — across runs, across process pools, across crash/restart.
+Three things silently break that promise and all of them look harmless
+in review:
+
+``det-wallclock``
+    ``time.time()`` / ``datetime.now()`` / ``date.today()`` — wall-clock
+    reads.  ``time.monotonic`` / ``perf_counter`` are fine (they time,
+    they never *decide*).
+``det-rng``
+    draws from process-global or unseeded RNG state:
+    module-level ``random.*`` functions, ``random.Random()`` with no
+    seed, ``np.random.default_rng()`` / numpy module-level samplers
+    with no seed.
+``det-entropy``
+    ``os.urandom`` / anything from ``secrets`` — OS entropy has no seed
+    at all.
+
+Some subsystems legitimately touch the clock or want decorrelated
+jitter: cache sweeps age entries by wall time, retry backoff jitters
+its *schedule* (never its results), the supervisor stamps heartbeats.
+Those constructs are allowlisted here — in code, with a reason — rather
+than baselined, because they are policy ("this module may use wall
+time") not grandfathered debt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.lintkit.findings import Finding
+from repro.lintkit.modules import SourceModule
+
+__all__ = ["TIMING_ALLOWLIST", "check_determinism"]
+
+# (module prefix, construct detail, reason).  The reason strings are
+# surfaced by `repro lint --explain` material in DESIGN.md; keep them
+# honest.
+TIMING_ALLOWLIST: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "repro.diskcache",
+        "time.time",
+        "cache sweep ages and LRU recency are lifecycle metadata; they "
+        "decide eviction, never a computed result",
+    ),
+    (
+        "repro.analysis.campaign",
+        "random.Random()",
+        "decorrelated-jitter retry backoff randomizes the *schedule* of "
+        "retries; unit results stay bit-identical regardless of timing",
+    ),
+    (
+        "repro.service.supervisor",
+        "time.time",
+        "heartbeat stamps and restart deadlines are liveness plumbing, "
+        "not compute; window totals never read them",
+    ),
+)
+
+_WALLCLOCK = {"time.time", "datetime.now", "datetime.datetime.now", "date.today", "datetime.utcnow"}
+_RANDOM_MODULE_FNS = {
+    "random",
+    "randrange",
+    "randint",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+    "seed",
+}
+_NP_SAMPLERS = {
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "normal",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as a dotted string, else None."""
+
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _allowed(module: str, detail: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix, construct, _ in TIMING_ALLOWLIST
+        if construct == detail
+    )
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add((alias.asname or "random") + "!nprandom")
+    return aliases
+
+
+def _from_random_names(tree: ast.Module) -> Set[str]:
+    """Names imported from the stdlib ``random`` module."""
+
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _imports_secrets(tree: ast.Module) -> bool:
+    """Whether the stdlib ``secrets`` module is imported (any scope).
+
+    A local variable that merely happens to be named ``secrets`` (the
+    sharding oracle's per-round secret dict) must not trigger
+    det-entropy.
+    """
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "secrets" for alias in node.names):
+                return True
+    return False
+
+
+def check_determinism(mods: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in mods:
+        if mod.name == "repro.lintkit" or mod.name.startswith("repro.lintkit."):
+            continue  # the linter may describe these constructs
+        np_aliases = _numpy_aliases(mod.tree)
+        np_random_names = {a[: -len("!nprandom")] for a in np_aliases if a.endswith("!nprandom")}
+        np_modules = {a for a in np_aliases if not a.endswith("!nprandom")}
+        random_names = _from_random_names(mod.tree)
+        has_secrets = _imports_secrets(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            hit = _classify(dotted, node, np_modules, np_random_names, random_names, has_secrets)
+            if hit is None:
+                continue
+            rule, detail, message, hint = hit
+            if _allowed(mod.name, detail):
+                continue
+            findings.append(
+                Finding(rule=rule, path=mod.rel, line=node.lineno, detail=detail,
+                        message=message, hint=hint)
+            )
+    return findings
+
+
+def _classify(
+    dotted: str,
+    node: ast.Call,
+    np_modules: Set[str],
+    np_random_names: Set[str],
+    random_names: Set[str],
+    has_secrets: bool,
+) -> Optional[Tuple[str, str, str, str]]:
+    seeded = bool(node.args) or any(kw.arg in ("seed", "x") for kw in node.keywords)
+
+    if dotted in _WALLCLOCK:
+        return (
+            "det-wallclock",
+            dotted.split(".", 1)[0] + "." + dotted.rsplit(".", 1)[1]
+            if dotted.startswith("datetime.datetime.")
+            else dotted,
+            f"wall-clock read {dotted}() — replay will see a different value",
+            "thread a timestamp parameter in, or use time.monotonic for durations",
+        )
+    if dotted == "os.urandom":
+        return (
+            "det-entropy",
+            "os.urandom",
+            "os.urandom draws OS entropy — there is no seed to replay",
+            "derive bytes from the experiment's seeded DRBG instead",
+        )
+    if dotted.startswith("secrets.") and has_secrets:
+        return (
+            "det-entropy",
+            dotted,
+            f"{dotted}() draws OS entropy — there is no seed to replay",
+            "derive values from the experiment's seeded DRBG instead",
+        )
+    first, _, rest = dotted.partition(".")
+    if first == "random" and rest in _RANDOM_MODULE_FNS:
+        return (
+            "det-rng",
+            f"random.{rest}",
+            f"random.{rest}() draws from the process-global RNG",
+            "use a random.Random(seed) instance owned by the caller",
+        )
+    if (dotted == "random.Random" or (not rest and first in random_names and first == "Random")):
+        if not seeded:
+            return (
+                "det-rng",
+                "random.Random()",
+                "random.Random() with no seed — seeded from OS entropy",
+                "pass an explicit seed derived from the experiment seed",
+            )
+        return None
+    # numpy: np.random.default_rng(), np.random.<sampler>(), or
+    # `from numpy import random as npr` → npr.default_rng()
+    parts = dotted.split(".")
+    if len(parts) >= 2 and (
+        (parts[0] in np_modules and len(parts) >= 3 and parts[1] == "random")
+        or (parts[0] in np_random_names)
+    ):
+        fn = parts[-1]
+        if fn == "default_rng" and not seeded:
+            return (
+                "det-rng",
+                "np.random.default_rng()",
+                "np.random.default_rng() with no seed — seeded from OS entropy",
+                "pass a seed derived via sim.seeds (e.g. child_seed(...))",
+            )
+        if fn in _NP_SAMPLERS:
+            return (
+                "det-rng",
+                f"np.random.{fn}",
+                f"np.random.{fn}() draws from numpy's process-global RNG",
+                "use a Generator built from a seeded PCG64/SeedSequence",
+            )
+    return None

@@ -1,0 +1,104 @@
+"""Finding and baseline machinery for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baseline purposes is ``(rule, path, detail)`` — *not* the
+line number — so grandfathered findings survive unrelated edits to the
+same file.  ``detail`` is a short, stable description of the construct
+(``"repro.analysis.experiments -> repro.scenarios"``,
+``"raise ValueError"``, ``"join under supervisor.spawn"``); the
+human-facing ``message`` and ``hint`` may change freely without
+invalidating the baseline.
+
+The baseline file (``lint-baseline.json`` at the repo root) grandfathers
+*intentional* violations.  Every entry must carry a non-empty ``reason``
+string — an entry without one is a configuration error, because a
+baseline that cannot say why it exists is just a suppressed bug.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.errors import SpecError
+
+__all__ = ["Finding", "Baseline", "load_baseline"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # e.g. "layering-edge", "det-wallclock", "lock-order"
+    path: str  # repo-relative posix path, e.g. "src/repro/service/daemon.py"
+    line: int  # 1-based line of the offending construct
+    detail: str  # stable construct identity (baseline key component)
+    message: str  # one-line description of what is wrong
+    hint: str  # one-line fix hint
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.detail)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}\n    hint: {self.hint}"
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed by ``(rule, path, detail)``."""
+
+    entries: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    source: str = "<none>"
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key in self.entries
+
+    def split(self, findings: List[Finding]) -> Tuple[List[Finding], List[Finding], List[dict]]:
+        """Partition findings into (new, suppressed) and list unused entries."""
+
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        used: set = set()
+        for finding in findings:
+            if self.matches(finding):
+                suppressed.append(finding)
+                used.add(finding.key)
+            else:
+                new.append(finding)
+        unused = [
+            {"rule": rule, "path": path, "detail": detail, "reason": reason}
+            for (rule, path, detail), reason in sorted(self.entries.items())
+            if (rule, path, detail) not in used
+        ]
+        return new, suppressed, unused
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load ``lint-baseline.json``; absent file means an empty baseline."""
+
+    if not path.exists():
+        return Baseline()
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SpecError(f"lint baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or not isinstance(raw.get("entries"), list):
+        raise SpecError(f"lint baseline {path} must be an object with an 'entries' list")
+    entries: Dict[Tuple[str, str, str], str] = {}
+    for i, entry in enumerate(raw["entries"]):
+        if not isinstance(entry, dict):
+            raise SpecError(f"lint baseline {path}: entry #{i} is not an object")
+        missing = [k for k in ("rule", "path", "detail", "reason") if not entry.get(k)]
+        if missing:
+            raise SpecError(
+                f"lint baseline {path}: entry #{i} is missing {missing} — every "
+                "grandfathered finding must say what it is and why it is allowed"
+            )
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["detail"]))
+        if key in entries:
+            raise SpecError(f"lint baseline {path}: duplicate entry {key}")
+        entries[key] = str(entry["reason"])
+    return Baseline(entries=entries, source=str(path))

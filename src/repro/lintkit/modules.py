@@ -1,0 +1,68 @@
+"""Source-tree loading for the invariant linter.
+
+The linter operates on every ``*.py`` file under ``<root>/src/repro``.
+Each file is parsed once into a :class:`SourceModule` carrying its
+dotted module name, AST, and text; the rule modules share these instead
+of re-reading files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+from repro.errors import SpecError
+
+__all__ = ["SourceModule", "load_modules", "module_name_for"]
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file under ``src/repro``."""
+
+    path: Path  # absolute path
+    rel: str  # repo-relative posix path ("src/repro/...")
+    name: str  # dotted module name ("repro.service.daemon")
+    tree: ast.Module
+    text: str
+
+
+def module_name_for(rel_to_src: Path) -> str:
+    """Map ``repro/service/daemon.py`` → ``repro.service.daemon``.
+
+    Package ``__init__.py`` files take the package's own name, so the
+    root ``repro/__init__.py`` is simply ``repro``.
+    """
+
+    parts = list(rel_to_src.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_modules(root: Path) -> List[SourceModule]:
+    """Parse every python file under ``<root>/src/repro``."""
+
+    src = root / "src"
+    pkg = src / "repro"
+    if not pkg.is_dir():
+        raise SpecError(f"no src/repro package under {root} — nothing to lint")
+    modules: List[SourceModule] = []
+    for path in sorted(pkg.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            raise SpecError(f"{path}: cannot lint a file that does not parse: {exc}") from exc
+        modules.append(
+            SourceModule(
+                path=path,
+                rel=path.relative_to(root).as_posix(),
+                name=module_name_for(path.relative_to(src)),
+                tree=tree,
+                text=text,
+            )
+        )
+    return modules

@@ -1,0 +1,127 @@
+"""Lint orchestration and the ``repro lint`` / ``python -m repro.lintkit`` CLI.
+
+Runs every rule family over ``<root>/src/repro``, subtracts the
+baseline, and reports what is left.  Exit codes follow the repo-wide
+contract: 0 clean (baselined findings and unused baseline entries are
+notes, not failures), 1 for findings outside the baseline, 2 for a
+malformed invocation (missing tree, broken baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError, SpecError
+from repro.lintkit import concurrency, determinism, layering, taxonomy
+from repro.lintkit.findings import Baseline, Finding, load_baseline
+from repro.lintkit.modules import load_modules
+
+__all__ = ["LintReport", "run_lint", "main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint pass learned."""
+
+    findings: List[Finding] = field(default_factory=list)  # NOT baselined
+    suppressed: List[Finding] = field(default_factory=list)  # baselined
+    unused_baseline: List[dict] = field(default_factory=list)
+    modules_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_lint(root: Path, baseline_path: Optional[Path] = None) -> LintReport:
+    """Lint the tree at ``root`` (the directory containing ``src/repro``)."""
+
+    root = Path(root)
+    mods = load_modules(root)
+    findings: List[Finding] = []
+    findings.extend(layering.check_layering(mods))
+    findings.extend(determinism.check_determinism(mods))
+    findings.extend(concurrency.check_concurrency(mods))
+    findings.extend(taxonomy.check_raises(mods))
+    findings.extend(taxonomy.check_wire_kinds(mods, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
+
+    if baseline_path is None:
+        baseline_path = root / DEFAULT_BASELINE
+    baseline = load_baseline(baseline_path) if baseline_path else Baseline()
+    new, suppressed, unused = baseline.split(findings)
+    return LintReport(
+        findings=new,
+        suppressed=suppressed,
+        unused_baseline=unused,
+        modules_checked=len(mods),
+    )
+
+
+def render_report(report: LintReport, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(f"baselined: {finding.path}: {finding.rule}: {finding.detail}")
+    for entry in report.unused_baseline:
+        lines.append(
+            "note: unused baseline entry "
+            f"{entry['rule']} @ {entry['path']} ({entry['detail']}) — "
+            "the violation is gone; drop the entry"
+        )
+    lines.append(
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} baselined, "
+        f"{len(report.unused_baseline)} unused baseline entr(y/ies), "
+        f"{report.modules_checked} modules checked"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant linter for the repro source tree",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root (the directory containing src/repro); default: cwd",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined (suppressed) findings",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root).resolve()
+    baseline = Path(args.baseline) if args.baseline else None
+    try:
+        report = run_lint(root, baseline)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    output = render_report(report, verbose=args.verbose)
+    if output:
+        print(output)
+    return 0 if report.clean else 1

@@ -1,0 +1,296 @@
+"""Taxonomy rules: errors map to :mod:`repro.errors`; wire kinds are total.
+
+``tax-raise``
+    Every ``raise`` in ``src/repro`` must throw a :class:`ReproError`
+    subclass — that is what keeps the CLI's exit-code contract (2 spec /
+    1 runtime / 0 ok) and the service's retry taxonomy total.  Allowed
+    escapes: bare ``raise`` (re-raise), ``NotImplementedError`` (the
+    abstract-method idiom), ``AttributeError`` inside ``__getattr__``,
+    and a stdlib exception raised *and caught* inside the same
+    enclosing ``try`` (local control flow never leaves the module).
+    Raises whose class the analyzer cannot resolve (factory calls,
+    variables) are skipped, not guessed at.
+
+``tax-wire``
+    Every wire record kind constant in ``service/wire.py`` must appear
+    in the ``RECORD_TYPES`` registry (that is what gives it an encoder
+    and a decoder), carry a distinct tag byte, and be referenced by the
+    wire fuzz suites — so the next ADMISSION_REPLY-style addition
+    cannot silently ship without corruption coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lintkit.findings import Finding
+from repro.lintkit.modules import SourceModule
+
+__all__ = ["check_raises", "check_wire_kinds", "STDLIB_EXCEPTIONS"]
+
+STDLIB_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "ArgumentTypeError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "SystemError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+# Default fuzz suites for tax-wire (repo-relative).  The generated
+# exhaustiveness test is deliberately NOT in this list: it asserts the
+# same property at run time and must not satisfy itself.
+WIRE_FUZZ_FILES = (
+    "tests/service/test_wire.py",
+    "tests/service/test_transport.py",
+)
+
+
+def _collect_error_classes(mods: List[SourceModule]) -> Set[str]:
+    """All class names (by simple name) deriving from ReproError."""
+
+    known: Set[str] = {"ReproError"}
+    # Fixpoint over every module: subclasses may live anywhere and the
+    # bases are referenced by simple name after `from repro.errors import X`.
+    changed = True
+    class_defs: List[ast.ClassDef] = []
+    for mod in mods:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef):
+                class_defs.append(node)
+    while changed:
+        changed = False
+        for node in class_defs:
+            if node.name in known:
+                continue
+            for base in node.bases:
+                base_name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if base_name in known:
+                    known.add(node.name)
+                    changed = True
+                    break
+    return known
+
+
+def _raised_name(exc: ast.AST) -> Optional[str]:
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    t = handler.type
+    if t is None:
+        return {"BaseException"}
+    nodes: Sequence[ast.AST] = t.elts if isinstance(t, ast.Tuple) else [t]
+    names: Set[str] = set()
+    for node in nodes:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else None
+        )
+        if name:
+            names.add(name)
+    return names
+
+
+def check_raises(mods: List[SourceModule]) -> List[Finding]:
+    error_classes = _collect_error_classes(mods)
+    findings: List[Finding] = []
+    for mod in mods:
+        if mod.name.startswith("repro.lintkit"):
+            continue  # fixture text inside docstrings/tests of the linter
+        _scan_raises(mod, mod.tree, func_name=None, try_stack=[], out=findings,
+                     error_classes=error_classes)
+    return findings
+
+
+def _scan_raises(
+    mod: SourceModule,
+    node: ast.AST,
+    func_name: Optional[str],
+    try_stack: List[Set[str]],
+    out: List[Finding],
+    error_classes: Set[str],
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _scan_raises(mod, child, child.name, [], out, error_classes)
+            continue
+        if isinstance(child, ast.Try):
+            caught: Set[str] = set()
+            for handler in child.handlers:
+                caught |= _handler_names(handler)
+            for stmt in child.body:
+                _scan_raises(mod, stmt, func_name, try_stack + [caught], out, error_classes)
+                _visit_stmt_raise(mod, stmt, func_name, try_stack + [caught], out, error_classes)
+            for part in (child.handlers, child.orelse, child.finalbody):
+                for stmt in part:
+                    _scan_raises(mod, stmt, func_name, try_stack, out, error_classes)
+                    _visit_stmt_raise(mod, stmt, func_name, try_stack, out, error_classes)
+            continue
+        _visit_stmt_raise(mod, child, func_name, try_stack, out, error_classes)
+        _scan_raises(mod, child, func_name, try_stack, out, error_classes)
+
+
+def _visit_stmt_raise(
+    mod: SourceModule,
+    stmt: ast.AST,
+    func_name: Optional[str],
+    try_stack: List[Set[str]],
+    out: List[Finding],
+    error_classes: Set[str],
+) -> None:
+    if not isinstance(stmt, ast.Raise):
+        return
+    if stmt.exc is None:
+        return  # bare re-raise
+    name = _raised_name(stmt.exc)
+    if name is None:
+        return  # raised a computed expression; out of static reach
+    if name in error_classes:
+        return
+    if name == "NotImplementedError":
+        return  # abstract-method idiom
+    if name == "AttributeError" and func_name in ("__getattr__", "__getattribute__"):
+        return  # the module/attribute protocol requires it
+    if name not in STDLIB_EXCEPTIONS:
+        return  # unknown class (imported helper, local alias) — don't guess
+    for caught in try_stack:
+        if name in caught or "Exception" in caught or "BaseException" in caught:
+            return  # raised-and-caught locally: control flow, not API
+    out.append(
+        Finding(
+            rule="tax-raise",
+            path=mod.rel,
+            line=stmt.lineno,
+            detail=f"raise {name}",
+            message=(
+                f"raise {name} escapes the repro.errors taxonomy — callers "
+                "catching ReproError (and the CLI's exit-code map) miss it"
+            ),
+            hint="raise the matching repro.errors subclass (SpecError for "
+            "bad arguments, ServiceError for broken service invariants, ...)",
+        )
+    )
+
+
+def check_wire_kinds(
+    mods: List[SourceModule],
+    root: Path,
+    fuzz_files: Sequence[str] = WIRE_FUZZ_FILES,
+) -> List[Finding]:
+    wire = next((m for m in mods if m.name == "repro.service.wire"), None)
+    if wire is None:
+        return []  # fixture trees without a wire module skip the rule
+    findings: List[Finding] = []
+    kinds: Dict[str, int] = {}
+    kind_lines: Dict[str, int] = {}
+    registry_keys: Set[str] = set()
+    registry_classes: Dict[str, str] = {}  # kind name -> record class name
+    for node in wire.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            value = node.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id.isupper()
+            and not target.id.startswith("_")
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+            and not isinstance(value.value, bool)
+        ):
+            kinds[target.id] = value.value
+            kind_lines[target.id] = node.lineno
+        if isinstance(target, ast.Name) and target.id == "RECORD_TYPES":
+            if isinstance(value, ast.Dict):
+                for key, cls in zip(value.keys, value.values):
+                    if isinstance(key, ast.Name):
+                        registry_keys.add(key.id)
+                        if isinstance(cls, ast.Name):
+                            registry_classes[key.id] = cls.id
+
+    by_tag: Dict[int, str] = {}
+    for name, tag in sorted(kinds.items()):
+        if tag in by_tag:
+            findings.append(
+                Finding(
+                    rule="tax-wire",
+                    path=wire.rel,
+                    line=kind_lines[name],
+                    detail=f"duplicate tag {name}",
+                    message=f"wire kind {name} reuses tag byte {tag} ({by_tag[tag]})",
+                    hint="every record kind needs a distinct tag byte",
+                )
+            )
+        else:
+            by_tag[tag] = name
+        if name not in registry_keys:
+            findings.append(
+                Finding(
+                    rule="tax-wire",
+                    path=wire.rel,
+                    line=kind_lines[name],
+                    detail=f"unregistered kind {name}",
+                    message=(
+                        f"wire kind {name} is not a RECORD_TYPES key — it has "
+                        "no encoder/decoder binding"
+                    ),
+                    hint="add the kind -> record-class entry to RECORD_TYPES",
+                )
+            )
+
+    fuzz_text = ""
+    for rel in fuzz_files:
+        path = root / rel
+        if path.exists():
+            fuzz_text += path.read_text(encoding="utf-8")
+    if fuzz_text:
+        for name in sorted(kinds):
+            # The fuzz suites may reference the kind constant itself or
+            # the record class bound to it — either proves coverage.
+            cls_name = registry_classes.get(name, "")
+            if name not in fuzz_text and (not cls_name or cls_name not in fuzz_text):
+                findings.append(
+                    Finding(
+                        rule="tax-wire",
+                        path=wire.rel,
+                        line=kind_lines[name],
+                        detail=f"unfuzzed kind {name}",
+                        message=(
+                            f"wire kind {name} never appears in the fuzz suites "
+                            f"({', '.join(fuzz_files)}) — corruption of this "
+                            "record type is untested"
+                        ),
+                        hint="add a round-trip + corruption case for the kind "
+                        "to tests/service/test_wire.py",
+                    )
+                )
+    return findings

@@ -39,13 +39,13 @@ from __future__ import annotations
 
 import os
 import pathlib
-import threading
 import time
 from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.core.metrics import WindowSummary
 from repro.errors import ServiceError, WireError
+from repro.lintkit.lockdep import ordered_lock
 from repro.service import wal
 from repro.service.windows import aggregate_shards, aggregate_window
 from repro.service.wire import ShareSubmission
@@ -440,6 +440,14 @@ class ShardedServiceDaemon:
                     f"but this daemon runs {shards} shard(s); resharding a "
                     "journal directory is not supported"
                 )
+        # Locks are created here, not in _init_state: every thread must
+        # see one lock object per role for the object's whole lifetime,
+        # and the lockdep watchdog learns each lock's rank at creation.
+        # Canonical order: shard locks (ascending index) before _state.
+        self._shard_locks = [
+            ordered_lock("daemon.shard", index=index) for index in range(shards)
+        ]
+        self._state = ordered_lock("daemon.state")
         # One live service per directory: advisory flock, dies with the
         # process, so a kill -9 never wedges the directory.  Read-side
         # tools probe it to answer from checkpoints instead of failing.
@@ -464,8 +472,6 @@ class ShardedServiceDaemon:
         self._fold = wal.WindowJournal(
             self.journal_dir / self.FOLD_NAME, fsync=config.fsync
         )
-        self._shard_locks = [threading.Lock() for _ in range(shards)]
-        self._state = threading.Lock()
         #: per-shard (device, seq) identities ever journaled.
         self._seen: list[set[tuple[int, int]]] = [set() for _ in range(shards)]
         #: per-shard window -> accepted submissions, append order.

@@ -33,6 +33,7 @@ import threading
 from concurrent.futures import Future
 
 from repro.errors import ServiceError
+from repro.lintkit.lockdep import ordered_lock
 from repro.service.daemon import Admission, AdmissionResult
 
 __all__ = ["IngestFront"]
@@ -65,7 +66,7 @@ class IngestFront:
         self.capacity = capacity
         self._queue: queue.Queue = queue.Queue(maxsize=capacity)
         self._closed = False
-        self._close_lock = threading.Lock()
+        self._close_lock = ordered_lock("ingest.close")
         self.enqueued_total = 0
         self.refused_total = 0
         self._threads = [

@@ -48,6 +48,7 @@ from dataclasses import replace
 
 from repro.core.metrics import WindowSummary
 from repro.errors import ServiceError, TransportError, WireError
+from repro.lintkit.lockdep import ordered_lock
 from repro.service import wal, wire
 from repro.service.daemon import Admission, AdmissionResult, ServiceConfig
 from repro.service.transport import (
@@ -130,7 +131,7 @@ class ShardServer:
         self.window_capacity = window_capacity
         self.queue_capacity = queue_capacity
         self.retry_after_s = retry_after_s
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("shardserver.state")
         self._seen: set[tuple[int, int]] = set()
         self._by_window: dict[int, list[ShareSubmission]] = {}
         self._deadline = deadline
@@ -362,8 +363,8 @@ class ShardSupervisor:
         self._lock = wal.ServiceDirLock(self.journal_dir)
         self._lock.acquire()
         try:
-            self._state = threading.Lock()
-            self._close_lock = threading.Lock()
+            self._state = ordered_lock("supervisor.state")
+            self._close_lock = ordered_lock("service.close")
             self._closed: dict[int, WindowSummary] = {}
             self._deadline = -1
             self._shard_accepted = [0] * shards
@@ -386,7 +387,10 @@ class ShardSupervisor:
             )
             self._ctx = multiprocessing.get_context("spawn")
             self._processes: list = [None] * shards
-            self._spawn_locks = [threading.Lock() for _ in range(shards)]
+            self._spawn_locks = [
+                ordered_lock("supervisor.spawn", index=index)
+                for index in range(shards)
+            ]
             self._endpoints = [
                 ShardEndpoint(
                     self._resolver(index), request_deadline_s=request_deadline_s
@@ -569,9 +573,17 @@ class ShardSupervisor:
             time.sleep(0.005)
 
     def _respawn(self, index: int) -> None:
-        recovery_s = self._spawn(index)
+        # Count the restart *before* the spawn: the new process only
+        # becomes reachable partway through _spawn, so anything that
+        # observes the revived shard (a close that reconnected, a
+        # billing extract after recovery) is guaranteed to also observe
+        # ``restarts`` >= 1.  The log entry trails because it carries
+        # the measured recovery time; poll ``restart_log`` itself when
+        # the timing is what you need.
         with self._state:
             self.restarts += 1
+        recovery_s = self._spawn(index)
+        with self._state:
             self.restart_log.append(
                 {"shard": index, "recovery_s": round(recovery_s, 6)}
             )

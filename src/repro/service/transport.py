@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ServiceError, TransportError, WireError
+from repro.lintkit.lockdep import ordered_lock
 from repro.service import wire
 from repro.service.daemon import Admission, AdmissionResult
 
@@ -294,7 +295,7 @@ class ShardEndpoint:
         self._resolve = resolve
         self.request_deadline_s = request_deadline_s
         self._sock: socket.socket | None = None
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("transport.endpoint")
 
     def _connected(self) -> socket.socket:
         if self._sock is None:

@@ -33,6 +33,7 @@ from repro.analysis.sharding import (
     degree_for_cell,
 )
 from repro.crypto.prng import AesCtrDrbg
+from repro.errors import ServiceError
 from repro.field.prime_field import PrimeField
 from repro.sim.seeds import child_seed
 from repro.sss.aggregation import reconstruct_many_from_sums
@@ -109,7 +110,7 @@ def aggregate_window(
     fewer submissions than cells use one cell per submission.
     """
     if cells < 1:
-        raise ValueError(f"cells must be >= 1, got {cells}")
+        raise ServiceError(f"cells must be >= 1, got {cells}")
     ordered = sorted(submissions, key=lambda s: (s.device, s.seq))
     prime = PrimeField().prime
     values = [s.value % prime for s in ordered]

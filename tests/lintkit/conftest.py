@@ -1,0 +1,42 @@
+"""Shared lintkit fixtures: fabricate src/repro trees for the analyzer."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+# A minimal errors.py so the taxonomy rule resolves repro error classes
+# inside fabricated trees exactly as it does in the real repo.
+ERRORS_STUB = """
+class ReproError(Exception):
+    pass
+
+
+class ServiceError(ReproError):
+    pass
+
+
+class SpecError(ReproError):
+    pass
+"""
+
+
+@pytest.fixture
+def make_repo(tmp_path: Path):
+    """Factory: materialize a src/repro tree from {relative path: source}."""
+
+    def _make(files: dict) -> Path:
+        root = tmp_path / "repo"
+        merged = {"errors.py": ERRORS_STUB, "__init__.py": "", **files}
+        for rel, source in merged.items():
+            path = root / "src" / "repro" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            init = path.parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+        return root
+
+    return _make

@@ -1,0 +1,28 @@
+"""Seeded-violation fixture: every rule family fires at least once.
+
+This file is linted by tests/lintkit/test_repo_clean.py (via
+``repro lint --root <fixture>``) and must keep producing findings; it is
+never imported.
+"""
+
+import random
+import threading
+import time
+
+import repro.cli  # layering-edge: service (60) must not import cli (80)
+
+
+class BadDaemon:
+    def __init__(self):
+        self._state = threading.Lock()
+        self._shard_locks = [threading.Lock()]
+
+    def submit(self):
+        self._extra = threading.Lock()  # lock-init: created outside __init__
+        with self._state:
+            with self._shard_locks[0]:  # lock-order: shard (30) under state (40)
+                time.sleep(0.1)  # lock-blocking: sleep under a held lock
+        stamp = time.time()  # det-wallclock
+        rng = random.Random()  # det-rng: unseeded
+        if stamp and rng:
+            raise RuntimeError("boom")  # tax-raise: escapes repro.errors

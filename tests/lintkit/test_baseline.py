@@ -1,0 +1,154 @@
+"""Baseline load/match semantics: reasons are mandatory, keys line-stable."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.lintkit.findings import Finding, load_baseline
+from repro.lintkit.runner import run_lint
+
+
+VIOLATION = {"core/x.py": "def f():\n    raise ValueError('nope')\n"}
+
+
+def write_baseline(root, entries):
+    path = root / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}), encoding="utf-8")
+    return path
+
+
+def test_baselined_finding_is_suppressed(make_repo):
+    root = make_repo(VIOLATION)
+    write_baseline(
+        root,
+        [
+            {
+                "rule": "tax-raise",
+                "path": "src/repro/core/x.py",
+                "detail": "raise ValueError",
+                "reason": "fixture: intentional",
+            }
+        ],
+    )
+    report = run_lint(root)
+    assert report.clean
+    assert len(report.suppressed) == 1
+    assert report.unused_baseline == []
+
+
+def test_baseline_key_ignores_line_numbers(make_repo):
+    # Same construct, pushed to a different line — still suppressed.
+    root = make_repo(
+        {"core/x.py": "# moved\n# down\n\n\ndef f():\n    raise ValueError('nope')\n"},
+    )
+    write_baseline(
+        root,
+        [
+            {
+                "rule": "tax-raise",
+                "path": "src/repro/core/x.py",
+                "detail": "raise ValueError",
+                "reason": "fixture: survives line drift",
+            }
+        ],
+    )
+    assert run_lint(root).clean
+
+
+def test_non_matching_entry_reported_unused(make_repo):
+    root = make_repo(VIOLATION)
+    write_baseline(
+        root,
+        [
+            {
+                "rule": "tax-raise",
+                "path": "src/repro/core/x.py",
+                "detail": "raise ValueError",
+                "reason": "fixture",
+            },
+            {
+                "rule": "det-wallclock",
+                "path": "src/repro/core/gone.py",
+                "detail": "time.time",
+                "reason": "fixture: the violation was fixed",
+            },
+        ],
+    )
+    report = run_lint(root)
+    assert report.clean  # unused entries are notes, not failures
+    assert len(report.unused_baseline) == 1
+    assert report.unused_baseline[0]["path"] == "src/repro/core/gone.py"
+
+
+def test_entry_without_reason_rejected(make_repo):
+    root = make_repo(VIOLATION)
+    write_baseline(
+        root,
+        [{"rule": "tax-raise", "path": "src/repro/core/x.py", "detail": "raise ValueError"}],
+    )
+    with pytest.raises(SpecError, match="reason"):
+        run_lint(root)
+
+
+def test_duplicate_entries_rejected(make_repo):
+    root = make_repo(VIOLATION)
+    entry = {
+        "rule": "tax-raise",
+        "path": "src/repro/core/x.py",
+        "detail": "raise ValueError",
+        "reason": "fixture",
+    }
+    write_baseline(root, [entry, dict(entry)])
+    with pytest.raises(SpecError, match="duplicate"):
+        run_lint(root)
+
+
+def test_malformed_json_rejected(make_repo):
+    root = make_repo(VIOLATION)
+    (root / "lint-baseline.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(SpecError, match="JSON"):
+        run_lint(root)
+
+
+def test_missing_baseline_means_empty(tmp_path, make_repo):
+    baseline = load_baseline(tmp_path / "absent.json")
+    finding = Finding(
+        rule="tax-raise",
+        path="src/repro/core/x.py",
+        line=2,
+        detail="raise ValueError",
+        message="m",
+        hint="h",
+    )
+    assert not baseline.matches(finding)
+    root = make_repo(VIOLATION)
+    assert not run_lint(root).clean
+
+
+def test_one_entry_covers_repeated_construct(make_repo):
+    # Four ArgumentTypeError-style raises in one file share one key.
+    root = make_repo(
+        {
+            "core/x.py": (
+                "def a():\n    raise ValueError('1')\n\n\n"
+                "def b():\n    raise ValueError('2')\n"
+            )
+        },
+    )
+    write_baseline(
+        root,
+        [
+            {
+                "rule": "tax-raise",
+                "path": "src/repro/core/x.py",
+                "detail": "raise ValueError",
+                "reason": "fixture: one reason covers the construct",
+            }
+        ],
+    )
+    report = run_lint(root)
+    assert report.clean
+    assert len(report.suppressed) == 2

@@ -1,0 +1,52 @@
+"""Acceptance: the repo lints clean; the seeded fixture does not."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lintkit.runner import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SEEDED = Path(__file__).resolve().parent / "fixtures" / "seeded"
+
+
+def test_repo_is_clean_with_no_stale_baseline():
+    report = run_lint(REPO_ROOT)
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+    # Every baseline entry must still earn its keep: a fixed violation
+    # means the entry gets deleted, not silently carried.
+    assert report.unused_baseline == []
+    assert report.modules_checked > 50
+
+
+def test_seeded_fixture_trips_every_rule_family():
+    report = run_lint(SEEDED)
+    rules = {f.rule for f in report.findings}
+    assert {
+        "layering-edge",
+        "lock-init",
+        "lock-order",
+        "lock-blocking",
+        "det-wallclock",
+        "det-rng",
+        "tax-raise",
+    } <= rules
+
+
+def test_cli_exit_codes_and_output(capsys):
+    assert cli_main(["lint", "--root", str(REPO_ROOT)]) == 0
+    capsys.readouterr()
+    code = cli_main(["lint", "--root", str(SEEDED)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "daemon.py" in out
+    assert "lock-order" in out
+    assert "hint:" in out
+
+
+def test_cli_missing_root_is_a_spec_error(tmp_path, capsys):
+    code = cli_main(["lint", "--root", str(tmp_path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "src/repro" in err

@@ -1,0 +1,377 @@
+"""Per-rule positive + negative fixtures for the invariant linter."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit.runner import run_lint
+
+
+def rules_of(root: Path) -> dict:
+    report = run_lint(root)
+    out: dict = {}
+    for finding in report.findings:
+        out.setdefault(finding.rule, []).append(finding)
+    return out
+
+
+# -- layering ------------------------------------------------------------------
+
+
+class TestLayering:
+    def test_upward_edge_flagged_with_location(self, make_repo):
+        root = make_repo(
+            {"sss/scheme.py": "from repro.analysis.campaign import CampaignUnit\n"},
+        )
+        found = rules_of(root)
+        (finding,) = found["layering-edge"]
+        assert finding.path == "src/repro/sss/scheme.py"
+        assert finding.line == 1
+        assert "repro.sss.scheme -> repro.analysis.campaign" == finding.detail
+
+    def test_downward_edge_clean(self, make_repo):
+        root = make_repo(
+            {"sss/scheme.py": "from repro.field.prime_field import PrimeField\n"},
+        )
+        assert "layering-edge" not in rules_of(root)
+
+    def test_lazy_import_is_exempt(self, make_repo):
+        root = make_repo(
+            {
+                "sss/scheme.py": (
+                    "def run():\n"
+                    "    from repro.analysis.campaign import CampaignUnit\n"
+                    "    return CampaignUnit\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_cycle_detected(self, make_repo):
+        root = make_repo(
+            {
+                "ct/alpha.py": "from repro.ct import beta\n",
+                "ct/beta.py": "from repro.ct import alpha\n",
+            },
+        )
+        (finding,) = rules_of(root)["layering-cycle"]
+        assert "repro.ct.alpha" in finding.detail
+        assert "repro.ct.beta" in finding.detail
+
+    def test_intra_package_sideways_import_allowed(self, make_repo):
+        root = make_repo(
+            {"analysis/stats.py": "from repro.analysis import campaign  # noqa\n",
+             "analysis/campaign.py": ""},
+        )
+        assert "layering-edge" not in rules_of(root)
+
+    def test_undeclared_package_flagged(self, make_repo):
+        root = make_repo({"newpkg/widget.py": "X = 1\n"})
+        details = {f.detail for f in rules_of(root)["layer-undeclared"]}
+        # Both the package init and the module are undeclared.
+        assert details == {"repro.newpkg", "repro.newpkg.widget"}
+
+    def test_wire_leaf_protected_from_its_own_package(self, make_repo):
+        root = make_repo(
+            {"service/wire.py": "from repro.service import daemon  # noqa\n",
+             "service/daemon.py": ""},
+        )
+        (finding,) = rules_of(root)["layering-edge"]
+        assert finding.detail == "repro.service.wire -> repro.service.daemon"
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_wallclock_flagged(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "import time\n\n\ndef f():\n    return time.time()\n"}
+        )
+        (finding,) = rules_of(root)["det-wallclock"]
+        assert finding.detail == "time.time"
+        assert finding.line == 5
+
+    def test_monotonic_clean(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "import time\n\n\ndef f():\n    return time.monotonic()\n"},
+        )
+        assert rules_of(root) == {}
+
+    def test_allowlisted_module_clean(self, make_repo):
+        # diskcache's sweep ages are policy, not grandfathered debt.
+        root = make_repo(
+            {"diskcache.py": "import time\n\n\ndef sweep():\n    return time.time()\n"}
+        )
+        assert rules_of(root) == {}
+
+    def test_unseeded_random_flagged_seeded_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "import random\n\n\n"
+                    "def f(seed):\n"
+                    "    good = random.Random(seed)\n"
+                    "    bad = random.Random()\n"
+                    "    return good, bad\n"
+                )
+            },
+        )
+        (finding,) = rules_of(root)["det-rng"]
+        assert finding.line == 6
+
+    def test_module_global_random_flagged(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "import random\n\n\ndef f():\n    return random.randint(0, 9)\n"},
+        )
+        (finding,) = rules_of(root)["det-rng"]
+        assert finding.detail == "random.randint"
+
+    def test_numpy_default_rng_unseeded_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "import numpy as np\n\n\n"
+                    "def f(seed):\n"
+                    "    good = np.random.default_rng(seed)\n"
+                    "    bad = np.random.default_rng()\n"
+                    "    return good, bad\n"
+                )
+            },
+        )
+        (finding,) = rules_of(root)["det-rng"]
+        assert finding.line == 6
+
+    def test_urandom_flagged(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "import os\n\n\ndef f():\n    return os.urandom(16)\n"}
+        )
+        (finding,) = rules_of(root)["det-entropy"]
+        assert finding.detail == "os.urandom"
+
+    def test_local_variable_named_secrets_clean(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "def f(secrets):\n    return list(secrets.values())\n"},
+        )
+        assert rules_of(root) == {}
+
+
+# -- concurrency ---------------------------------------------------------------
+
+
+SERVICE_HEADER = "import threading\nimport time\n\n\n"
+
+
+class TestConcurrency:
+    def test_inverted_nesting_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "service/x.py": SERVICE_HEADER
+                + (
+                    "class D:\n"
+                    "    def __init__(self):\n"
+                    "        self._state = threading.Lock()\n"
+                    "        self._shard_locks = [threading.Lock()]\n\n"
+                    "    def bad(self):\n"
+                    "        with self._state:\n"
+                    "            with self._shard_locks[0]:\n"
+                    "                pass\n"
+                )
+            },
+        )
+        (finding,) = rules_of(root)["lock-order"]
+        assert finding.detail == "_shard_locks under _state"
+
+    def test_canonical_nesting_clean(self, make_repo):
+        root = make_repo(
+            {
+                "service/x.py": SERVICE_HEADER
+                + (
+                    "class D:\n"
+                    "    def __init__(self):\n"
+                    "        self._state = threading.Lock()\n"
+                    "        self._shard_locks = [threading.Lock()]\n\n"
+                    "    def good(self):\n"
+                    "        with self._shard_locks[0]:\n"
+                    "            with self._state:\n"
+                    "                pass\n"
+                )
+            },
+        )
+        assert "lock-order" not in rules_of(root)
+
+    def test_lock_created_outside_init_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "service/x.py": SERVICE_HEADER
+                + (
+                    "class D:\n"
+                    "    def late(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                )
+            },
+        )
+        (finding,) = rules_of(root)["lock-init"]
+        assert finding.detail == "lock created in late"
+
+    def test_blocking_under_lock_flagged_outside_clean(self, make_repo):
+        root = make_repo(
+            {
+                "service/x.py": SERVICE_HEADER
+                + (
+                    "class D:\n"
+                    "    def __init__(self):\n"
+                    "        self._state = threading.Lock()\n\n"
+                    "    def f(self):\n"
+                    "        with self._state:\n"
+                    "            time.sleep(1)\n"
+                    "        time.sleep(1)\n"
+                )
+            },
+        )
+        (finding,) = rules_of(root)["lock-blocking"]
+        assert finding.line == 11
+
+    def test_rules_scoped_to_service_package(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": SERVICE_HEADER
+                + (
+                    "class D:\n"
+                    "    def late(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        with self._lock:\n"
+                    "            time.sleep(1)\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+
+# -- taxonomy ------------------------------------------------------------------
+
+
+class TestTaxonomy:
+    def test_stdlib_raise_flagged(self, make_repo):
+        root = make_repo(
+            {"core/x.py": "def f():\n    raise ValueError('nope')\n"},
+        )
+        (finding,) = rules_of(root)["tax-raise"]
+        assert finding.detail == "raise ValueError"
+
+    def test_repro_error_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "from repro.errors import ServiceError\n\n\n"
+                    "def f():\n    raise ServiceError('broken invariant')\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_local_subclass_of_repro_error_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "from repro.errors import ReproError\n\n\n"
+                    "class LocalError(ReproError):\n    pass\n\n\n"
+                    "def f():\n    raise LocalError('ok')\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_raised_and_caught_locally_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "def f():\n"
+                    "    try:\n"
+                    "        raise ValueError('local control flow')\n"
+                    "    except ValueError:\n"
+                    "        return None\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_not_implemented_and_getattr_idioms_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "class Base:\n"
+                    "    def run(self):\n"
+                    "        raise NotImplementedError\n\n\n"
+                    "def __getattr__(name):\n"
+                    "    raise AttributeError(name)\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_bare_reraise_clean(self, make_repo):
+        root = make_repo(
+            {
+                "core/x.py": (
+                    "def f():\n"
+                    "    try:\n"
+                    "        return 1\n"
+                    "    except Exception:\n"
+                    "        raise\n"
+                )
+            },
+        )
+        assert rules_of(root) == {}
+
+    def test_unregistered_wire_kind_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "service/wire.py": (
+                    "SUBMIT = 1\n"
+                    "ORPHAN = 2\n\n\n"
+                    "class ShareSubmission:\n    pass\n\n\n"
+                    "RECORD_TYPES = {SUBMIT: ShareSubmission}\n"
+                )
+            },
+        )
+        details = {f.detail for f in rules_of(root)["tax-wire"]}
+        assert "unregistered kind ORPHAN" in details
+
+    def test_duplicate_tag_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "service/wire.py": (
+                    "SUBMIT = 1\n"
+                    "CLASH = 1\n\n\n"
+                    "class A:\n    pass\n\n\n"
+                    "class B:\n    pass\n\n\n"
+                    "RECORD_TYPES = {SUBMIT: A, CLASH: B}\n"
+                )
+            },
+        )
+        details = {f.detail for f in rules_of(root)["tax-wire"]}
+        assert any(d.startswith("duplicate tag") for d in details)
+
+
+def test_findings_are_sorted_and_rendered_with_location(make_repo):
+    root = make_repo(
+        {
+            "core/x.py": "def f():\n    raise ValueError('nope')\n",
+            "core/a.py": "import time\n\n\ndef f():\n    return time.time()\n",
+        },
+    )
+    report = run_lint(root)
+    assert [f.path for f in report.findings] == sorted(f.path for f in report.findings)
+    rendered = report.findings[0].render()
+    assert "src/repro/core/a.py:5: det-wallclock:" in rendered
+    assert "hint:" in rendered
+
+
+def test_missing_tree_is_a_spec_error(tmp_path):
+    from repro.errors import SpecError
+
+    with pytest.raises(SpecError, match="src/repro"):
+        run_lint(tmp_path)

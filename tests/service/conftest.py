@@ -1,0 +1,31 @@
+"""Service-suite fixtures: the lock-order watchdog runs here by default.
+
+Every service test executes with ``REPRO_LOCKDEP=1`` so the canonical
+lock order (see :mod:`repro.lintkit.lockdep`) is enforced on every real
+acquisition the suite drives — daemon submits, window closes, shard
+restarts, socket round trips.  Child shard processes inherit the
+variable through the spawn environment, so the watchdog rides along
+into the supervised shard servers too.
+
+Set ``REPRO_LOCKDEP=0`` explicitly to opt a local run out (e.g. when
+bisecting a timing issue the instrumentation might mask).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lintkit import lockdep
+
+
+@pytest.fixture(autouse=True)
+def _lockdep_watchdog(monkeypatch):
+    if os.environ.get("REPRO_LOCKDEP") is None:
+        monkeypatch.setenv("REPRO_LOCKDEP", "1")
+    # A fresh acquisition graph per test: edges recorded by one test's
+    # daemon must not constrain the next test's differently-shaped run.
+    lockdep.reset()
+    yield
+    lockdep.reset()

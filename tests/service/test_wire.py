@@ -8,7 +8,7 @@ from repro.core.metrics import WindowSummary
 from repro.errors import WireError
 from repro.field.prime_field import PrimeField
 from repro.service import wire
-from repro.service.wire import ShareSubmission
+from repro.service.wire import DeviceTotal, ShareSubmission, StoreCheckpoint
 
 
 def summary(**overrides) -> WindowSummary:
@@ -102,3 +102,42 @@ class TestStrictness:
     def test_non_scalar_field_rejected(self):
         with pytest.raises(WireError, match="flat scalars"):
             wire._encode_scalar([1, 2, 3])
+
+
+class TestStoreRecordCorruption:
+    """Result-store kinds get the same round-trip + corruption coverage
+    as the submission path (DEVICE_TOTAL / STORE_CHECKPOINT)."""
+
+    def test_device_total_round_trips(self):
+        record = DeviceTotal(device=9, through_window=41, windows=7, total=123456789)
+        assert wire.decode_record(wire.encode_record(record)) == record
+
+    def test_device_total_bigint_total_round_trips(self):
+        prime = PrimeField().prime
+        record = DeviceTotal(device=0, through_window=0, windows=1, total=prime - 1)
+        assert wire.decode_record(wire.encode_record(record)).total == prime - 1
+
+    def test_device_total_truncation_rejected(self):
+        payload = wire.encode_record(
+            DeviceTotal(device=9, through_window=41, windows=7, total=55)
+        )
+        for cut in range(1, len(payload)):
+            with pytest.raises(WireError):
+                wire.decode_record(payload[:cut])
+
+    def test_store_checkpoint_round_trips(self):
+        record = StoreCheckpoint(through_window=77)
+        assert wire.decode_record(wire.encode_record(record)) == record
+
+    def test_store_checkpoint_frame_bitflip_rejected(self):
+        framed = bytearray(wire.frame(StoreCheckpoint(through_window=77)))
+        for i in range(len(framed)):
+            corrupted = bytearray(framed)
+            corrupted[i] ^= 0x40
+            try:
+                decoded = wire.unframe(bytes(corrupted))
+            except WireError:
+                continue
+            # A flip the CRC cannot see must still decode to *something*
+            # (never silently to a different record type's fields).
+            assert isinstance(decoded, StoreCheckpoint)

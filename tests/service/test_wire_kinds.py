@@ -1,0 +1,139 @@
+"""Wire-kind exhaustiveness, generated from the RECORD_TYPES registry.
+
+These tests enumerate the registry at run time, so a newly added record
+kind is covered the moment it is registered — encode/decode round-trip,
+framing, tag discipline, and presence in the hand-written fuzz suites.
+The next ADMISSION_REPLY-style addition cannot silently ship without
+coverage: it either lands in RECORD_TYPES (and is tested here
+automatically) or ``repro lint`` flags it as unregistered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import types
+import typing
+
+import pytest
+
+from repro.core.metrics import WindowSummary
+from repro.errors import WireError
+from repro.service import wire
+
+HERE = pathlib.Path(__file__).parent
+
+#: Deterministic sample values by annotated field type.
+_SAMPLES = {
+    int: 3,
+    bool: True,
+    float: 0.25,
+    str: "sample",
+}
+
+
+def _sample_record(cls: type):
+    """Build one valid instance of a registered record class."""
+
+    if cls is WindowSummary:
+        return WindowSummary(
+            window=1,
+            accepted=2,
+            devices=2,
+            duplicates=0,
+            late=0,
+            shed=0,
+            retried=0,
+            total=42,
+            expected=42,
+            degraded=False,
+            close_latency_us=10,
+            recovered=False,
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        hint = hints[field.name]
+        origin = typing.get_origin(hint)
+        if origin in (typing.Union, types.UnionType):  # Optional → non-None arm
+            hint = next(a for a in typing.get_args(hint) if a is not type(None))
+        if hint not in _SAMPLES:
+            raise AssertionError(
+                f"{cls.__name__}.{field.name} has unsampled type {hint!r} — "
+                "teach _SAMPLES about it so the kind stays exhaustively tested"
+            )
+        kwargs[field.name] = _SAMPLES[hint]
+    if cls.__name__ == "AdmissionReply":
+        kwargs["admission"] = "accepted"
+    return cls(**kwargs)
+
+
+def _registry() -> list[tuple[int, type]]:
+    return sorted(wire.RECORD_TYPES.items())
+
+
+@pytest.mark.parametrize("kind,cls", _registry(), ids=lambda v: getattr(v, "__name__", str(v)))
+class TestEveryRegisteredKind:
+    def test_round_trips_and_tags(self, kind: int, cls: type):
+        record = _sample_record(cls)
+        payload = wire.encode_record(record)
+        assert payload[0] == kind, "payload must lead with the kind tag"
+        assert wire.decode_record(payload) == record
+
+    def test_frames(self, kind: int, cls: type):
+        record = _sample_record(cls)
+        assert wire.unframe(wire.frame(record)) == record
+
+    def test_truncation_rejected(self, kind: int, cls: type):
+        payload = wire.encode_record(_sample_record(cls))
+        for cut in range(1, len(payload)):
+            with pytest.raises(WireError):
+                wire.decode_record(payload[:cut])
+
+    def test_kind_constant_exists(self, kind: int, cls: type):
+        constants = {
+            name: value
+            for name, value in vars(wire).items()
+            if name.isupper()
+            and not name.startswith("_")
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+        }
+        assert kind in constants.values(), (
+            f"registry tag {kind} ({cls.__name__}) has no named kind constant"
+        )
+
+    def test_fuzz_suite_references_kind(self, kind: int, cls: type):
+        """Every kind's class (or constant) appears in the hand-written
+        fuzz suites — the static tax-wire rule asserts the same thing at
+        lint time; this keeps the property true even if lint is skipped."""
+
+        fuzz_text = "".join(
+            (HERE / name).read_text(encoding="utf-8")
+            for name in ("test_wire.py", "test_transport.py")
+        )
+        constant = next(
+            name
+            for name, value in vars(wire).items()
+            if name.isupper() and value == kind and not name.startswith("_")
+        )
+        assert cls.__name__ in fuzz_text or constant in fuzz_text
+
+
+def test_registry_tags_are_distinct():
+    tags = list(wire.RECORD_TYPES)
+    assert len(tags) == len(set(tags))
+    assert all(0 < tag < 256 for tag in tags), "tags must fit one byte"
+
+
+def test_registry_covers_every_kind_constant():
+    constants = {
+        name: value
+        for name, value in vars(wire).items()
+        if name.isupper()
+        and not name.startswith("_")
+        and isinstance(value, int)
+        and not isinstance(value, bool)
+    }
+    unregistered = {n: v for n, v in constants.items() if v not in wire.RECORD_TYPES}
+    assert not unregistered, f"kind constants without a registry entry: {unregistered}"
